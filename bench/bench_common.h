@@ -1,0 +1,80 @@
+// Shared scaffolding for the experiment benches.
+//
+// Every bench binary reproduces one table or figure from the paper: it
+// runs the experiment, prints the paper-style rows (plus the paper's
+// numbers for side-by-side comparison), and then runs a google-benchmark
+// micro-timing of the kernel that dominates that experiment. All binaries
+// run standalone with no arguments; PD_BENCH_REPS scales the trial count
+// (default keeps the full suite to a few minutes on one core).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "eval/harness.h"
+
+namespace polardraw::bench {
+
+/// Repetition multiplier from the environment (default 1).
+inline int reps_scale() {
+  const char* env = std::getenv("PD_BENCH_REPS");
+  if (env == nullptr) return 1;
+  const int v = std::atoi(env);
+  return v > 0 ? v : 1;
+}
+
+/// Prints the standard bench banner.
+inline void banner(const std::string& id, const std::string& title) {
+  std::cout << "==============================================================\n"
+            << id << ": " << title << "\n"
+            << "==============================================================\n";
+}
+
+/// Runs the registered google-benchmark timings (after the experiment).
+inline int run_microbench(int argc, char** argv) {
+  // Keep micro-timings short; the experiment above is the real payload.
+  int fake_argc = 2;
+  char arg0[] = "bench";
+  char arg1[] = "--benchmark_min_time=0.05";
+  char* fake_argv[] = {argc > 0 ? argv[0] : arg0, arg1, nullptr};
+  ::benchmark::Initialize(&fake_argc, fake_argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+/// Prints a table and, when PD_BENCH_CSV_DIR is set, also writes it as
+/// <dir>/<name>.csv for downstream plotting.
+inline void emit(const Table& t, const std::string& name) {
+  t.print(std::cout);
+  if (const char* dir = std::getenv("PD_BENCH_CSV_DIR")) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::ofstream csv(std::string(dir) + "/" + name + ".csv");
+    if (csv) t.write_csv(csv);
+  }
+}
+
+/// A default trial config for PolarDraw experiments.
+inline eval::TrialConfig default_trial(eval::System system,
+                                       std::uint64_t seed) {
+  eval::TrialConfig cfg;
+  cfg.system = system;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Letter set used by the "randomly choose 10 letters" microbenchmarks.
+inline const std::string& ten_letters() {
+  static const std::string s = "ACELMOSUWZ";
+  return s;
+}
+
+}  // namespace polardraw::bench

@@ -1,0 +1,43 @@
+// "Whiteboard in the air": the paper's headline scenario.
+//
+// A user writes a short word in free space (no physical board). The pen
+// wanders out of the writing plane, which degrades the distance inference
+// but PolarDraw still recovers a recognizable trajectory. The example
+// tracks the same word on the board and in the air and prints both
+// recoveries plus the lexicon-based recognition result.
+//
+//   $ ./air_writing [word]
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "eval/harness.h"
+#include "recognition/classifier.h"
+
+using namespace polardraw;
+
+int main(int argc, char** argv) {
+  const std::string word = argc > 1 ? argv[1] : "SUN";
+
+  for (const bool in_air : {false, true}) {
+    eval::TrialConfig cfg;
+    cfg.system = eval::System::kPolarDraw;
+    cfg.seed = 2024;
+    cfg.synth.in_air = in_air;
+    const auto res = eval::run_trial(word, cfg);
+
+    std::cout << "=== " << (in_air ? "in the air" : "on the whiteboard")
+              << " ===\n";
+    std::cout << "wrote '" << word << "', recognized '" << res.recognized
+              << "' (" << (res.all_correct ? "correct" : "wrong")
+              << "), Procrustes " << fmt(res.procrustes_m * 100.0, 1)
+              << " cm, " << res.report_count << " tag reads\n";
+    std::vector<std::pair<double, double>> pts;
+    for (const auto& p : res.trajectory) pts.emplace_back(p.x, p.y);
+    std::cout << ascii_plot(pts, 64, 14) << "\n";
+  }
+  std::cout << "The paper (section 5.2.3) reports ~8 points lower accuracy "
+               "in the air: without the board the writing leaves the 2-D "
+               "plane and the displacement inference degrades.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Developer diagnostic: classifier sanity on clean and jittered
+// ground-truth polylines (no RF involved). The classifier must be ~perfect
+// on clean glyphs; if not, tracking accuracy is irrelevant.
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "handwriting/synthesizer.h"
+#include "recognition/classifier.h"
+
+using namespace polardraw;
+
+int main() {
+  recognition::LetterClassifier cls;
+  Rng rng(3);
+
+  int clean_ok = 0, wobble_ok = 0, noise_ok = 0, n = 0;
+  for (char c : handwriting::alphabet()) {
+    // Clean template polyline.
+    const auto& g = handwriting::glyph_for(c);
+    const auto poly = handwriting::flatten_strokes(
+        handwriting::place_glyph(g, {0.2, 0.15}, 0.2));
+    const auto r0 = cls.classify(poly);
+    if (r0.letter == c) ++clean_ok;
+    else std::cout << "clean " << c << " -> " << r0.letter << "\n";
+
+    // Synthesized (wobbled) trace ink.
+    handwriting::SynthesisConfig scfg;
+    const auto trace = handwriting::synthesize(std::string(1, c), scfg, rng);
+    const auto ink = handwriting::trace_ink_polyline(trace);
+    const auto r1 = cls.classify(ink);
+    if (r1.letter == c) ++wobble_ok;
+    else std::cout << "wobble " << c << " -> " << r1.letter << "\n";
+
+    // Wobbled + 1 cm gaussian point noise + 1 cm grid quantization
+    // (roughly what the tracker hands back).
+    auto noisy = ink;
+    for (auto& p : noisy) {
+      p.x += rng.gaussian(0.0, 0.01);
+      p.y += rng.gaussian(0.0, 0.01);
+      p.x = std::round(p.x * 100.0) / 100.0;
+      p.y = std::round(p.y * 100.0) / 100.0;
+    }
+    const auto r2 = cls.classify(noisy);
+    if (r2.letter == c) ++noise_ok;
+    else std::cout << "noisy " << c << " -> " << r2.letter << "\n";
+    ++n;
+  }
+  std::cout << "clean " << clean_ok << "/" << n << ", wobble " << wobble_ok
+            << "/" << n << ", noisy " << noise_ok << "/" << n << "\n";
+  return 0;
+}

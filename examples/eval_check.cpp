@@ -1,0 +1,41 @@
+// Developer diagnostic: coarse accuracy snapshot across systems, used
+// while calibrating the simulation substrate to the paper's bands.
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "eval/harness.h"
+
+using namespace polardraw;
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 3;
+  const std::string letters = argc > 2 ? argv[2] : "ACLMOSUVWZ";
+
+  Table t({"system", "letter acc", "median procrustes (cm)", "p90 (cm)"});
+  for (const eval::System sys :
+       {eval::System::kPolarDraw, eval::System::kPolarDrawNoPol,
+        eval::System::kPolarDrawNoPolPhaseDir,
+        eval::System::kTagoram2, eval::System::kTagoram4,
+        eval::System::kRfIdraw4}) {
+    eval::TrialConfig cfg;
+    cfg.system = sys;
+    cfg.seed = 11;
+    int correct = 0, total = 0;
+    std::vector<double> errs;
+    for (char c : letters) {
+      for (int r = 0; r < reps; ++r) {
+        cfg.seed = cfg.seed * 2654435761u + 17;
+        const auto res = eval::run_trial(std::string(1, c), cfg);
+        ++total;
+        if (res.all_correct) ++correct;
+        errs.push_back(res.procrustes_m * 100.0);
+      }
+    }
+    t.add_row({to_string(sys),
+               fmt(100.0 * correct / std::max(total, 1), 1) + "%",
+               fmt(median(errs), 1), fmt(percentile(errs, 90.0), 1)});
+  }
+  t.print(std::cout);
+  return 0;
+}

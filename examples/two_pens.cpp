@@ -1,0 +1,80 @@
+// Multi-user writing (the paper's section 7 extension): two tagged pens
+// write simultaneously; the reader's slotted inventory interleaves reads
+// from both; the application de-multiplexes by EPC and runs one PolarDraw
+// tracker per pen.
+//
+//   $ ./two_pens [letterA] [letterB]
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/table.h"
+#include "core/polardraw.h"
+#include "handwriting/synthesizer.h"
+#include "recognition/classifier.h"
+#include "sim/scene.h"
+
+using namespace polardraw;
+
+int main(int argc, char** argv) {
+  const std::string letter_a = argc > 1 ? argv[1] : "M";
+  const std::string letter_b = argc > 2 ? argv[2] : "Z";
+
+  sim::SceneConfig scene_cfg;
+  scene_cfg.seed = 77;
+  sim::Scene scene(scene_cfg);
+
+  // Two writers: one on the left half of the board, one on the right.
+  Rng rng(9);
+  handwriting::SynthesisConfig synth_a;
+  synth_a.auto_center = false;
+  synth_a.origin = {0.15, 0.15};
+  handwriting::SynthesisConfig synth_b;
+  synth_b.auto_center = false;
+  synth_b.origin = {0.62, 0.15};
+  synth_b.user = handwriting::user_style(3);
+  const auto trace_a = handwriting::synthesize(letter_a, synth_a, rng);
+  const auto trace_b = handwriting::synthesize(letter_b, synth_b, rng);
+
+  // Inventory both tags in one session; reads interleave per Gen2 slots.
+  const std::vector<rfid::TagEntry> tags{
+      {0xA1, [&](double t) { return sim::tag_at_time(trace_a, t); }},
+      {0xB2, [&](double t) { return sim::tag_at_time(trace_b, t); }},
+  };
+  scene.reader().select_modulation(tags[0].state);
+  const double t_end =
+      std::max(trace_a.duration_s, trace_b.duration_s);
+  const auto reports =
+      scene.reader().inventory_population(tags, 0.0, t_end);
+  std::cout << "Inventoried " << reports.size()
+            << " reads across both pens over " << fmt(t_end, 1) << " s\n";
+
+  // De-multiplex by EPC and track each pen independently.
+  std::map<std::uint32_t, rfid::TagReportStream> streams;
+  for (const auto& r : reports) streams[r.epc].push_back(r);
+
+  core::PolarDrawConfig algo;
+  algo.gamma_rad = scene_cfg.gamma;
+  const auto apos = scene.antenna_board_positions();
+  const core::PhaseCalibration cal{scene.reader().port_phase_offsets()};
+  const recognition::LetterClassifier classifier;
+
+  const std::map<std::uint32_t, std::string> truth{
+      {0xA1, letter_a}, {0xB2, letter_b}};
+  for (const auto& [epc, stream] : streams) {
+    core::PolarDraw tracker(algo, apos[0], apos[1], 0.12);
+    const auto res = tracker.track(stream, &cal);
+    const auto cls = classifier.classify(res.trajectory);
+    std::cout << "\nPen EPC 0x" << std::hex << epc << std::dec << ": "
+              << stream.size() << " reads (~"
+              << fmt(stream.size() / std::max(t_end, 1e-9), 0)
+              << " Hz), wrote '" << truth.at(epc) << "', recognized '"
+              << cls.letter << "'\n";
+    std::vector<std::pair<double, double>> pts;
+    for (const auto& p : res.trajectory) pts.emplace_back(p.x, p.y);
+    std::cout << ascii_plot(pts, 48, 12) << "\n";
+  }
+  std::cout << "Per-pen read rate halves with two tags in the field -- the "
+               "deployment cost of the multi-user extension.\n";
+  return 0;
+}

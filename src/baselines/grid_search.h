@@ -1,0 +1,36 @@
+// Grid beam-search shared by the baseline trackers.
+//
+// Both Tagoram's differential augmented hologram and RF-IDraw's
+// AoA-intersection tracking reduce, in discrete form, to the same engine:
+// a grid of candidate blocks, a motion constraint (speed limit annulus)
+// and a per-step scoring function. The trackers differ only in how they
+// score a candidate move from the measured phases.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/vec.h"
+
+namespace polardraw::baselines {
+
+struct GridConfig {
+  double board_width_m = 1.0;
+  double board_height_m = 0.6;
+  double block_m = 0.004;
+  double vmax_mps = 0.2;
+  double window_s = 0.05;
+  std::size_t beam_width = 600;
+};
+
+/// Log-score of moving from `from` to `to` at step t. Return -inf-ish
+/// values (e.g. -50) to veto a move.
+using StepScorer =
+    std::function<double(std::size_t t, const Vec2& from, const Vec2& to)>;
+
+/// Viterbi beam decode of `steps` moves starting at `start`.
+/// Returns steps + 1 positions (block centers).
+std::vector<Vec2> grid_beam_decode(const GridConfig& cfg, const Vec2& start,
+                                   std::size_t steps, const StepScorer& score);
+
+}  // namespace polardraw::baselines

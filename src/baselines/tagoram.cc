@@ -1,0 +1,93 @@
+#include "baselines/tagoram.h"
+
+#include <cmath>
+
+#include "baselines/windowing.h"
+#include "common/angles.h"
+
+namespace polardraw::baselines {
+
+TagoramTracker::TagoramTracker(TagoramConfig cfg,
+                               std::vector<em::ReaderAntenna> antennas)
+    : cfg_(cfg), antennas_(std::move(antennas)) {}
+
+std::vector<Vec2> TagoramTracker::track(
+    const rfid::TagReportStream& reports) const {
+  const int ports = static_cast<int>(antennas_.size());
+  const auto windows =
+      window_reports(reports, ports, cfg_.grid.window_s, nullptr);
+  if (windows.size() < 2) return {};
+
+  // Precompute per-window phase deltas (vs previous valid window per port).
+  struct StepObs {
+    std::vector<double> dtheta;  // per port; NaN if unavailable
+  };
+  std::vector<StepObs> steps;
+  steps.reserve(windows.size() - 1);
+  std::vector<double> prev_phase(static_cast<std::size_t>(ports), 0.0);
+  std::vector<int> prev_window(static_cast<std::size_t>(ports), -1000);
+  // Initialize from the first window.
+  for (int a = 0; a < ports; ++a) {
+    if (windows[0].phase_valid[static_cast<std::size_t>(a)]) {
+      prev_phase[static_cast<std::size_t>(a)] =
+          windows[0].phase_rad[static_cast<std::size_t>(a)];
+      prev_window[static_cast<std::size_t>(a)] = 0;
+    }
+  }
+  for (std::size_t w = 1; w < windows.size(); ++w) {
+    StepObs so;
+    so.dtheta.assign(static_cast<std::size_t>(ports),
+                     std::numeric_limits<double>::quiet_NaN());
+    for (int a = 0; a < ports; ++a) {
+      const auto ai = static_cast<std::size_t>(a);
+      // Only adjacent-window differentials: a delta spanning a read gap
+      // covers several moves and cannot be scored against one transition.
+      if (windows[w].phase_valid[ai] &&
+          prev_window[ai] == static_cast<int>(w) - 1) {
+        so.dtheta[ai] = windows[w].phase_rad[ai] - prev_phase[ai];
+      }
+      if (windows[w].phase_valid[ai]) {
+        prev_phase[ai] = windows[w].phase_rad[ai];
+        prev_window[ai] = static_cast<int>(w);
+      }
+    }
+    steps.push_back(std::move(so));
+  }
+
+  // Start at the board center: with phase-only measurements the absolute
+  // position is resolvable only up to hologram ambiguities, and the
+  // evaluation metrics are translation-invariant.
+  const Vec2 start{cfg_.grid.board_width_m / 2.0,
+                   cfg_.grid.board_height_m / 2.0};
+
+  const auto link_len = [this](const Vec2& p, const em::ReaderAntenna& ant) {
+    const double dx = p.x - ant.position.x;
+    const double dy = p.y - ant.position.y;
+    const double dz = ant.position.z;
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+  };
+
+  const auto scorer = [&](std::size_t t, const Vec2& from,
+                          const Vec2& to) -> double {
+    const StepObs& so = steps[t];
+    double score = 0.0;
+    int used = 0;
+    for (std::size_t a = 0; a < so.dtheta.size(); ++a) {
+      const double m = so.dtheta[a];
+      if (std::isnan(m)) continue;
+      const double expected =
+          4.0 * kPi * (link_len(to, antennas_[a]) - link_len(from, antennas_[a])) /
+          cfg_.wavelength_m;
+      // Coherence of measured vs predicted phase change; differential, so
+      // port offsets cancel.
+      score += cfg_.coherence_weight * (std::cos(m - expected) - 1.0);
+      ++used;
+    }
+    if (used == 0) return -0.1;  // mild penalty: drift only on blind steps
+    return score;
+  };
+
+  return grid_beam_decode(cfg_.grid, start, steps.size(), scorer);
+}
+
+}  // namespace polardraw::baselines

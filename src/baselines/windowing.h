@@ -1,0 +1,36 @@
+// N-antenna window aggregation shared by the baseline trackers.
+//
+// Unlike PolarDraw's two-antenna preprocessing (core/preprocess.h), the
+// baselines run with 2-8 antenna ports, so this module aggregates reports
+// into fixed windows for an arbitrary port count and unwraps each port's
+// phase across windows.
+#pragma once
+
+#include <vector>
+
+#include "rfid/tag_report.h"
+
+namespace polardraw::baselines {
+
+struct MultiWindow {
+  double t_s = 0.0;
+  std::vector<double> phase_rad;   // unwrapped, per port
+  std::vector<double> rss_dbm;     // per port
+  std::vector<bool> phase_valid;   // per port
+  std::vector<bool> rss_valid;     // per port
+
+  bool all_phase_valid() const {
+    for (bool v : phase_valid)
+      if (!v) return false;
+    return !phase_valid.empty();
+  }
+};
+
+/// Aggregates a report stream into windows of `window_s` seconds across
+/// `num_ports` antenna ports. Optional per-port phase offsets (calibration)
+/// are subtracted before unwrapping.
+std::vector<MultiWindow> window_reports(
+    const rfid::TagReportStream& reports, int num_ports, double window_s,
+    const std::vector<double>* port_offsets = nullptr);
+
+}  // namespace polardraw::baselines

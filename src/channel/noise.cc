@@ -1,0 +1,40 @@
+#include "channel/noise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.h"
+#include "common/units.h"
+
+namespace polardraw::channel {
+
+NoisyObservation observe(const std::complex<double>& response,
+                         const NoiseConfig& cfg, Rng& rng) {
+  NoisyObservation out;
+
+  const double signal_mw = std::norm(response);
+  const double noise_mw =
+      dbm_to_mw(cfg.noise_floor_dbm) / std::max(cfg.modulation_snr_gain, 1e-6);
+
+  // Complex AWGN added at the receiver front end.
+  const double sigma = std::sqrt(noise_mw / 2.0);
+  const std::complex<double> noisy =
+      response + std::complex<double>(rng.gaussian(0.0, sigma),
+                                      rng.gaussian(0.0, sigma));
+
+  const double rx_mw = std::norm(noisy);
+  out.rss_dbm = mw_to_dbm(rx_mw) + rng.gaussian(0.0, cfg.rss_jitter_db);
+  out.snr_db = ratio_to_db(signal_mw / noise_mw);
+
+  // Phase of the noisy response plus the PLL floor. At low SNR the AWGN
+  // already dominates the phase; the floor matters only at high SNR.
+  // Sign convention: readers report the accumulated round-trip phase
+  // 4*pi*d/lambda (growing with distance), i.e. the negative of the
+  // baseband argument of e^{-j*4*pi*d/lambda}.
+  double phase = -std::arg(noisy);
+  phase += rng.gaussian(0.0, cfg.phase_noise_floor_rad);
+  out.phase_rad = wrap_2pi(phase);
+  return out;
+}
+
+}  // namespace polardraw::channel

@@ -1,0 +1,46 @@
+// Receiver noise model.
+//
+// Adds thermal noise to the complex channel response and derives the
+// measurement-level noise the reader reports: RSS jitter and phase jitter
+// whose variance grows as SNR drops. The modulation scheme in use scales
+// the effective SNR (longer Miller sequences integrate more energy per bit,
+// matching EPC Gen2 behaviour and the paper's modulation-selection step).
+#pragma once
+
+#include <complex>
+
+#include "common/rng.h"
+
+namespace polardraw::channel {
+
+struct NoiseConfig {
+  /// Receiver noise floor, dBm. -85 dBm is a realistic figure for the
+  /// backscatter sideband bandwidth of a COTS reader in an office.
+  double noise_floor_dbm = -85.0;
+
+  /// Extra RSS reporting jitter (dB std-dev) beyond thermal noise; readers
+  /// quantize and average internally, so this is small.
+  double rss_jitter_db = 0.15;
+
+  /// Phase-noise floor (radians std-dev) at high SNR, from the reader's
+  /// PLL and clock; ~0.05 rad is typical of the Speedway family.
+  double phase_noise_floor_rad = 0.08;
+
+  /// SNR gain (linear) of the active modulation scheme relative to FM0.
+  double modulation_snr_gain = 1.0;
+};
+
+/// One noisy observation derived from a complex channel response.
+struct NoisyObservation {
+  double rss_dbm = -150.0;
+  double phase_rad = 0.0;   // wrapped to [0, 2*pi)
+  double snr_db = -50.0;
+};
+
+/// Applies receiver noise to a complex response (|h|^2 = power in mW).
+/// Low-SNR responses get large phase variance, reproducing the noisy phase
+/// the paper observes near deep polarization mismatch.
+NoisyObservation observe(const std::complex<double>& response,
+                         const NoiseConfig& cfg, Rng& rng);
+
+}  // namespace polardraw::channel

@@ -1,0 +1,27 @@
+#include "common/angles.h"
+
+namespace polardraw {
+
+void unwrap_inplace(std::vector<double>& phases) {
+  if (phases.size() < 2) return;
+  double offset = 0.0;
+  double prev = phases[0];
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    const double raw = phases[i];
+    const double d = raw - prev;
+    if (d > kPi) {
+      offset -= kTwoPi;
+    } else if (d < -kPi) {
+      offset += kTwoPi;
+    }
+    prev = raw;
+    phases[i] = raw + offset;
+  }
+}
+
+std::vector<double> unwrapped(std::vector<double> phases) {
+  unwrap_inplace(phases);
+  return phases;
+}
+
+}  // namespace polardraw

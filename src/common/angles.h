@@ -1,0 +1,78 @@
+// Angle arithmetic helpers.
+//
+// RFID phase measurements live on the circle [0, 2*pi); everything that
+// touches them (unwrapping, differencing, spurious-jump detection) must be
+// careful about wrap-around. These helpers centralize that logic.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace polardraw {
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+constexpr double deg2rad(double deg) { return deg * kPi / 180.0; }
+constexpr double rad2deg(double rad) { return rad * 180.0 / kPi; }
+
+/// Wraps an angle to [0, 2*pi).
+inline double wrap_2pi(double rad) {
+  double r = std::fmod(rad, kTwoPi);
+  if (r < 0.0) r += kTwoPi;
+  return r;
+}
+
+/// Wraps an angle to (-pi, pi].
+inline double wrap_pi(double rad) {
+  double r = wrap_2pi(rad);
+  if (r > kPi) r -= kTwoPi;
+  return r;
+}
+
+/// Smallest signed difference a - b on the circle, in (-pi, pi].
+inline double angle_diff(double a, double b) { return wrap_pi(a - b); }
+
+/// Absolute circular distance between two angles, in [0, pi].
+inline double angle_dist(double a, double b) { return std::fabs(angle_diff(a, b)); }
+
+/// Unwraps a phase series in place: successive samples are shifted by
+/// multiples of 2*pi so that no step exceeds pi in magnitude.
+/// Mirrors numpy.unwrap with default parameters.
+void unwrap_inplace(std::vector<double>& phases);
+
+/// Returns an unwrapped copy of `phases`.
+std::vector<double> unwrapped(std::vector<double> phases);
+
+/// Incremental unwrapper for streaming phase data.
+///
+/// Usage:
+///   PhaseUnwrapper u;
+///   double continuous = u.push(raw_phase);   // raw in [0, 2*pi)
+class PhaseUnwrapper {
+ public:
+  /// Feeds the next wrapped sample; returns the unwrapped (continuous) value.
+  double push(double wrapped_phase) {
+    if (!has_prev_) {
+      has_prev_ = true;
+      prev_wrapped_ = wrapped_phase;
+      unwrapped_ = wrapped_phase;
+      return unwrapped_;
+    }
+    unwrapped_ += angle_diff(wrapped_phase, prev_wrapped_);
+    prev_wrapped_ = wrapped_phase;
+    return unwrapped_;
+  }
+
+  void reset() { has_prev_ = false; unwrapped_ = 0.0; }
+  bool has_value() const { return has_prev_; }
+  double value() const { return unwrapped_; }
+
+ private:
+  bool has_prev_ = false;
+  double prev_wrapped_ = 0.0;
+  double unwrapped_ = 0.0;
+};
+
+}  // namespace polardraw

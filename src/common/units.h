@@ -1,0 +1,24 @@
+// Power / amplitude unit conversions used by the RF layer.
+#pragma once
+
+#include <cmath>
+
+namespace polardraw {
+
+/// Converts milliwatts to dBm. Clamped far below thermal noise for 0 input
+/// so callers never see -inf propagate through arithmetic.
+inline double mw_to_dbm(double mw) {
+  constexpr double kFloorDbm = -150.0;
+  if (mw <= 0.0) return kFloorDbm;
+  const double dbm = 10.0 * std::log10(mw);
+  return dbm < kFloorDbm ? kFloorDbm : dbm;
+}
+
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+/// Converts a power ratio to decibels (clamped like mw_to_dbm).
+inline double ratio_to_db(double ratio) { return mw_to_dbm(ratio); }
+
+inline double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+
+}  // namespace polardraw

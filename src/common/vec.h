@@ -1,0 +1,95 @@
+// Small fixed-dimension vector types used throughout the PolarDraw codebase.
+//
+// These are deliberately minimal value types (no SIMD, no expression
+// templates): every hot loop in this project is dominated by trigonometry
+// and table lookups, not by vector arithmetic.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace polardraw {
+
+/// 2-D vector in whiteboard coordinates (meters unless stated otherwise).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(const Vec2& o) { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(const Vec2& o) { x -= o.x; y -= o.y; return *this; }
+  constexpr Vec2& operator*=(double s) { x *= s; y *= s; return *this; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  constexpr bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
+
+  constexpr double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product (signed parallelogram area).
+  constexpr double cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double norm() const { return std::sqrt(x * x + y * y); }
+  constexpr double norm_sq() const { return x * x + y * y; }
+  double dist(const Vec2& o) const { return (*this - o).norm(); }
+
+  /// Unit vector in the same direction; returns {0,0} for the zero vector.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Counter-clockwise rotation by `rad` radians.
+  Vec2 rotated(double rad) const {
+    const double c = std::cos(rad), s = std::sin(rad);
+    return {c * x - s * y, s * x + c * y};
+  }
+  /// Angle from the +X axis, in (-pi, pi].
+  double angle() const { return std::atan2(y, x); }
+};
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+/// 3-D vector. Board plane is X-Y; +Z points from the board toward the
+/// reader antennas (out of the board, toward the writer).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+  constexpr Vec3(const Vec2& v, double z_) : x(v.x), y(v.y), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr bool operator==(const Vec3& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(x * x + y * y + z * z); }
+  constexpr double norm_sq() const { return x * x + y * y + z * z; }
+  double dist(const Vec3& o) const { return (*this - o).norm(); }
+
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+  constexpr Vec2 xy() const { return {x, y}; }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v);
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+}  // namespace polardraw

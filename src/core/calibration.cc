@@ -1,0 +1,56 @@
+#include "core/calibration.h"
+
+#include <cmath>
+
+#include "common/angles.h"
+
+namespace polardraw::core {
+
+std::optional<CalibrationResult> calibrate_from_reference(
+    const rfid::TagReportStream& reports, const CalibrationSetup& setup,
+    int min_reads) {
+  const std::size_t ports = setup.antenna_positions.size();
+  if (ports == 0) return std::nullopt;
+
+  std::vector<std::vector<double>> residuals(ports);
+  for (const auto& r : reports) {
+    if (r.antenna_id < 0 || static_cast<std::size_t>(r.antenna_id) >= ports) {
+      continue;
+    }
+    const double dist =
+        setup.antenna_positions[static_cast<std::size_t>(r.antenna_id)].dist(
+            setup.tag_position);
+    const double expected =
+        wrap_2pi(4.0 * kPi * dist / setup.wavelength_m);
+    residuals[static_cast<std::size_t>(r.antenna_id)].push_back(
+        wrap_2pi(r.phase_rad - expected));
+  }
+
+  CalibrationResult out;
+  out.calibration.port_offsets_rad.resize(ports, 0.0);
+  out.residual_std_rad.resize(ports, 0.0);
+  out.reads_used.resize(ports, 0);
+  for (std::size_t p = 0; p < ports; ++p) {
+    if (static_cast<int>(residuals[p].size()) < min_reads) {
+      return std::nullopt;
+    }
+    const auto mean = circular_mean(residuals[p]);
+    if (!mean) return std::nullopt;
+    out.calibration.port_offsets_rad[p] = *mean;
+    out.reads_used[p] = static_cast<int>(residuals[p].size());
+
+    // Circular spread: 1 - |mean resultant length| mapped to a std-dev.
+    double sx = 0.0, sy = 0.0;
+    for (double r : residuals[p]) {
+      sx += std::cos(r - *mean);
+      sy += std::sin(r - *mean);
+    }
+    const double resultant =
+        std::hypot(sx, sy) / static_cast<double>(residuals[p].size());
+    out.residual_std_rad[p] =
+        std::sqrt(std::max(-2.0 * std::log(std::max(resultant, 1e-9)), 0.0));
+  }
+  return out;
+}
+
+}  // namespace polardraw::core

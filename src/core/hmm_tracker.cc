@@ -1,0 +1,244 @@
+#include "core/hmm_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/angles.h"
+
+namespace polardraw::core {
+
+namespace {
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+constexpr double kWeightFloor = 1e-6;  // keeps log-probabilities finite
+}  // namespace
+
+HmmTracker::HmmTracker(const PolarDrawConfig& cfg, Vec2 a1, Vec2 a2,
+                       double antenna_z)
+    : cfg_(cfg),
+      a1_(a1),
+      a2_(a2),
+      antenna_z_(antenna_z),
+      cols_(std::max(1, static_cast<int>(cfg.board_width_m / cfg.block_m))),
+      rows_(std::max(1, static_cast<int>(cfg.board_height_m / cfg.block_m))),
+      dist_(cfg) {}
+
+Vec2 HmmTracker::block_center(int col, int row) const {
+  return Vec2{(static_cast<double>(col) + 0.5) * cfg_.block_m,
+              (static_cast<double>(row) + 0.5) * cfg_.block_m};
+}
+
+Vec2 HmmTracker::initial_location(double dtheta21) const {
+  // Scan the grid for blocks whose expected inter-antenna phase difference
+  // matches the measurement; among matches prefer the one nearest the board
+  // center (the paper picks a point on a candidate hyperbola arbitrarily --
+  // absolute position is unobservable; only trajectory shape matters).
+  const Vec2 center{cfg_.board_width_m / 2.0, cfg_.board_height_m / 2.0};
+  const double target = wrap_2pi(dtheta21);
+  double best_score = std::numeric_limits<double>::infinity();
+  Vec2 best = center;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const Vec2 p = block_center(c, r);
+      const double expected = dist_.expected_dtheta21(p, a1_, a2_, antenna_z_);
+      const double mismatch = angle_dist(expected, target);
+      const double score = mismatch * 2.0 + p.dist(center);
+      if (score < best_score) {
+        best_score = score;
+        best = p;
+      }
+    }
+  }
+  return best;
+}
+
+double HmmTracker::emission_weight(const Vec2& candidate, const Vec2& previous,
+                                   const TrackObservation& o) const {
+  double w = 1.0;
+
+  // Hyperbola term of Eq. 11: 1 - |dtheta_meas - dtheta(x,y)| / (4*pi),
+  // compared circularly.
+  if (cfg_.use_hyperbola_constraint && o.has_phase && o.distance.valid) {
+    const double expected =
+        dist_.expected_dtheta21(candidate, a1_, a2_, antenna_z_);
+    const double mismatch =
+        angle_dist(expected, wrap_2pi(o.distance.dtheta21));
+    const double term = std::max(1.0 - mismatch / (4.0 * kPi), kWeightFloor);
+    w *= cfg_.hyperbola_sharpness == 1.0
+             ? term
+             : std::pow(term, cfg_.hyperbola_sharpness);
+  }
+
+  // Direction-line term of Eq. 11: perpendicular distance from the
+  // candidate to the line through the previous location along the
+  // estimated moving direction, normalized by the max displacement.
+  if (o.direction.type != MotionType::kIdle &&
+      o.direction.direction.norm_sq() > 0.0) {
+    const Vec2 d = o.direction.direction;
+    const Vec2 rel = candidate - previous;
+    const double perp = std::fabs(rel.cross(d));
+    const double dmax = std::max(o.distance.upper_m, cfg_.block_m);
+    double term = std::max(1.0 - perp / dmax, kWeightFloor);
+    // Half-plane preference: candidates behind the motion direction are
+    // inconsistent with the estimated heading.
+    if (rel.dot(d) < -0.25 * cfg_.block_m) term *= 0.25;
+    w *= term;
+  }
+  return w;
+}
+
+std::vector<Vec2> HmmTracker::decode(const std::vector<TrackObservation>& obs,
+                                     const Vec2* initial_hint) const {
+  std::vector<Vec2> traj;
+  if (obs.empty()) return traj;
+
+  // --- Initial state -------------------------------------------------------
+  Vec2 start{cfg_.board_width_m / 2.0, cfg_.board_height_m / 2.0};
+  if (initial_hint != nullptr) {
+    start = *initial_hint;
+  } else {
+    for (const auto& o : obs) {
+      if (o.has_phase) {
+        start = initial_location(o.distance.dtheta21);
+        break;
+      }
+    }
+  }
+  const int c0 = std::clamp(static_cast<int>(start.x / cfg_.block_m), 0,
+                            cols_ - 1);
+  const int r0 = std::clamp(static_cast<int>(start.y / cfg_.block_m), 0,
+                            rows_ - 1);
+
+  std::vector<std::vector<Node>> beams;
+  beams.reserve(obs.size() + 1);
+  beams.push_back({Node{c0, r0, 0.0f, -1}});
+
+  // --- Forward pass --------------------------------------------------------
+  for (const auto& o : obs) {
+    const auto& prev = beams.back();
+
+    // Feasible annulus in blocks. An invalid (inconsistent) distance
+    // estimate degrades to "anywhere within the speed limit".
+    const double lower =
+        o.distance.valid ? o.distance.lower_m : 0.0;
+    const double upper = std::max(
+        {o.distance.upper_m, lower, cfg_.block_m * 0.5});
+    const int reach = std::max(1, static_cast<int>(std::ceil(
+                                   upper / cfg_.block_m)));
+
+    std::vector<Node> next;
+    next.reserve(prev.size() * (2 * reach + 1));
+
+    // Best incoming score per candidate block, tracked sparsely.
+    // Key = row * cols + col.
+    std::unordered_map<std::int64_t, std::size_t> best_idx;
+    best_idx.reserve(prev.size() * 8);
+
+    for (std::int32_t pi = 0; pi < static_cast<std::int32_t>(prev.size());
+         ++pi) {
+      const Node& p = prev[pi];
+      if (p.log_prob == kNegInf) continue;
+      const Vec2 from = block_center(p.col, p.row);
+      for (int dr = -reach; dr <= reach; ++dr) {
+        const int nr = p.row + dr;
+        if (nr < 0 || nr >= rows_) continue;
+        for (int dc = -reach; dc <= reach; ++dc) {
+          const int nc = p.col + dc;
+          if (nc < 0 || nc >= cols_) continue;
+          const Vec2 to = block_center(nc, nr);
+          const double step = from.dist(to);
+          // Annulus membership (Eq. 8); allow a quarter-block tolerance so
+          // the discretization cannot strand the chain, while keeping the
+          // lower bound binding (it is the phase-derived minimum motion).
+          if (step > upper + 0.5 * cfg_.block_m) continue;
+          if (step + 0.25 * cfg_.block_m < lower) continue;
+
+          double w = emission_weight(to, from, o);
+          if (o.direction.type == MotionType::kIdle && upper > 0.0) {
+            // No direction estimate this window: tie-break toward small
+            // steps (an undetected motion is a small motion), otherwise
+            // the annulus blocks tie -- exactly along the hyperbola when
+            // phase is present, everywhere when it is not -- and the
+            // argmax drifts.
+            const double frac = step / upper;
+            w *= std::exp(-cfg_.unobserved_step_penalty * frac * frac);
+          }
+          const float lp =
+              p.log_prob + static_cast<float>(std::log(std::max(w, kWeightFloor)));
+          const std::int64_t key =
+              static_cast<std::int64_t>(nr) * cols_ + nc;
+          const auto it = best_idx.find(key);
+          if (it == best_idx.end()) {
+            best_idx.emplace(key, next.size());
+            next.push_back({nc, nr, lp, pi});
+          } else if (lp > next[it->second].log_prob) {
+            next[it->second] = {nc, nr, lp, pi};
+          }
+        }
+      }
+    }
+
+    if (next.empty()) {
+      // Chain starved (e.g. all motion rejected) -- hold position.
+      next.push_back({prev.front().col, prev.front().row,
+                      prev.front().log_prob, 0});
+    }
+    // Beam pruning: keep the most probable states.
+    if (next.size() > cfg_.beam_width) {
+      std::nth_element(next.begin(), next.begin() + cfg_.beam_width,
+                       next.end(), [](const Node& a, const Node& b) {
+                         return a.log_prob > b.log_prob;
+                       });
+      next.resize(cfg_.beam_width);
+    }
+    if (!cfg_.use_viterbi) {
+      // Greedy ablation: collapse the beam to the single best state.
+      const auto it = std::max_element(
+          next.begin(), next.end(),
+          [](const Node& a, const Node& b) { return a.log_prob < b.log_prob; });
+      next = {*it};
+    }
+    beams.push_back(std::move(next));
+  }
+
+  // --- Backtrace -----------------------------------------------------------
+  const auto& last = beams.back();
+  std::int32_t idx = 0;
+  for (std::int32_t i = 1; i < static_cast<std::int32_t>(last.size()); ++i) {
+    if (last[i].log_prob > last[idx].log_prob) idx = i;
+  }
+  std::vector<Vec2> reversed;
+  reversed.reserve(beams.size());
+  for (std::size_t step = beams.size(); step-- > 0;) {
+    const Node& n = beams[step][static_cast<std::size_t>(idx)];
+    reversed.push_back(block_center(n.col, n.row));
+    idx = n.parent;
+    if (idx < 0 && step > 0) {
+      // Defensive: should only happen at step 0.
+      for (std::size_t s = step; s-- > 0;) {
+        reversed.push_back(block_center(beams[s].front().col,
+                                        beams[s].front().row));
+      }
+      break;
+    }
+  }
+  traj.assign(reversed.rbegin(), reversed.rend());
+  return traj;
+}
+
+std::vector<Vec2> HmmTracker::rotate_trajectory(const std::vector<Vec2>& traj,
+                                                double alpha_r_error) {
+  if (traj.empty()) return traj;
+  Vec2 centroid;
+  for (const Vec2& p : traj) centroid += p;
+  centroid = centroid / static_cast<double>(traj.size());
+  std::vector<Vec2> out;
+  out.reserve(traj.size());
+  for (const Vec2& p : traj) {
+    out.push_back(centroid + (p - centroid).rotated(-alpha_r_error));
+  }
+  return out;
+}
+
+}  // namespace polardraw::core

@@ -1,0 +1,200 @@
+#include "core/kalman_tracker.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/angles.h"
+
+namespace polardraw::core {
+
+namespace {
+
+// Dense 4x4 / 4x2 linear algebra kept local: the state is tiny and fixed,
+// so hand-rolled loops beat pulling in a matrix library.
+using Mat4 = std::array<std::array<double, 4>, 4>;
+using Vec4 = std::array<double, 4>;
+
+Mat4 identity() {
+  Mat4 m{};
+  for (int i = 0; i < 4; ++i) m[i][i] = 1.0;
+  return m;
+}
+
+Mat4 mul(const Mat4& a, const Mat4& b) {
+  Mat4 out{};
+  for (int i = 0; i < 4; ++i) {
+    for (int k = 0; k < 4; ++k) {
+      const double aik = a[i][k];
+      if (aik == 0.0) continue;
+      for (int j = 0; j < 4; ++j) out[i][j] += aik * b[k][j];
+    }
+  }
+  return out;
+}
+
+Mat4 transpose(const Mat4& a) {
+  Mat4 out;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) out[i][j] = a[j][i];
+  }
+  return out;
+}
+
+Vec4 mul(const Mat4& a, const Vec4& x) {
+  Vec4 out{};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) out[i] += a[i][j] * x[j];
+  }
+  return out;
+}
+
+/// Scalar measurement update: z = h(x), Jacobian row H (1x4), variance r.
+void scalar_update(Vec4& x, Mat4& p, const Vec4& h_row, double innovation,
+                   double r) {
+  // S = H P H^T + r
+  Vec4 ph{};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) ph[i] += p[i][j] * h_row[j];
+  }
+  double s = r;
+  for (int i = 0; i < 4; ++i) s += h_row[i] * ph[i];
+  if (s <= 1e-12) return;
+  // K = P H^T / S
+  Vec4 k;
+  for (int i = 0; i < 4; ++i) k[i] = ph[i] / s;
+  for (int i = 0; i < 4; ++i) x[i] += k[i] * innovation;
+  // P = (I - K H) P
+  Mat4 kh{};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) kh[i][j] = k[i] * h_row[j];
+  }
+  Mat4 ikh = identity();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) ikh[i][j] -= kh[i][j];
+  }
+  p = mul(ikh, p);
+}
+
+}  // namespace
+
+KalmanTracker::KalmanTracker(const PolarDrawConfig& cfg, KalmanConfig kf,
+                             Vec2 a1, Vec2 a2, double antenna_z)
+    : cfg_(cfg), kf_(kf), a1_(a1), a2_(a2), antenna_z_(antenna_z), dist_(cfg) {}
+
+std::vector<Vec2> KalmanTracker::decode(const std::vector<TrackObservation>& obs,
+                                        const Vec2* initial_hint) const {
+  std::vector<Vec2> traj;
+  if (obs.empty()) return traj;
+
+  Vec2 start{cfg_.board_width_m / 2.0, cfg_.board_height_m / 2.0};
+  if (initial_hint != nullptr) {
+    start = *initial_hint;
+  } else {
+    const HmmTracker hmm(cfg_, a1_, a2_, antenna_z_);
+    for (const auto& o : obs) {
+      if (o.has_phase) {
+        start = hmm.initial_location(o.distance.dtheta21);
+        break;
+      }
+    }
+  }
+
+  // State x = [px, py, vx, vy].
+  Vec4 x{start.x, start.y, 0.0, 0.0};
+  Mat4 p{};
+  p[0][0] = p[1][1] = kf_.init_pos_sigma * kf_.init_pos_sigma;
+  p[2][2] = p[3][3] = kf_.init_vel_sigma * kf_.init_vel_sigma;
+
+  const double dt = cfg_.window_s;
+  Mat4 f = identity();
+  f[0][2] = f[1][3] = dt;
+  const Mat4 ft = transpose(f);
+  // Discrete white-acceleration process noise.
+  const double q = kf_.accel_noise * kf_.accel_noise;
+  Mat4 qm{};
+  qm[0][0] = qm[1][1] = 0.25 * dt * dt * dt * dt * q;
+  qm[0][2] = qm[2][0] = qm[1][3] = qm[3][1] = 0.5 * dt * dt * dt * q;
+  qm[2][2] = qm[3][3] = dt * dt * q;
+
+  traj.reserve(obs.size() + 1);
+  traj.push_back(start);
+
+  for (const auto& o : obs) {
+    // --- Predict ------------------------------------------------------------
+    const Vec2 prev{x[0], x[1]};
+    x = mul(f, x);
+    p = mul(mul(f, p), ft);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) p[i][j] += qm[i][j];
+    }
+
+    // --- Update: heading pseudo-measurements on velocity --------------------
+    if (o.direction.type != MotionType::kIdle &&
+        o.direction.direction.norm_sq() > 0.0) {
+      const Vec2 d = o.direction.direction;
+      // Component of velocity perpendicular to the estimated direction
+      // should be zero: z = -d.y*vx + d.x*vy, target 0.
+      const double perp = -d.y * x[2] + d.x * x[3];
+      scalar_update(x, p, Vec4{0.0, 0.0, -d.y, d.x}, -perp,
+                    kf_.heading_noise_mps * kf_.heading_noise_mps);
+      // Forward speed should be non-negative along d; softly pull the
+      // along-track speed toward the Eq. 5 displacement per window.
+      if (o.distance.valid) {
+        const double target_speed =
+            std::clamp(o.distance.lower_m / dt, 0.0, cfg_.vmax_mps);
+        const double along = d.x * x[2] + d.y * x[3];
+        scalar_update(x, p, Vec4{0.0, 0.0, d.x, d.y}, target_speed - along,
+                      std::pow(kf_.speed_noise_m / dt, 2.0));
+      }
+    } else if (o.direction.type == MotionType::kIdle) {
+      // No detected motion: damp the velocity toward zero.
+      scalar_update(x, p, Vec4{0.0, 0.0, 1.0, 0.0}, -x[2], 0.01);
+      scalar_update(x, p, Vec4{0.0, 0.0, 0.0, 1.0}, -x[3], 0.01);
+    }
+
+    // --- Update: hyperbola (inter-antenna phase difference) -----------------
+    if (cfg_.use_hyperbola_constraint && o.has_phase && o.distance.valid) {
+      const Vec2 pos{x[0], x[1]};
+      const double expected =
+          dist_.expected_dtheta21(pos, a1_, a2_, antenna_z_);
+      const double innovation =
+          angle_diff(wrap_2pi(o.distance.dtheta21), expected);
+      // Numerical Jacobian of expected_dtheta21 w.r.t. position.
+      const double eps = 1e-4;
+      const double dx =
+          (dist_.expected_dtheta21({pos.x + eps, pos.y}, a1_, a2_, antenna_z_) -
+           expected);
+      const double dy =
+          (dist_.expected_dtheta21({pos.x, pos.y + eps}, a1_, a2_, antenna_z_) -
+           expected);
+      scalar_update(x, p,
+                    Vec4{wrap_pi(dx) / eps, wrap_pi(dy) / eps, 0.0, 0.0},
+                    innovation,
+                    kf_.hyperbola_noise_rad * kf_.hyperbola_noise_rad);
+    }
+
+    // --- Clamp to the board and the speed limit ------------------------------
+    x[0] = std::clamp(x[0], 0.0, cfg_.board_width_m);
+    x[1] = std::clamp(x[1], 0.0, cfg_.board_height_m);
+    const double speed = std::hypot(x[2], x[3]);
+    if (speed > cfg_.vmax_mps) {
+      x[2] *= cfg_.vmax_mps / speed;
+      x[3] *= cfg_.vmax_mps / speed;
+    }
+    // Also respect the displacement upper bound from this window.
+    const Vec2 now{x[0], x[1]};
+    const double step = now.dist(prev);
+    const double upper = std::max(o.distance.upper_m, 1e-4);
+    if (step > upper) {
+      const Vec2 capped = prev + (now - prev) * (upper / step);
+      x[0] = capped.x;
+      x[1] = capped.y;
+    }
+
+    traj.push_back(Vec2{x[0], x[1]});
+  }
+  return traj;
+}
+
+}  // namespace polardraw::core

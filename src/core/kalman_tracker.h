@@ -1,0 +1,59 @@
+// Extended Kalman filter trajectory tracker.
+//
+// The second half of the paper's deferred motion modeling ("the Kalman
+// and Particle filters", section 3.5 footnote 5). State is the pen's
+// position and velocity with a near-constant-velocity process model; the
+// measurement update fuses the same per-window observations the HMM uses:
+//
+//  * the estimated motion direction as a heading pseudo-measurement on
+//    the velocity,
+//  * the Eq. 5 displacement as a speed pseudo-measurement, and
+//  * the inter-antenna phase difference (Eq. 7), linearized around the
+//    predicted position, as the lateral anchor.
+//
+// Compared to the particle filter this is cheaper and smoother but
+// unimodal: it cannot hedge across hyperbola lobes the way the particle
+// cloud or the Viterbi beam can.
+#pragma once
+
+#include <vector>
+
+#include "common/vec.h"
+#include "core/config.h"
+#include "core/distance_estimator.h"
+#include "core/hmm_tracker.h"
+
+namespace polardraw::core {
+
+struct KalmanConfig {
+  /// Process (acceleration) noise, m/s^2.
+  double accel_noise = 1.0;
+  /// Measurement noise of the speed pseudo-measurement, m.
+  double speed_noise_m = 0.004;
+  /// Measurement noise of the heading pseudo-measurement, m/s.
+  double heading_noise_mps = 0.06;
+  /// Measurement noise of the hyperbola phase difference, radians.
+  double hyperbola_noise_rad = 0.35;
+  /// Initial position/velocity standard deviations.
+  double init_pos_sigma = 0.05;
+  double init_vel_sigma = 0.05;
+};
+
+class KalmanTracker {
+ public:
+  KalmanTracker(const PolarDrawConfig& cfg, KalmanConfig kf, Vec2 a1, Vec2 a2,
+                double antenna_z);
+
+  /// Filters the observation sequence; returns one position per window.
+  std::vector<Vec2> decode(const std::vector<TrackObservation>& obs,
+                           const Vec2* initial_hint = nullptr) const;
+
+ private:
+  PolarDrawConfig cfg_;
+  KalmanConfig kf_;
+  Vec2 a1_, a2_;
+  double antenna_z_;
+  DistanceEstimator dist_;
+};
+
+}  // namespace polardraw::core

@@ -1,0 +1,155 @@
+#include "core/particle_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.h"
+
+namespace polardraw::core {
+
+ParticleTracker::ParticleTracker(const PolarDrawConfig& cfg,
+                                 ParticleFilterConfig pf, Vec2 a1, Vec2 a2,
+                                 double antenna_z, std::uint64_t seed)
+    : cfg_(cfg),
+      pf_(pf),
+      a1_(a1),
+      a2_(a2),
+      antenna_z_(antenna_z),
+      dist_(cfg),
+      rng_(seed) {}
+
+void ParticleTracker::resample_if_needed() {
+  double sum = 0.0, sum_sq = 0.0;
+  for (const Particle& p : particles_) {
+    sum += p.weight;
+    sum_sq += p.weight * p.weight;
+  }
+  if (sum <= 0.0) {
+    // Degenerate: reset weights uniformly.
+    for (Particle& p : particles_) p.weight = 1.0;
+    return;
+  }
+  const double ess = sum * sum / sum_sq;
+  if (ess >= pf_.resample_threshold * static_cast<double>(particles_.size())) {
+    return;
+  }
+  // Systematic resampling.
+  std::vector<Particle> next;
+  next.reserve(particles_.size());
+  const double step = sum / static_cast<double>(particles_.size());
+  double u = rng_.uniform(0.0, step);
+  double cum = 0.0;
+  std::size_t i = 0;
+  for (std::size_t k = 0; k < particles_.size(); ++k) {
+    const double target = u + static_cast<double>(k) * step;
+    while (cum + particles_[i].weight < target && i + 1 < particles_.size()) {
+      cum += particles_[i].weight;
+      ++i;
+    }
+    Particle p = particles_[i];
+    p.weight = 1.0;
+    next.push_back(p);
+  }
+  particles_ = std::move(next);
+}
+
+std::vector<Vec2> ParticleTracker::decode(
+    const std::vector<TrackObservation>& obs, const Vec2* initial_hint) {
+  std::vector<Vec2> traj;
+  if (obs.empty()) return traj;
+
+  // --- Initialization -------------------------------------------------------
+  Vec2 start{cfg_.board_width_m / 2.0, cfg_.board_height_m / 2.0};
+  if (initial_hint != nullptr) {
+    start = *initial_hint;
+  } else {
+    const HmmTracker hmm(cfg_, a1_, a2_, antenna_z_);
+    for (const auto& o : obs) {
+      if (o.has_phase) {
+        start = hmm.initial_location(o.distance.dtheta21);
+        break;
+      }
+    }
+  }
+  particles_.clear();
+  particles_.reserve(pf_.num_particles);
+  for (std::size_t i = 0; i < pf_.num_particles; ++i) {
+    Particle p;
+    p.pos = start + Vec2{rng_.gaussian(0.0, pf_.init_scatter_m),
+                         rng_.gaussian(0.0, pf_.init_scatter_m)};
+    p.vel = Vec2{};
+    p.weight = 1.0;
+    particles_.push_back(p);
+  }
+
+  const double dt = cfg_.window_s;
+  traj.reserve(obs.size() + 1);
+  traj.push_back(start);
+
+  for (const auto& o : obs) {
+    // --- Propagate: near-constant velocity + acceleration noise -----------
+    for (Particle& p : particles_) {
+      p.vel += Vec2{rng_.gaussian(0.0, pf_.accel_noise * dt),
+                    rng_.gaussian(0.0, pf_.accel_noise * dt)};
+      const double speed = p.vel.norm();
+      if (speed > cfg_.vmax_mps) p.vel = p.vel * (cfg_.vmax_mps / speed);
+      p.pos += p.vel * dt;
+      p.pos.x = std::clamp(p.pos.x, 0.0, cfg_.board_width_m);
+      p.pos.y = std::clamp(p.pos.y, 0.0, cfg_.board_height_m);
+    }
+
+    // --- Weight against the paper's three observation constraints ---------
+    const Vec2 prev_mean = traj.back();
+    for (Particle& p : particles_) {
+      double w = 1.0;
+      const double step = p.pos.dist(prev_mean);
+
+      if (o.distance.valid) {
+        // Annulus: soft penalties outside [lower, upper].
+        if (step < o.distance.lower_m) {
+          const double d = (o.distance.lower_m - step) / 0.004;
+          w *= std::exp(-0.5 * d * d);
+        } else if (step > o.distance.upper_m) {
+          const double d = (step - o.distance.upper_m) / 0.004;
+          w *= std::exp(-0.5 * d * d);
+        }
+      }
+      if (o.direction.type != MotionType::kIdle &&
+          o.direction.direction.norm_sq() > 0.0) {
+        const Vec2 rel = p.pos - prev_mean;
+        const double perp = std::fabs(rel.cross(o.direction.direction));
+        const double dmax = std::max(o.distance.upper_m, 0.004);
+        w *= std::max(1.0 - perp / dmax, 1e-4);
+        if (rel.dot(o.direction.direction) < -0.001) w *= 0.25;
+      }
+      if (cfg_.use_hyperbola_constraint && o.has_phase && o.distance.valid) {
+        const double expected =
+            dist_.expected_dtheta21(p.pos, a1_, a2_, antenna_z_);
+        const double mismatch =
+            angle_dist(expected, wrap_2pi(o.distance.dtheta21));
+        w *= std::pow(std::max(1.0 - mismatch / (4.0 * kPi), 1e-4),
+                      cfg_.hyperbola_sharpness);
+      }
+      if (o.direction.type == MotionType::kIdle) {
+        // No detected motion: prefer small steps (same prior as the HMM).
+        const double frac = step / std::max(o.distance.upper_m, 1e-6);
+        w *= std::exp(-cfg_.unobserved_step_penalty * frac * frac);
+      }
+      p.weight *= w;
+    }
+
+    resample_if_needed();
+
+    // --- Estimate: weighted mean ------------------------------------------
+    double sum = 0.0;
+    Vec2 mean;
+    for (const Particle& p : particles_) {
+      mean += p.pos * p.weight;
+      sum += p.weight;
+    }
+    traj.push_back(sum > 0.0 ? mean / sum : prev_mean);
+  }
+  return traj;
+}
+
+}  // namespace polardraw::core

@@ -1,0 +1,69 @@
+// Particle-filter trajectory tracker.
+//
+// The paper's HMM treats transitions between feasible blocks as uniform
+// and defers "more sophisticated motion modeling, such as the Kalman and
+// Particle filters" to future work (section 3.5, footnote 5). This is
+// that future work: a sequential-importance-resampling filter over
+// continuous pen state (position + velocity) driven by the same
+// per-window observations the HMM consumes.
+//
+// Motion model: near-constant velocity with acceleration noise, clamped
+// to the vmax speed limit. Observation weights reuse the paper's three
+// constraints: the annulus displacement bounds (Eq. 5), the direction
+// line, and the inter-antenna hyperbola (Eq. 7). Output is the weighted
+// mean per window, followed by the same Eq. 10 correction hook.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec.h"
+#include "core/config.h"
+#include "core/distance_estimator.h"
+#include "core/hmm_tracker.h"
+
+namespace polardraw::core {
+
+struct ParticleFilterConfig {
+  std::size_t num_particles = 800;
+  /// Acceleration noise (std-dev, m/s^2) of the constant-velocity model.
+  double accel_noise = 1.2;
+  /// Fraction of effective sample size below which systematic resampling
+  /// triggers.
+  double resample_threshold = 0.5;
+  /// Initial position scatter around the bootstrap location, meters.
+  double init_scatter_m = 0.05;
+};
+
+class ParticleTracker {
+ public:
+  ParticleTracker(const PolarDrawConfig& cfg, ParticleFilterConfig pf,
+                  Vec2 a1, Vec2 a2, double antenna_z,
+                  std::uint64_t seed = 1);
+
+  /// Filters the observation sequence; returns one position per window.
+  /// `initial_hint` seeds the particle cloud (pass the hyperbolic fix).
+  std::vector<Vec2> decode(const std::vector<TrackObservation>& obs,
+                           const Vec2* initial_hint = nullptr);
+
+  const ParticleFilterConfig& config() const { return pf_; }
+
+ private:
+  struct Particle {
+    Vec2 pos;
+    Vec2 vel;
+    double weight;
+  };
+
+  void resample_if_needed();
+
+  PolarDrawConfig cfg_;
+  ParticleFilterConfig pf_;
+  Vec2 a1_, a2_;
+  double antenna_z_;
+  DistanceEstimator dist_;
+  Rng rng_;
+  std::vector<Particle> particles_;
+};
+
+}  // namespace polardraw::core

@@ -1,0 +1,67 @@
+// PolarDraw end-to-end pipeline (the paper's Fig. 5 workflow).
+//
+// Raw tag reports -> pre-processing (windowing + spurious rejection) ->
+// per-window motion classification (RSS-trend split) -> rotational or
+// translational direction estimation -> displacement bounds + hyperbola ->
+// HMM/Viterbi trajectory decoding -> final rotation correction.
+//
+// This facade is the library's primary public API: construct it with the
+// algorithm config and antenna geometry, feed a report stream, and get the
+// recovered pen trajectory.
+#pragma once
+
+#include <vector>
+
+#include "common/vec.h"
+#include "core/config.h"
+#include "core/hmm_tracker.h"
+#include "core/motion.h"
+#include "core/preprocess.h"
+#include "rfid/tag_report.h"
+
+namespace polardraw::core {
+
+/// Diagnostic record of one tracked window (for tests and microbenches).
+struct WindowDiagnostics {
+  double t_s = 0.0;
+  MotionType motion = MotionType::kIdle;
+  DirectionEstimate direction;
+  DistanceEstimate distance;
+};
+
+/// Result of tracking one writing session.
+struct TrackingResult {
+  /// Recovered pen trajectory, one point per processed window (meters).
+  std::vector<Vec2> trajectory;
+  /// Window-level diagnostics, same length as `trajectory` minus one.
+  std::vector<WindowDiagnostics> diagnostics;
+  /// Count of windows classified rotational / translational / idle.
+  int rotational_windows = 0;
+  int translational_windows = 0;
+  int idle_windows = 0;
+  /// Accumulated initial-azimuth correction applied via Eq. 10 (radians).
+  double azimuth_correction_rad = 0.0;
+};
+
+class PolarDraw {
+ public:
+  /// `a1`, `a2`: board-plane antenna positions; `antenna_z`: standoff.
+  PolarDraw(PolarDrawConfig cfg, Vec2 a1, Vec2 a2, double antenna_z);
+
+  /// Tracks a full writing session from raw reports.
+  TrackingResult track(const rfid::TagReportStream& reports,
+                       const PhaseCalibration* calibration = nullptr) const;
+
+  /// Tracks from already pre-processed windows (used by tests and by the
+  /// ablation harness to share pre-processing between variants).
+  TrackingResult track_windows(const std::vector<Window>& windows) const;
+
+  const PolarDrawConfig& config() const { return cfg_; }
+
+ private:
+  PolarDrawConfig cfg_;
+  Vec2 a1_, a2_;
+  double antenna_z_;
+};
+
+}  // namespace polardraw::core

@@ -1,0 +1,128 @@
+#include "core/preprocess.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/angles.h"
+
+namespace polardraw::core {
+
+std::optional<double> circular_mean(const std::vector<double>& phases) {
+  if (phases.empty()) return std::nullopt;
+  double sx = 0.0, sy = 0.0;
+  for (double p : phases) {
+    sx += std::cos(p);
+    sy += std::sin(p);
+  }
+  if (sx == 0.0 && sy == 0.0) return std::nullopt;
+  return wrap_2pi(std::atan2(sy, sx));
+}
+
+std::vector<Window> preprocess(const rfid::TagReportStream& reports,
+                               const PolarDrawConfig& cfg,
+                               const PhaseCalibration* calibration) {
+  std::vector<Window> out;
+  if (reports.empty() || cfg.window_s <= 0.0) return out;
+
+  // --- Step 1: window averaging ------------------------------------------
+  const double t0 = reports.front().timestamp_s;
+  // Accumulators keyed by window ordinal.
+  struct Acc {
+    std::vector<double> rss[2];
+    std::vector<double> phase[2];
+    std::vector<int> channel[2];
+  };
+  std::map<int, Acc> buckets;
+  for (const auto& r : reports) {
+    if (r.antenna_id < 0 || r.antenna_id > 1) continue;
+    const int w = static_cast<int>((r.timestamp_s - t0) / cfg.window_s);
+    double phase = r.phase_rad;
+    if (calibration != nullptr &&
+        static_cast<std::size_t>(r.antenna_id) <
+            calibration->port_offsets_rad.size()) {
+      phase = wrap_2pi(phase - calibration->port_offsets_rad[r.antenna_id]);
+    }
+    auto& acc = buckets[w];
+    acc.rss[r.antenna_id].push_back(r.rss_dbm);
+    acc.phase[r.antenna_id].push_back(phase);
+    acc.channel[r.antenna_id].push_back(r.channel);
+  }
+  if (buckets.empty()) return out;
+
+  const int last = buckets.rbegin()->first;
+  out.reserve(static_cast<std::size_t>(last) + 1);
+  for (int w = 0; w <= last; ++w) {
+    Window win;
+    win.index = w;
+    win.t_s = t0 + (static_cast<double>(w) + 0.5) * cfg.window_s;
+    const auto it = buckets.find(w);
+    if (it != buckets.end()) {
+      for (int a = 0; a < 2; ++a) {
+        const auto& rss = it->second.rss[a];
+        if (!rss.empty()) {
+          double s = 0.0;
+          for (double v : rss) s += v;
+          win.rss_dbm[a] = s / static_cast<double>(rss.size());
+          win.rss_valid[a] = true;
+          win.read_count[a] = static_cast<int>(rss.size());
+        }
+        if (const auto m = circular_mean(it->second.phase[a])) {
+          win.phase_rad[a] = *m;
+          win.phase_valid[a] = true;
+          // Majority channel of the window's reads (hopping diagnostics).
+          const auto& chs = it->second.channel[a];
+          if (!chs.empty()) win.channel[a] = chs[chs.size() / 2];
+        }
+      }
+    }
+    out.push_back(win);
+  }
+
+  // --- Step 2: spurious phase rejection + unwrap --------------------------
+  // Compare each window's (wrapped) phase against the previous *valid*
+  // window; jumps beyond the threshold are the cross-polarized reflection
+  // readings -- invalidate them. Surviving samples are unwrapped into a
+  // continuous series per antenna.
+  for (int a = 0; a < 2; ++a) {
+    bool have_prev = false;
+    double prev_wrapped = 0.0;
+    int prev_index = 0;
+    int prev_channel = 0;
+    PhaseUnwrapper unwrapper;
+    for (Window& win : out) {
+      if (!win.phase_valid[a]) continue;
+      const double wrapped = win.phase_rad[a];
+      if (have_prev && win.channel[a] != prev_channel) {
+        // Frequency hop: the per-channel offset makes this phase
+        // incomparable with the previous one; restart the comparison and
+        // the unwrapper at this window (the sample itself stays valid).
+        have_prev = false;
+        unwrapper.reset();
+      }
+      if (have_prev) {
+        // The comparison reference is the last *valid* window, which may
+        // be several windows back (reads drop out during deep mismatch).
+        // Legitimate phase slews up to the threshold per elapsed window;
+        // scaling the allowance by the gap keeps one spurious reading
+        // from cascading into rejecting the entire remaining stream.
+        const int gap = std::max(1, win.index - prev_index);
+        const double allowed =
+            cfg.spurious_phase_threshold_rad * static_cast<double>(gap);
+        if (angle_dist(wrapped, prev_wrapped) > std::min(allowed, kPi)) {
+          // Reject the current window's phase reading (keep RSS: the paper
+          // only rejects phase -- RSS remains physical during mismatch).
+          win.phase_valid[a] = false;
+          continue;
+        }
+      }
+      have_prev = true;
+      prev_wrapped = wrapped;
+      prev_index = win.index;
+      prev_channel = win.channel[a];
+      win.phase_rad[a] = unwrapper.push(wrapped);
+    }
+  }
+  return out;
+}
+
+}  // namespace polardraw::core

@@ -1,0 +1,63 @@
+// RFID data pre-processing (paper section 3.1).
+//
+// Two steps:
+//  1. Window averaging: raw per-read RSS/phase reports are bucketed into
+//     fixed windows (50 ms default) per antenna; RSS is averaged in dB and
+//     phase with a circular mean.
+//  2. Spurious data rejection: windows whose phase jumps from the previous
+//     window by more than a threshold (0.2 rad default) are flagged
+//     invalid -- these are the cross-polarized "reflection path" readings
+//     identified by the feasibility study (section 2).
+//
+// The output is a time-aligned series of two-antenna windows; downstream
+// trackers consume only this.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "rfid/tag_report.h"
+
+namespace polardraw::core {
+
+/// One pre-processed 50 ms window, aligned across both antennas.
+struct Window {
+  double t_s = 0.0;   // window center time
+  int index = 0;      // window ordinal
+
+  // Per-antenna aggregates (index 0/1 = antenna port).
+  double rss_dbm[2] = {-150.0, -150.0};
+  double phase_rad[2] = {0.0, 0.0};    // unwrapped across valid windows
+  int read_count[2] = {0, 0};
+
+  bool rss_valid[2] = {false, false};
+  bool phase_valid[2] = {false, false};
+  /// RF channel the window's phase reads came from (majority); phase
+  /// deltas across a channel change are not meaningful without
+  /// per-channel calibration, so the unwrapper restarts on a hop.
+  int channel[2] = {0, 0};
+
+  bool both_rss_valid() const { return rss_valid[0] && rss_valid[1]; }
+  bool both_phase_valid() const { return phase_valid[0] && phase_valid[1]; }
+};
+
+/// Optional phase calibration: per-port offsets to subtract before
+/// windowing (the reference-tag calibration real deployments perform; the
+/// harness obtains it from the reader's known RF-chain offsets).
+struct PhaseCalibration {
+  std::vector<double> port_offsets_rad;
+};
+
+/// Runs both pre-processing steps over a raw report stream.
+/// Reports from antennas other than 0/1 are ignored (PolarDraw is a
+/// two-antenna system; baselines have their own ingestion).
+std::vector<Window> preprocess(const rfid::TagReportStream& reports,
+                               const PolarDrawConfig& cfg,
+                               const PhaseCalibration* calibration = nullptr);
+
+/// Circular mean of phase samples (radians), in [0, 2*pi).
+/// Returns nullopt for an empty set.
+std::optional<double> circular_mean(const std::vector<double>& phases);
+
+}  // namespace polardraw::core

@@ -1,0 +1,81 @@
+// Rotational movement direction estimation (paper section 3.3.1).
+//
+// Jointly analyzes the RSS trends of the two differently-polarized antennas
+// to (a) break the rotation-direction and azimuthal-angle ambiguities via
+// the sector logic of Fig. 8(c) / Table 3, (b) track the azimuth alpha_a
+// incrementally (Eqs. 2-4), (c) correct the initial-azimuth error when the
+// pen crosses a sector boundary, and (d) convert alpha_a to the board
+// rotation angle alpha_r (Eq. 1) whose perpendicular is the motion
+// direction.
+#pragma once
+
+#include <optional>
+
+#include "core/config.h"
+#include "core/motion.h"
+
+namespace polardraw::core {
+
+class RotationTracker {
+ public:
+  explicit RotationTracker(const PolarDrawConfig& cfg);
+
+  /// Feeds one window's RSS deltas (current minus previous window, dB).
+  /// Returns the direction estimate for this window; `type` is
+  /// kRotational only when the trends decode to a consistent sector.
+  DirectionEstimate step(double delta_s1_db, double delta_s2_db);
+
+  /// Total initial-azimuth correction accumulated from sector crossings
+  /// (the alpha-tilde of section 3.3.1), radians. The final trajectory
+  /// rotation (Eq. 10) uses this.
+  double accumulated_correction() const { return correction_; }
+
+  /// Current azimuth estimate (radians), if tracking has started.
+  std::optional<double> azimuth() const {
+    return started_ ? std::optional<double>(alpha_a_) : std::nullopt;
+  }
+
+  void reset();
+
+  /// Classifies RSS trends per Table 3. Returns nullopt when the pattern
+  /// is inconsistent (e.g. equal-magnitude same-sign changes too close to
+  /// call). Exposed for unit tests.
+  struct TrendDecision {
+    Sector sector;
+    RotationSense sense;
+  };
+  std::optional<TrendDecision> classify_trend(double ds1, double ds2) const;
+
+  /// Once tracking has started the sector is known from the tracked
+  /// azimuth, so only the sense must be decoded: invert Table 3's row for
+  /// that sector from the RSS-change signs. Returns kNone when the sign
+  /// pattern cannot occur in this sector (indicating a sector crossing).
+  static RotationSense sense_in_sector(Sector sector, double ds1, double ds2);
+
+  /// Sector containing azimuth `alpha_a` given the configured gamma.
+  Sector sector_of(double alpha_a) const;
+
+  /// Eq. 2: the initial azimuth for a (sector, sense) pair.
+  double initial_azimuth(Sector sector, RotationSense sense) const;
+
+  /// Eq. 1 wrapper: board rotation angle for the tracked azimuth.
+  double rotation_angle(double alpha_a) const;
+
+  /// Motion direction (unit vector) for a rotation angle + sense:
+  /// perpendicular to alpha_r, horizontal sign matching the wrist model
+  /// (clockwise = rightward).
+  static Vec2 motion_direction(double alpha_r, RotationSense sense);
+
+ private:
+  /// Sector boundary angle between two adjacent sectors, radians.
+  double boundary_angle(Sector from, Sector to) const;
+
+  PolarDrawConfig cfg_;
+  bool started_ = false;
+  double alpha_a_ = 0.0;
+  Sector sector_ = Sector::kUnknown;
+  double correction_ = 0.0;
+  bool correction_locked_ = false;
+};
+
+}  // namespace polardraw::core

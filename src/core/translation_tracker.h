@@ -1,0 +1,32 @@
+// Translational movement direction estimation (paper section 3.3.2).
+//
+// When the pen translates with negligible rotation, the azimuth carries no
+// direction information; instead the signs of the per-antenna phase changes
+// decode one of four coarse board directions (Table 4): both phases falling
+// = up (both links shortening, antennas are above the board), both rising
+// = down, antenna-1 falling / antenna-2 rising = left, the reverse = right.
+#pragma once
+
+#include "core/config.h"
+#include "core/motion.h"
+
+namespace polardraw::core {
+
+class TranslationTracker {
+ public:
+  explicit TranslationTracker(const PolarDrawConfig& cfg) : cfg_(cfg) {}
+
+  /// Decodes the coarse direction from unwrapped phase deltas (radians,
+  /// current minus previous valid window) of the two antennas.
+  DirectionEstimate step(double dtheta1, double dtheta2) const;
+
+  /// Table 4 decode as a pure function (exposed for tests). Deltas below
+  /// `min_delta_rad` on both antennas decode as no motion.
+  static BoardDirection decode(double dtheta1, double dtheta2,
+                               double min_delta_rad = 1e-4);
+
+ private:
+  PolarDrawConfig cfg_;
+};
+
+}  // namespace polardraw::core

@@ -1,0 +1,21 @@
+// Physical constants and UHF RFID band parameters.
+#pragma once
+
+namespace polardraw::em {
+
+inline constexpr double kSpeedOfLight = 299'792'458.0;  // m/s
+
+/// Center of the US 902-928 MHz UHF RFID band, the band used by the paper's
+/// ImpinJ Speedway R420 deployment.
+inline constexpr double kDefaultFrequencyHz = 915e6;
+
+/// Wavelength for a given carrier frequency (meters).
+constexpr double wavelength(double frequency_hz) {
+  return kSpeedOfLight / frequency_hz;
+}
+
+/// Default UHF wavelength, approximately 0.3276 m; the paper quotes
+/// lambda/2 of about 16 cm, matching this.
+inline constexpr double kDefaultWavelength = wavelength(kDefaultFrequencyHz);
+
+}  // namespace polardraw::em

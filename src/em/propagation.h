@@ -1,0 +1,63 @@
+// Backscatter link budget and round-trip phase for a single propagation path.
+//
+// The monostatic backscatter link (reader antenna j illuminates the tag,
+// the tag modulates and re-radiates, antenna j receives) has
+//
+//   P_rx = P_tx * G_j^2 * G_t^2 * (lambda / (4*pi*d))^4
+//          * chi_fwd * chi_rev * L_mod
+//
+// where chi_* are the polarization coupling power factors of the forward and
+// reverse traversals (cos^2 of the mismatch for a linear/linear pair, 1/2
+// for circular/linear), and L_mod is the tag's modulation loss. The
+// round-trip carrier phase is 4*pi*d/lambda plus a per-channel reader offset.
+#pragma once
+
+#include <complex>
+
+#include "em/antenna.h"
+#include "em/constants.h"
+#include "em/tag.h"
+
+namespace polardraw::em {
+
+/// Outcome of evaluating the line-of-sight backscatter link for one antenna.
+struct LinkSample {
+  /// Complex baseband response of the path (amplitude in sqrt(mW), i.e.
+  /// |response|^2 is the received power in mW; phase is the round-trip
+  /// carrier phase). Multipath components from channel/ are added to this.
+  std::complex<double> response{0.0, 0.0};
+
+  /// Power delivered to the tag chip on the forward traversal, dBm.
+  /// The tag only answers when this exceeds its sensitivity.
+  double forward_power_dbm = -150.0;
+
+  /// One-way polarization mismatch angle (radians, [0, pi/2]); pi/2 for a
+  /// fully cross-polarized geometry. For circular antennas this is reported
+  /// as 0 (no orientation dependence beyond the fixed 3 dB split).
+  double mismatch_rad = 0.0;
+
+  /// Geometric one-way path length, meters.
+  double distance_m = 0.0;
+};
+
+/// Reader transmit parameters.
+struct TxConfig {
+  double power_dbm = 30.0;                     // 1 W ERP class reader
+  double frequency_hz = kDefaultFrequencyHz;
+  double wavelength_m() const { return wavelength(frequency_hz); }
+};
+
+/// Evaluates the direct (line-of-sight) monostatic backscatter path between
+/// `antenna` and `tag`. Pure geometry + link budget; noise and multipath are
+/// layered on by channel/.
+LinkSample evaluate_los_link(const ReaderAntenna& antenna, const Tag& tag,
+                             const TxConfig& tx);
+
+/// Free-space one-way power gain (linear scale) over distance d:
+/// (lambda / (4*pi*d))^2. Returns 0 for non-positive distances.
+double free_space_gain(double distance_m, double wavelength_m);
+
+/// Round-trip carrier phase 4*pi*d/lambda, unwrapped (not folded to 2*pi).
+double round_trip_phase(double distance_m, double wavelength_m);
+
+}  // namespace polardraw::em

@@ -1,0 +1,31 @@
+#include "em/tag.h"
+
+#include <cmath>
+
+#include "common/angles.h"
+
+namespace polardraw::em {
+
+Vec3 pen_axis(const PenAngles& angles) {
+  const double ce = std::cos(angles.elevation);
+  const double se = std::sin(angles.elevation);
+  const double ca = std::cos(angles.azimuth);
+  const double sa = std::sin(angles.azimuth);
+  // Azimuth sweeps the X-Z plane from +X; elevation lifts toward +Y.
+  return Vec3{ce * ca, se, ce * sa};
+}
+
+double rotation_angle_from_pen(const PenAngles& angles) {
+  const double denom = std::cos(angles.elevation) * std::cos(angles.azimuth);
+  const double value = kPi - std::atan(-std::sin(angles.elevation) / denom);
+  return wrap_2pi(value);
+}
+
+Tag make_pen_tag(const Vec3& position, const PenAngles& angles) {
+  Tag t;
+  t.position = position;
+  t.dipole_axis = pen_axis(angles);
+  return t;
+}
+
+}  // namespace polardraw::em

@@ -1,0 +1,57 @@
+// Passive UHF tag (dipole) model and the pen-angle parametrization of its
+// orientation (paper section 3.2, Fig. 6 / Table 2).
+//
+// Geometry recap (DESIGN.md section 6): the whiteboard is the X-Y plane
+// (X right, Y up), +Z points out of the board toward the writer and the
+// antenna rig. The paper measures:
+//   alpha_e  pen elevation angle out of the X-Z plane,
+//   alpha_a  pen azimuthal angle in the X-Z plane, from +X,
+//   alpha_r  pen rotation angle projected onto the board (X-Y) plane.
+#pragma once
+
+#include "common/vec.h"
+
+namespace polardraw::em {
+
+/// Pen orientation in the paper's angular coordinates (radians).
+struct PenAngles {
+  double elevation = 0.0;  // alpha_e
+  double azimuth = 0.0;    // alpha_a
+};
+
+/// Unit vector of the pen (and therefore tag dipole) axis for the given
+/// pen angles: elevation out of the X-Z plane, azimuth within it.
+Vec3 pen_axis(const PenAngles& angles);
+
+/// The paper's Eq. 1: converts (alpha_e, alpha_a) to the board-projected
+/// rotation angle alpha_r:
+///   alpha_r = pi - arctan(-sin(alpha_e) / (cos(alpha_e) * cos(alpha_a)))
+/// Result wrapped to [0, 2*pi). Like any projected line angle, alpha_r is
+/// meaningful modulo pi; the left/right sign of the implied motion comes
+/// from the rotation-direction estimate, not from alpha_r itself.
+double rotation_angle_from_pen(const PenAngles& angles);
+
+/// A passive UHF RFID tag attached to the pen.
+struct Tag {
+  /// Tag (dipole) center position, board coordinates, meters.
+  Vec3 position;
+
+  /// Unit dipole axis, equal to the pen axis for a tag taped along the pen.
+  Vec3 dipole_axis{1.0, 0.0, 0.0};
+
+  /// Minimum incident power required to energize the chip, dBm. Typical
+  /// modern passive UHF ICs activate around -18 dBm.
+  double sensitivity_dbm = -18.0;
+
+  /// Backscatter modulation loss: fraction of incident power re-radiated
+  /// in the modulated sideband, dB (negative).
+  double modulation_loss_db = -6.0;
+
+  /// Dipole gain, dBi (half-wave dipole is about 2.15 dBi).
+  double gain_dbi = 2.15;
+};
+
+/// Convenience: a tag at `position` oriented by pen angles.
+Tag make_pen_tag(const Vec3& position, const PenAngles& angles);
+
+}  // namespace polardraw::em

@@ -1,0 +1,175 @@
+#include "eval/harness.h"
+
+#include <array>
+
+#include "baselines/rfidraw.h"
+#include "baselines/tagoram.h"
+#include "core/polardraw.h"
+#include "recognition/procrustes.h"
+
+namespace polardraw::eval {
+
+std::string to_string(System s) {
+  switch (s) {
+    case System::kPolarDraw: return "PolarDraw (2-antenna)";
+    case System::kPolarDrawNoPol: return "PolarDraw w/o polarization";
+    case System::kPolarDrawNoPolPhaseDir:
+      return "PolarDraw w/o polarization (+phase dir)";
+    case System::kTagoram2: return "Tagoram (2-antenna)";
+    case System::kTagoram4: return "Tagoram (4-antenna)";
+    case System::kRfIdraw4: return "RF-IDraw (4-antenna)";
+  }
+  return "unknown";
+}
+
+void apply_system_layout(TrialConfig& cfg) {
+  switch (cfg.system) {
+    case System::kPolarDraw:
+    case System::kPolarDrawNoPol:
+    case System::kPolarDrawNoPolPhaseDir:
+      cfg.scene.layout = sim::RigLayout::kPolarDrawTwoAntenna;
+      break;
+    case System::kTagoram2:
+      cfg.scene.layout = sim::RigLayout::kTagoramTwoAntenna;
+      break;
+    case System::kTagoram4:
+      cfg.scene.layout = sim::RigLayout::kTagoramFourAntenna;
+      break;
+    case System::kRfIdraw4:
+      cfg.scene.layout = sim::RigLayout::kRfIdrawFourAntenna;
+      break;
+  }
+  cfg.algo.use_polarization = cfg.system != System::kPolarDrawNoPol &&
+                              cfg.system != System::kPolarDrawNoPolPhaseDir;
+  cfg.algo.use_phase_direction =
+      cfg.system != System::kPolarDrawNoPol;
+  cfg.algo.gamma_rad = cfg.scene.gamma;
+  cfg.algo.board_width_m = cfg.scene.board_width_m;
+  cfg.algo.board_height_m = cfg.scene.board_height_m;
+}
+
+TrialResult run_trial(const std::string& text, const TrialConfig& cfg_in) {
+  TrialConfig cfg = cfg_in;
+  apply_system_layout(cfg);
+  cfg.scene.seed = cfg.seed;
+
+  TrialResult out;
+  out.text = text;
+
+  // --- Synthesize the writing and run the reader -------------------------
+  sim::Scene scene(cfg.scene);
+  Rng rng(cfg.seed * 7919 + 13);
+  const auto trace = handwriting::synthesize(text, cfg.synth, rng);
+  const auto reports = scene.run(trace);
+  out.report_count = reports.size();
+  out.ground_truth = handwriting::flatten_strokes(trace.ground_truth);
+
+  // --- Track ---------------------------------------------------------------
+  const core::PhaseCalibration cal{scene.reader().port_phase_offsets()};
+  switch (cfg.system) {
+    case System::kPolarDraw:
+    case System::kPolarDrawNoPol:
+    case System::kPolarDrawNoPolPhaseDir: {
+      const auto apos = scene.antenna_board_positions();
+      // Antennas sit above the board; the tracker needs their board-plane
+      // positions and the standoff that lifts them off the writing plane.
+      core::PolarDraw tracker(cfg.algo, apos[0], apos[1], 0.12);
+      out.trajectory = tracker.track(reports, &cal).trajectory;
+      break;
+    }
+    case System::kTagoram2:
+    case System::kTagoram4: {
+      baselines::TagoramConfig tcfg;
+      tcfg.grid.board_width_m = cfg.scene.board_width_m;
+      tcfg.grid.board_height_m = cfg.scene.board_height_m;
+      tcfg.grid.window_s = cfg.algo.window_s;
+      tcfg.grid.vmax_mps = cfg.algo.vmax_mps;
+      tcfg.grid.block_m = cfg.algo.block_m;
+      tcfg.wavelength_m = cfg.algo.wavelength_m;
+      baselines::TagoramTracker tracker(tcfg, scene.antennas());
+      out.trajectory = tracker.track(reports);
+      break;
+    }
+    case System::kRfIdraw4: {
+      baselines::RfIdrawConfig rcfg;
+      rcfg.grid.board_width_m = cfg.scene.board_width_m;
+      rcfg.grid.board_height_m = cfg.scene.board_height_m;
+      rcfg.grid.window_s = cfg.algo.window_s;
+      rcfg.grid.vmax_mps = cfg.algo.vmax_mps;
+      rcfg.grid.block_m = cfg.algo.block_m;
+      rcfg.wavelength_m = cfg.algo.wavelength_m;
+      baselines::RfIdrawTracker tracker(
+          rcfg, scene.antennas(), {{0, 1}, {2, 3}},
+          scene.reader().port_phase_offsets());
+      out.trajectory = tracker.track(reports);
+      break;
+    }
+  }
+
+  // --- Score ----------------------------------------------------------------
+  if (!out.trajectory.empty() && out.ground_truth.size() >= 2) {
+    out.procrustes_m =
+        recognition::procrustes_distance(out.ground_truth, out.trajectory);
+  }
+  static const recognition::LetterClassifier classifier;
+  std::string letters;
+  for (char c : text) {
+    if (handwriting::has_glyph(c)) letters.push_back(c);
+  }
+  if (letters.size() <= 1) {
+    out.recognized = std::string(
+        1, classifier.classify(out.trajectory).letter);
+    out.all_correct =
+        !letters.empty() &&
+        std::toupper(static_cast<unsigned char>(letters[0])) ==
+            out.recognized[0];
+  } else {
+    // Words are judged with the length-group lexicon, mirroring the
+    // paper's dictionary-backed recognizer over O.E.D. test words.
+    std::vector<std::string> lexicon;
+    for (std::size_t i = 0; i < 10; ++i) {
+      lexicon.push_back(test_word(letters.size(), i));
+    }
+    out.recognized = classifier.classify_word_lexicon(out.trajectory, lexicon);
+    std::string upper;
+    for (char c : letters)
+      upper.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    out.all_correct = out.recognized == upper;
+  }
+  return out;
+}
+
+double letter_accuracy(const std::string& letters, int reps, TrialConfig cfg,
+                       recognition::ConfusionMatrix* cm) {
+  int correct = 0, total = 0;
+  for (char c : letters) {
+    for (int r = 0; r < reps; ++r) {
+      cfg.seed = cfg.seed * 6364136223846793005ull + 1442695040888963407ull;
+      const auto res = run_trial(std::string(1, c), cfg);
+      ++total;
+      if (res.all_correct) ++correct;
+      if (cm != nullptr && !res.recognized.empty()) {
+        cm->record(c, res.recognized[0]);
+      }
+    }
+  }
+  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+}
+
+std::string test_word(std::size_t letters, std::size_t index) {
+  // Ten common dictionary words per length bucket (an O.E.D. stand-in).
+  static const std::array<std::array<const char*, 10>, 4> kWords = {{
+      {"AT", "BE", "DO", "GO", "IF", "IN", "IT", "ME", "ON", "UP"},
+      {"ACT", "BIG", "CAR", "DOG", "EAT", "FUN", "HAT", "JOB", "MAP", "SUN"},
+      {"BLUE", "CARD", "DESK", "FARM", "GOLD", "HAND", "LAMP", "MOON",
+       "RAIN", "WIND"},
+      {"APPLE", "BREAD", "CHAIR", "DREAM", "EARTH", "GREEN", "HOUSE",
+       "LIGHT", "PLANT", "WATER"},
+  }};
+  if (letters < 2) letters = 2;
+  if (letters > 5) letters = 5;
+  return kWords[letters - 2][index % 10];
+}
+
+}  // namespace polardraw::eval

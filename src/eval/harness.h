@@ -1,0 +1,66 @@
+// Experiment harness shared by the benchmark binaries, examples and
+// integration tests: synthesizes writing, runs the chosen tracking system
+// on the simulated RFID stream, and scores the result against ground truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/vec.h"
+#include "core/config.h"
+#include "handwriting/synthesizer.h"
+#include "recognition/classifier.h"
+#include "sim/scene.h"
+
+namespace polardraw::eval {
+
+/// Tracking system under test.
+enum class System {
+  kPolarDraw,        // 2 linear antennas, full algorithm
+  kPolarDrawNoPol,   // Table 6 ablation: orientation model removed
+  kPolarDrawNoPolPhaseDir,  // charitable ablation: phase-trend direction kept
+  kTagoram2,         // Tagoram with 2 circular antennas
+  kTagoram4,         // Tagoram with 4 circular antennas
+  kRfIdraw4,         // RF-IDraw with 4 circular antennas (2 arrays)
+};
+
+std::string to_string(System s);
+
+/// Everything a single writing trial needs.
+struct TrialConfig {
+  System system = System::kPolarDraw;
+  sim::SceneConfig scene;
+  handwriting::SynthesisConfig synth;
+  core::PolarDrawConfig algo;
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of one trial.
+struct TrialResult {
+  std::string text;
+  std::vector<Vec2> trajectory;       // recovered
+  std::vector<Vec2> ground_truth;     // ideal ink polyline
+  double procrustes_m = 0.0;          // RMS Procrustes distance (meters)
+  std::string recognized;             // classifier output (same length)
+  bool all_correct = false;           // recognized == text
+  std::size_t report_count = 0;       // raw reads delivered by the reader
+};
+
+/// Runs one trial end to end. `text` may be a single letter or a word.
+TrialResult run_trial(const std::string& text, const TrialConfig& cfg);
+
+/// Convenience: letter-recognition accuracy over `reps` trials per letter
+/// for the given letters, advancing the seed each rep. Also fills `cm`
+/// when non-null.
+double letter_accuracy(const std::string& letters, int reps, TrialConfig cfg,
+                       recognition::ConfusionMatrix* cm = nullptr);
+
+/// Applies System-appropriate defaults to the scene layout.
+void apply_system_layout(TrialConfig& cfg);
+
+/// A deterministic pseudo-random word list (O.E.D. stand-in) of the given
+/// letter count; index selects among 10 fixed words per length 2-5.
+std::string test_word(std::size_t letters, std::size_t index);
+
+}  // namespace polardraw::eval

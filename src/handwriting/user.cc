@@ -1,0 +1,52 @@
+#include "handwriting/user.h"
+
+#include <stdexcept>
+
+#include "common/angles.h"
+
+namespace polardraw::handwriting {
+
+UserStyle user_style(int id) {
+  UserStyle u;
+  u.id = id;
+  switch (id) {
+    case 1:
+      u.name = "user-1 (fluent)";
+      u.wrist.pivot_offset = {0.005, -0.035};
+      u.wrist.alpha_r_half_range = deg2rad(55.0);
+      u.kinematics.cruise_speed = 0.10;
+      u.shape_wobble = 0.05;
+      break;
+    case 2:
+      u.name = "user-2 (stiff)";
+      // The instructed unnatural style: the arm writes, the wrist barely
+      // pivots -- a long stiff radius yields little azimuthal rotation.
+      u.wrist.pivot_offset = {0.02, -0.20};
+      u.wrist.alpha_r_half_range = deg2rad(10.0);
+      u.wrist.max_reach_m = 0.30;
+      u.wrist.tremor = 0.004;
+      u.kinematics.cruise_speed = 0.08;
+      u.shape_wobble = 0.04;
+      break;
+    case 3:
+      u.name = "user-3 (fast)";
+      u.wrist.pivot_offset = {0.008, -0.040};
+      u.wrist.alpha_r_half_range = deg2rad(50.0);
+      u.kinematics.cruise_speed = 0.14;
+      u.kinematics.speed_jitter = 0.14;
+      u.shape_wobble = 0.08;
+      break;
+    case 4:
+      u.name = "user-4 (deliberate)";
+      u.wrist.pivot_offset = {0.004, -0.030};
+      u.wrist.alpha_r_half_range = deg2rad(58.0);
+      u.kinematics.cruise_speed = 0.07;
+      u.shape_wobble = 0.04;
+      break;
+    default:
+      throw std::out_of_range("user_style: id must be 1..4");
+  }
+  return u;
+}
+
+}  // namespace polardraw::handwriting

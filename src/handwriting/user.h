@@ -1,0 +1,27 @@
+// Per-user writing styles for the cross-user experiment (paper Fig. 21).
+//
+// Four synthetic writers. User 2 reproduces the paper's instructed
+// "stiff" style: the pen barely rotates during writing, starving
+// PolarDraw's rotational direction estimator and exercising its graceful
+// degradation through the translational path.
+#pragma once
+
+#include "handwriting/kinematics.h"
+#include "handwriting/wrist.h"
+
+namespace polardraw::handwriting {
+
+struct UserStyle {
+  int id = 1;
+  const char* name = "user-1";
+  WristStyle wrist;
+  KinematicsConfig kinematics;
+  /// Glyph shape distortion: random per-letter slant/scale wobble.
+  double shape_wobble = 0.05;
+};
+
+/// Users 1-4. User 1 is a fluent writer; User 2 is "stiff" (tiny azimuth
+/// swing); User 3 writes fast; User 4 writes slowly with large rotation.
+UserStyle user_style(int id);
+
+}  // namespace polardraw::handwriting

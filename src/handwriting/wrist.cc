@@ -1,0 +1,95 @@
+#include "handwriting/wrist.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.h"
+
+namespace polardraw::handwriting {
+
+WristModel::WristModel(WristStyle style, Rng rng)
+    : style_(style), rng_(rng) {}
+
+void WristModel::reset() {
+  started_ = false;
+  elevation_offset_ = 0.0;
+  azimuth_ = kPi / 2.0;
+}
+
+double WristModel::azimuth_from_rotation(double alpha_r, double alpha_e,
+                                         double min_azimuth) {
+  // cos(alpha_a) = tan(alpha_e) / tan(alpha_r). Fold alpha_r to (0, pi)
+  // first (a projected line angle). tan(alpha_r) -> 0 (pen projection
+  // horizontal) saturates the azimuth at the clamp.
+  double ar = std::fmod(alpha_r, kPi);
+  if (ar < 0.0) ar += kPi;
+  const double t = std::tan(ar);
+  double cos_a;
+  if (std::fabs(t) < 1e-9) {
+    cos_a = std::tan(alpha_e) > 0.0 ? 1.0 : -1.0;
+  } else {
+    cos_a = std::tan(alpha_e) / t;
+  }
+  const double limit = std::cos(min_azimuth);
+  cos_a = std::clamp(cos_a, -limit, limit);
+  return std::acos(cos_a);
+}
+
+em::PenAngles WristModel::step(const PathSample& sample) {
+  const double dt = started_ ? std::max(sample.t_s - prev_t_, 0.0) : 0.0;
+  prev_t_ = sample.t_s;
+  (void)dt;
+
+  if (!started_ || !sample.pen_down) {
+    // Hand repositions freely while the pen is lifted: the pivot glides
+    // to its rest offset under the tip.
+    pivot_ = sample.pos + style_.pivot_offset;
+    started_ = true;
+  } else {
+    // Pen down: the hand rests -- the pivot stays put -- unless posture
+    // leaves the comfortable envelope, in which case the hand slides just
+    // enough to restore it (keeping the projected angle pinned at the
+    // envelope edge while it does).
+    const Vec2 radius = sample.pos - pivot_;
+    const double len = radius.norm();
+    double ar;
+    if (len < style_.min_reach_m) {
+      // The tip has come back over the hand; real writers keep the pen
+      // angle and retreat the hand, so hold the previous angle while the
+      // reach clamp below slides the pivot away.
+      ar = last_ar_;
+    } else {
+      ar = radius.angle();  // (-pi, pi]
+      if (ar < 0.0) ar += kPi;  // fold: projection is a line
+    }
+    const double lo = kPi / 2.0 - style_.alpha_r_half_range;
+    const double hi = kPi / 2.0 + style_.alpha_r_half_range;
+    const double ar_clamped = std::clamp(ar, lo, hi);
+    const double len_clamped =
+        std::clamp(len, style_.min_reach_m, style_.max_reach_m);
+    if (ar_clamped != ar || len_clamped != len) {
+      // Slide: keep the tip, move the pivot to the clamped posture.
+      // The radius direction from pivot to tip is "up-ish" (the hand sits
+      // below the tip), i.e. the unfolded angle equals the folded one.
+      const Vec2 dir{std::cos(ar_clamped), std::sin(ar_clamped)};
+      pivot_ = sample.pos - dir * len_clamped;
+      ar = ar_clamped;
+    }
+    last_ar_ = ar;
+
+    const double elevation = style_.elevation + elevation_offset_;
+    azimuth_ = azimuth_from_rotation(ar, elevation);
+  }
+
+  if (dt > 0.0) {
+    elevation_offset_ +=
+        rng_.gaussian(0.0, style_.elevation_wander * std::sqrt(dt));
+    elevation_offset_ = std::clamp(elevation_offset_, -0.2, 0.2);
+  }
+  double az = azimuth_ + rng_.gaussian(0.0, style_.tremor);
+  az = std::clamp(az, deg2rad(8.0), deg2rad(172.0));
+
+  return em::PenAngles{style_.elevation + elevation_offset_, az};
+}
+
+}  // namespace polardraw::handwriting

@@ -1,0 +1,87 @@
+// Wrist / pen-orientation model.
+//
+// Implements the writing model of the paper's section 3.2 / Fig. 7 as
+// rest-and-pivot kinematics. While a stroke is drawn the hand rests at a
+// fixed pivot on the board and the pen pivots about it, so the pen's
+// board-plane projection (angle alpha_r) points from the pivot to the tip
+// and the tip's motion is perpendicular to it -- clockwise rotation for
+// rightward motion, counter-clockwise for leftward. When the pen
+// over-extends (the projected angle or the reach leaves the comfortable
+// range) the hand slides to restore posture, which momentarily makes the
+// motion translation-dominant; pen-up transits reposition the hand under
+// the next stroke. The azimuth alpha_a follows from alpha_r by inverting
+// the paper's Eq. 1:
+//
+//   cos(alpha_a) = tan(alpha_e) / tan(alpha_r)
+//
+// Horizontal stroke segments therefore sweep the azimuth across the
+// Fig. 8 sectors (rotation-dominant windows) while vertical segments
+// mostly stretch the reach (translation-dominant windows) -- exactly the
+// split PolarDraw's motion classifier expects.
+#pragma once
+
+#include "common/rng.h"
+#include "em/tag.h"
+#include "handwriting/kinematics.h"
+
+namespace polardraw::handwriting {
+
+struct WristStyle {
+  /// Mean pen elevation angle, radians (paper's alpha_e, ~30 deg typical).
+  double elevation = 0.5235987755982988;  // 30 deg
+
+  /// Slow elevation wander (std-dev, radians) around the mean.
+  double elevation_wander = 0.05;
+
+  /// Hand-rest offset from the pen tip (meters, board coordinates):
+  /// where the pivot lands when the hand repositions.
+  Vec2 pivot_offset{0.005, -0.035};
+
+  /// Comfortable half-range of the projected pen angle around vertical,
+  /// radians. The hand slides once alpha_r leaves
+  /// [pi/2 - half_range, pi/2 + half_range]. A "stiff" writer (paper's
+  /// User 2) has a small half-range: the arm moves, the pen barely
+  /// rotates.
+  double alpha_r_half_range = 1.0;  // ~57 deg
+
+  /// Reach (pivot-to-tip distance) limits, meters; the hand slides to
+  /// stay inside them.
+  double min_reach_m = 0.015;
+  double max_reach_m = 0.11;
+
+  /// Azimuth tremor (std-dev per sample, radians).
+  double tremor = 0.01;
+};
+
+/// Stateful generator: feed path samples in time order, get pen angles.
+class WristModel {
+ public:
+  WristModel(WristStyle style, Rng rng);
+
+  /// Advances the wrist state by one path sample and returns the pen
+  /// orientation at that instant.
+  em::PenAngles step(const PathSample& sample);
+
+  void reset();
+
+  const WristStyle& style() const { return style_; }
+  const Vec2& pivot() const { return pivot_; }
+
+  /// Inverse of the paper's Eq. 1: azimuth for a projected pen angle
+  /// alpha_r at elevation alpha_e; clamped to the open interval
+  /// (min_azimuth, pi - min_azimuth). Exposed for tests.
+  static double azimuth_from_rotation(double alpha_r, double alpha_e,
+                                      double min_azimuth = 0.14);
+
+ private:
+  WristStyle style_;
+  Rng rng_;
+  Vec2 pivot_;
+  bool started_ = false;
+  double prev_t_ = 0.0;
+  double elevation_offset_ = 0.0;
+  double azimuth_ = 1.5707963267948966;
+  double last_ar_ = 1.5707963267948966;
+};
+
+}  // namespace polardraw::handwriting

@@ -1,0 +1,37 @@
+#include "recognition/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace polardraw::recognition {
+
+double dtw_distance(const std::vector<Vec2>& a, const std::vector<Vec2>& b,
+                    std::size_t band) {
+  if (a.empty() || b.empty()) return 1e9;
+  const std::size_t n = a.size(), m = b.size();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  // Effective band: at least wide enough to bridge the length difference.
+  std::size_t w = band == 0 ? std::max(n, m) : band;
+  w = std::max(w, n > m ? n - m : m - n);
+
+  std::vector<double> prev(m + 1, inf), cur(m + 1, inf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), inf);
+    const std::size_t j_lo = i > w ? i - w : 1;
+    const std::size_t j_hi = std::min(m, i + w);
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double cost = a[i - 1].dist(b[j - 1]);
+      const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
+      if (best < inf) cur[j] = cost + best;
+    }
+    std::swap(prev, cur);
+  }
+  const double total = prev[m];
+  if (!(total < inf)) return 1e9;
+  return total / static_cast<double>(n + m);
+}
+
+}  // namespace polardraw::recognition

@@ -1,0 +1,23 @@
+// Dynamic time warping over 2-D point sequences.
+//
+// The recovered pen trajectory never lines up sample-for-sample with a
+// template: dwells, transit hops and speed variation shift points along
+// the curve. DTW finds the monotone alignment minimizing total point
+// distance, making the classifier robust to such local time distortions
+// (the same reason trained recognizers like the paper's LipiTk tolerate
+// sloppy input).
+#pragma once
+
+#include <vector>
+
+#include "common/vec.h"
+
+namespace polardraw::recognition {
+
+/// Mean per-step DTW distance between two point sequences, with a
+/// Sakoe-Chiba band of `band` indices (0 = unconstrained). Sequences must
+/// be non-empty; returns a large value for degenerate input.
+double dtw_distance(const std::vector<Vec2>& a, const std::vector<Vec2>& b,
+                    std::size_t band = 12);
+
+}  // namespace polardraw::recognition

@@ -1,0 +1,165 @@
+#include "recognition/language_model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+
+namespace polardraw::recognition {
+
+namespace {
+constexpr std::size_t kBoundary = 26;
+constexpr double kBadWord = -1e6;
+}  // namespace
+
+const std::vector<std::string>& builtin_corpus() {
+  // A compact list of very common English words; enough for sensible
+  // bigram statistics and dictionary snapping in the experiments.
+  static const std::vector<std::string> corpus{
+      "THE", "AND", "FOR", "ARE", "BUT", "NOT", "YOU", "ALL", "CAN", "HER",
+      "WAS", "ONE", "OUR", "OUT", "DAY", "GET", "HAS", "HIM", "HIS", "HOW",
+      "MAN", "NEW", "NOW", "OLD", "SEE", "TWO", "WAY", "WHO", "BOY", "DID",
+      "ITS", "LET", "PUT", "SAY", "SHE", "TOO", "USE", "THAT", "WITH",
+      "HAVE", "THIS", "WILL", "YOUR", "FROM", "THEY", "KNOW", "WANT",
+      "BEEN", "GOOD", "MUCH", "SOME", "TIME", "VERY", "WHEN", "COME",
+      "HERE", "JUST", "LIKE", "LONG", "MAKE", "MANY", "MORE", "ONLY",
+      "OVER", "SUCH", "TAKE", "THAN", "THEM", "WELL", "WERE", "WORD",
+      "WORK", "YEAR", "BLUE", "CARD", "DESK", "FARM", "GOLD", "HAND",
+      "LAMP", "MOON", "RAIN", "WIND", "APPLE", "BREAD", "CHAIR", "DREAM",
+      "EARTH", "GREEN", "HOUSE", "LIGHT", "PLANT", "WATER", "ABOUT",
+      "AFTER", "FIRST", "OTHER", "RIGHT", "SMALL", "SOUND", "STILL",
+      "THEIR", "THERE", "THESE", "THING", "THINK", "WHERE", "WHICH",
+      "WORLD", "WOULD", "WRITE", "SUN", "DOG", "CAR", "EAT", "FUN", "HAT",
+      "JOB", "MAP", "ACT", "BIG", "AT", "BE", "DO", "GO", "IF", "IN", "IT",
+      "ME", "ON", "UP", "WE", "HE", "SO", "NO", "OR", "AN", "AS", "BY"};
+  return corpus;
+}
+
+std::size_t BigramModel::idx(char c) {
+  if (c == '^' || c == '$') return kBoundary;
+  const int v = std::toupper(static_cast<unsigned char>(c)) - 'A';
+  return v >= 0 && v < 26 ? static_cast<std::size_t>(v) : kBoundary;
+}
+
+BigramModel::BigramModel() { train(builtin_corpus()); }
+
+BigramModel::BigramModel(const std::vector<std::string>& corpus) {
+  train(corpus);
+}
+
+void BigramModel::train(const std::vector<std::string>& corpus) {
+  std::array<std::array<double, 27>, 27> counts{};
+  for (auto& row : counts) row.fill(1.0);  // add-one smoothing
+  for (const std::string& word : corpus) {
+    std::size_t prev = kBoundary;
+    for (char c : word) {
+      const int v = std::toupper(static_cast<unsigned char>(c)) - 'A';
+      if (v < 0 || v >= 26) continue;
+      counts[prev][static_cast<std::size_t>(v)] += 1.0;
+      prev = static_cast<std::size_t>(v);
+    }
+    counts[prev][kBoundary] += 1.0;
+  }
+  for (std::size_t a = 0; a < 27; ++a) {
+    double row_sum = 0.0;
+    for (double v : counts[a]) row_sum += v;
+    for (std::size_t b = 0; b < 27; ++b) {
+      log_p_[a][b] = std::log(counts[a][b] / row_sum);
+    }
+  }
+}
+
+double BigramModel::transition_log_prob(char a, char b) const {
+  return log_p_[idx(a)][idx(b)];
+}
+
+double BigramModel::log_prob(const std::string& word) const {
+  if (word.empty()) return kBadWord;
+  double lp = 0.0;
+  std::size_t prev = kBoundary;
+  for (char c : word) {
+    const std::size_t cur = idx(c);
+    if (cur == kBoundary) return kBadWord;  // non-letter inside a word
+    lp += log_p_[prev][cur];
+    prev = cur;
+  }
+  lp += log_p_[prev][kBoundary];
+  return lp;
+}
+
+std::string WordCorrector::decode(
+    const std::vector<std::vector<LetterHypothesis>>& positions) const {
+  if (positions.empty()) return {};
+  // Beam over (last letter, partial score, partial string).
+  struct Beam {
+    std::string word;
+    double score;
+  };
+  std::vector<Beam> beams{{std::string{}, 0.0}};
+  constexpr std::size_t kBeamWidth = 24;
+
+  for (const auto& hyps : positions) {
+    std::vector<Beam> next;
+    for (const Beam& b : beams) {
+      const char prev = b.word.empty() ? '^' : b.word.back();
+      for (const LetterHypothesis& h : hyps) {
+        const double s = b.score - h.score +
+                         lm_weight_ * model_.transition_log_prob(prev, h.letter);
+        next.push_back({b.word + h.letter, s});
+      }
+    }
+    if (next.empty()) return {};
+    std::sort(next.begin(), next.end(),
+              [](const Beam& x, const Beam& y) { return x.score > y.score; });
+    if (next.size() > kBeamWidth) next.resize(kBeamWidth);
+    beams = std::move(next);
+  }
+  // Close the word with the boundary transition.
+  double best = -std::numeric_limits<double>::infinity();
+  std::string best_word;
+  for (const Beam& b : beams) {
+    const double s =
+        b.score + lm_weight_ * model_.transition_log_prob(b.word.back(), '$');
+    if (s > best) {
+      best = s;
+      best_word = b.word;
+    }
+  }
+  return best_word;
+}
+
+std::string WordCorrector::snap_to_dictionary(
+    const std::string& word, const std::vector<std::string>& dictionary,
+    int max_edits) const {
+  int best_edits = max_edits + 1;
+  double best_lp = -std::numeric_limits<double>::infinity();
+  std::string best = word;
+  for (const std::string& candidate : dictionary) {
+    const int d = edit_distance(word, candidate);
+    if (d > max_edits) continue;
+    const double lp = model_.log_prob(candidate);
+    if (d < best_edits || (d == best_edits && lp > best_lp)) {
+      best_edits = d;
+      best_lp = lp;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+int edit_distance(const std::string& a, const std::string& b) {
+  const std::size_t n = a.size(), m = b.size();
+  std::vector<int> prev(m + 1), cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const int sub = prev[j - 1] + (std::toupper(a[i - 1]) == std::toupper(b[j - 1]) ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+}  // namespace polardraw::recognition

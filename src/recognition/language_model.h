@@ -1,0 +1,84 @@
+// Language-model post-processing for letter sequences.
+//
+// The paper conjectures twice (sections 5.2.1 and 7) that "by applying
+// natural language processing techniques, we can further increase
+// recognition accuracy". This module implements that conjecture so the
+// claim can be measured: an English letter-bigram model plus a
+// noisy-channel decoder that fuses per-letter classifier scores with a
+// dictionary prior.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace polardraw::recognition {
+
+/// Letter-bigram model over A-Z plus a word-boundary symbol, with add-one
+/// smoothing. Ships with statistics derived from a built-in list of
+/// common English words; callers can retrain on their own corpus.
+class BigramModel {
+ public:
+  /// Builds the model from the built-in corpus.
+  BigramModel();
+
+  /// Builds from a caller-supplied corpus of words (A-Z only; other
+  /// characters are skipped).
+  explicit BigramModel(const std::vector<std::string>& corpus);
+
+  /// Log-probability of `word` under the bigram model (includes the
+  /// boundary transitions). Empty words get a large negative score.
+  double log_prob(const std::string& word) const;
+
+  /// Log-probability of letter `b` following letter `a`
+  /// ('^' = word start, '$' = word end for either side).
+  double transition_log_prob(char a, char b) const;
+
+ private:
+  void train(const std::vector<std::string>& corpus);
+  static std::size_t idx(char c);  // 0-25 letters, 26 boundary
+
+  std::array<std::array<double, 27>, 27> log_p_{};
+};
+
+/// One candidate letter with its (non-negative) classifier dissimilarity.
+struct LetterHypothesis {
+  char letter = '?';
+  double score = 0.0;
+};
+
+/// Noisy-channel word decoder: combines per-position letter hypotheses
+/// (from the classifier) with the bigram prior, and optionally snaps to
+/// the nearest dictionary word.
+class WordCorrector {
+ public:
+  explicit WordCorrector(BigramModel model, double lm_weight = 1.0)
+      : model_(std::move(model)), lm_weight_(lm_weight) {}
+
+  /// Picks the letter sequence maximizing
+  ///   sum_i(-score_i(letter_i)) + lm_weight * log P_bigram(word)
+  /// over the cross-product of per-position hypotheses (beam search).
+  std::string decode(
+      const std::vector<std::vector<LetterHypothesis>>& positions) const;
+
+  /// Snaps `word` to the dictionary entry with the smallest edit distance,
+  /// breaking ties by bigram probability. Returns `word` unchanged when
+  /// nothing is within `max_edits`.
+  std::string snap_to_dictionary(const std::string& word,
+                                 const std::vector<std::string>& dictionary,
+                                 int max_edits = 2) const;
+
+  const BigramModel& model() const { return model_; }
+
+ private:
+  BigramModel model_;
+  double lm_weight_;
+};
+
+/// Levenshtein edit distance (uppercase letters).
+int edit_distance(const std::string& a, const std::string& b);
+
+/// The built-in common-words corpus (also used as the default dictionary).
+const std::vector<std::string>& builtin_corpus();
+
+}  // namespace polardraw::recognition

@@ -1,0 +1,118 @@
+#include "recognition/procrustes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace polardraw::recognition {
+
+namespace {
+
+Vec2 centroid(const std::vector<Vec2>& pts) {
+  Vec2 c;
+  for (const Vec2& p : pts) c += p;
+  return pts.empty() ? c : c / static_cast<double>(pts.size());
+}
+
+/// Centroid size: sqrt of summed squared distances from the centroid.
+double centroid_size(const std::vector<Vec2>& pts, Vec2 c) {
+  double s = 0.0;
+  for (const Vec2& p : pts) s += (p - c).norm_sq();
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+std::vector<Vec2> resample_by_arclength(const std::vector<Vec2>& polyline,
+                                        std::size_t n) {
+  std::vector<Vec2> out;
+  if (n == 0) return out;
+  if (polyline.empty()) {
+    out.assign(n, Vec2{});
+    return out;
+  }
+
+  // Cumulative arc length.
+  std::vector<double> cum(polyline.size(), 0.0);
+  for (std::size_t i = 1; i < polyline.size(); ++i) {
+    cum[i] = cum[i - 1] + polyline[i].dist(polyline[i - 1]);
+  }
+  const double total = cum.back();
+  if (total <= 0.0 || polyline.size() == 1) {
+    out.assign(n, polyline.front());
+    return out;
+  }
+
+  out.reserve(n);
+  std::size_t seg = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double target =
+        total * static_cast<double>(k) / static_cast<double>(n - 1 == 0 ? 1 : n - 1);
+    while (seg + 1 < polyline.size() - 1 && cum[seg + 1] < target) ++seg;
+    const double seg_len = cum[seg + 1] - cum[seg];
+    const double f = seg_len > 0.0 ? (target - cum[seg]) / seg_len : 0.0;
+    out.push_back(polyline[seg] +
+                  (polyline[seg + 1] - polyline[seg]) * std::clamp(f, 0.0, 1.0));
+  }
+  return out;
+}
+
+ProcrustesResult procrustes(const std::vector<Vec2>& reference,
+                            const std::vector<Vec2>& probe,
+                            double max_rotation_rad) {
+  ProcrustesResult r;
+  r.normalized = 1.0;
+  if (reference.size() != probe.size() || reference.size() < 2) return r;
+  const std::size_t n = reference.size();
+
+  const Vec2 cr = centroid(reference);
+  const Vec2 cp = centroid(probe);
+  const double sr = centroid_size(reference, cr);
+  const double sp = centroid_size(probe, cp);
+  if (sr <= 0.0 || sp <= 0.0) return r;
+
+  // Optimal rotation via the 2-D cross-covariance; for 2-D point sets the
+  // SVD reduces to an atan2 of the summed cross/dot products. Mirroring is
+  // never allowed: a mirrored letter is a different letter.
+  double sum_dot = 0.0;   // sum of <ref_i, probe_i> after centering
+  double sum_cross = 0.0; // sum of cross products
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = reference[i] - cr;
+    const Vec2 b = probe[i] - cp;
+    sum_dot += b.dot(a);
+    sum_cross += b.cross(a);
+  }
+
+  r.rotation_rad = std::clamp(std::atan2(sum_cross, sum_dot),
+                              -max_rotation_rad, max_rotation_rad);
+  const double c = std::cos(r.rotation_rad), s = std::sin(r.rotation_rad);
+
+  // Optimal scale given the (possibly clamped) rotation:
+  // s* = <ref, R(phi) probe> / |probe|^2, which can only shrink when the
+  // rotation is clamped away from its optimum.
+  const double num = std::max(c * sum_dot + s * sum_cross, 0.0);
+  r.scale = num / (sp * sp);
+  r.translation = cr;  // probe is re-centered onto the reference centroid
+
+  // Residuals.
+  double sse = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 b = probe[i] - cp;
+    const Vec2 rotated{c * b.x - s * b.y, s * b.x + c * b.y};
+    const Vec2 mapped = cr + rotated * r.scale;
+    sse += (mapped - reference[i]).norm_sq();
+  }
+  r.sse = sse;
+  r.rms_distance = std::sqrt(sse / static_cast<double>(n));
+  // Procrustes statistic: residual of unit-size-normalized shapes.
+  r.normalized = std::clamp(sse / (sr * sr), 0.0, 1.0);
+  return r;
+}
+
+double procrustes_distance(const std::vector<Vec2>& reference,
+                           const std::vector<Vec2>& probe, std::size_t n) {
+  const auto a = resample_by_arclength(reference, n);
+  const auto b = resample_by_arclength(probe, n);
+  return procrustes(a, b).rms_distance;
+}
+
+}  // namespace polardraw::recognition

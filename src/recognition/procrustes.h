@@ -1,0 +1,58 @@
+// Procrustes analysis: the paper's trajectory-similarity metric.
+//
+// Given two point sequences, finds the similarity transform (translation,
+// uniform scale, rotation) of one that best matches the other in the
+// least-squares sense, and reports the residual distance. The evaluation
+// (paper section 5.1, metric 2) uses this to compare recovered trajectories
+// against ground truth; Fig. 19 plots its CDF in centimeters.
+#pragma once
+
+#include <vector>
+
+#include "common/vec.h"
+
+namespace polardraw::recognition {
+
+struct ProcrustesResult {
+  /// Root-mean-square residual after optimal alignment, in the units of
+  /// the reference sequence (meters in this project).
+  double rms_distance = 0.0;
+
+  /// Sum of squared residuals (the paper's goodness-of-fit criterion).
+  double sse = 0.0;
+
+  /// Normalized dissimilarity in [0, 1]: SSE after aligning both shapes
+  /// to unit centroid size (standard "Procrustes statistic").
+  double normalized = 0.0;
+
+  /// Recovered transform parameters mapping `probe` onto `reference`.
+  double rotation_rad = 0.0;
+  double scale = 1.0;
+  Vec2 translation;
+};
+
+/// Computes the optimal alignment of `probe` onto `reference`.
+/// Both sequences must have the same length (resample first) and at least
+/// two distinct points; degenerate input returns a default result with
+/// `normalized` = 1.
+///
+/// `max_rotation_rad` caps the rotation the alignment may apply (the
+/// optimal angle is clamped into [-max, max] and scale/residuals are
+/// re-optimized at the clamped angle). The paper's similarity metric uses
+/// unrestricted rotation; the letter classifier caps it so that letters
+/// which are rotations of one another (Z/N, M/E/W) stay distinguishable.
+ProcrustesResult procrustes(const std::vector<Vec2>& reference,
+                            const std::vector<Vec2>& probe,
+                            double max_rotation_rad = 10.0);
+
+/// Resamples a polyline to `n` points equally spaced by arc length.
+/// Returns `n` copies of the single point for degenerate input.
+std::vector<Vec2> resample_by_arclength(const std::vector<Vec2>& polyline,
+                                        std::size_t n);
+
+/// Convenience: resamples both curves to `n` points and returns the
+/// RMS Procrustes distance (meters).
+double procrustes_distance(const std::vector<Vec2>& reference,
+                           const std::vector<Vec2>& probe, std::size_t n = 64);
+
+}  // namespace polardraw::recognition

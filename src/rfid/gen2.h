@@ -1,0 +1,71 @@
+// EPC Gen2 slotted-ALOHA inventory at slot level, with Q adaptation.
+//
+// Gen2 readers run framed slotted ALOHA: each round opens 2^Q slots, every
+// energized tag picks one uniformly, and a slot yields a read (exactly one
+// tag), a collision (several), or silence (none). The reader adapts Q
+// between rounds -- up on collisions, down on empties -- converging to
+// roughly log2 of the responding population, which is how a real reader
+// divides its read budget among multiple tags. The coarse
+// `Reader::inventory_population` model assumes that steady state; this
+// module simulates the transient slot dynamics for studies that need them
+// (multi-tag rates, collision overhead).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace polardraw::rfid {
+
+struct Gen2Config {
+  /// Initial Q (2^Q slots per round). Speedway-class readers start ~4.
+  double initial_q = 4.0;
+  /// Q adaptation step (the standard's C constant, 0.1-0.5).
+  double q_step = 0.3;
+  double min_q = 0.0;
+  double max_q = 15.0;
+  /// Slot duration, seconds (assumes FM0 at typical link timing).
+  double slot_s = 0.0012;
+  /// Extra time per successful read (EPC + handle exchange), seconds.
+  double read_s = 0.0024;
+};
+
+/// Outcome counts for one inventory round.
+struct Gen2Round {
+  int slots = 0;        // frame size (2^Q)
+  int processed = 0;    // slots actually run (QueryAdjust can cut early)
+  int singletons = 0;   // successful reads
+  int collisions = 0;
+  int empties = 0;
+  double q_after = 0.0;
+  double duration_s = 0.0;
+  /// Which tags (by index into the population) were read this round.
+  std::vector<int> read_tags;
+};
+
+/// Simulates framed-slotted-ALOHA rounds until `duration_s` of air time is
+/// consumed, for a population of `num_tags` always-energized tags.
+class Gen2Inventory {
+ public:
+  Gen2Inventory(Gen2Config cfg, Rng rng) : cfg_(cfg), rng_(rng), q_(cfg.initial_q) {}
+
+  /// Runs one round; Q adapts per the standard's C-algorithm.
+  Gen2Round run_round(int num_tags);
+
+  /// Runs rounds until the air-time budget is exhausted; returns them all.
+  std::vector<Gen2Round> run(int num_tags, double duration_s);
+
+  double current_q() const { return q_; }
+
+ private:
+  Gen2Config cfg_;
+  Rng rng_;
+  double q_;
+};
+
+/// Steady-state reads/second for a population size, measured by simulation
+/// (convenience for benches/tests).
+double measure_read_rate(int num_tags, double duration_s, std::uint64_t seed);
+
+}  // namespace polardraw::rfid

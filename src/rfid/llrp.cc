@@ -1,0 +1,118 @@
+#include "rfid/llrp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.h"
+
+namespace polardraw::rfid::llrp {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 2 + 4 + 4;
+constexpr std::size_t kRecordBytes = 8 + 2 + 4 + 2 + 2 + 2 + 2;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int s = 24; s >= 0; s -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> s));
+  }
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int s = 56; s >= 0; s -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> s));
+  }
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_batch(const TagReportStream& reports) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + reports.size() * kRecordBytes);
+  put_u16(out, kReportBatch);
+  put_u32(out, static_cast<std::uint32_t>(kHeaderBytes +
+                                          reports.size() * kRecordBytes));
+  put_u32(out, static_cast<std::uint32_t>(reports.size()));
+  for (const TagReport& r : reports) {
+    put_u64(out, static_cast<std::uint64_t>(
+                     std::llround(r.timestamp_s * 1e6)));
+    put_u16(out, static_cast<std::uint16_t>(std::max(r.antenna_id, 0)));
+    put_u32(out, r.epc);
+    const double rss = std::clamp(r.rss_dbm, -300.0, 300.0);
+    const auto rss_q = static_cast<std::int16_t>(std::lround(rss * 100.0));
+    put_u16(out, static_cast<std::uint16_t>(rss_q));
+    const double phase = wrap_2pi(r.phase_rad);
+    put_u16(out, static_cast<std::uint16_t>(std::lround(phase * 1000.0)));
+    const double rate = std::clamp(r.read_rate_hz, 0.0, 6553.0);
+    put_u16(out, static_cast<std::uint16_t>(std::lround(rate * 10.0)));
+    put_u16(out, static_cast<std::uint16_t>(std::max(r.channel, 0)));
+  }
+  return out;
+}
+
+std::optional<TagReportStream> decode_batch(
+    const std::vector<std::uint8_t>& frame) {
+  if (frame.size() < kHeaderBytes) return std::nullopt;
+  const std::uint8_t* p = frame.data();
+  if (get_u16(p) != kReportBatch) return std::nullopt;
+  const std::uint32_t length = get_u32(p + 2);
+  const std::uint32_t count = get_u32(p + 6);
+  if (length != frame.size()) return std::nullopt;
+  if (length != kHeaderBytes + count * kRecordBytes) return std::nullopt;
+
+  TagReportStream out;
+  out.reserve(count);
+  const std::uint8_t* rec = p + kHeaderBytes;
+  for (std::uint32_t i = 0; i < count; ++i, rec += kRecordBytes) {
+    TagReport r;
+    r.timestamp_s = static_cast<double>(get_u64(rec)) * 1e-6;
+    r.antenna_id = get_u16(rec + 8);
+    r.epc = get_u32(rec + 10);
+    r.rss_dbm = static_cast<std::int16_t>(get_u16(rec + 14)) / 100.0;
+    r.phase_rad = get_u16(rec + 16) / 1000.0;
+    r.read_rate_hz = get_u16(rec + 18) / 10.0;
+    r.channel = get_u16(rec + 20);
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> extract_frames(
+    std::vector<std::uint8_t>& buffer) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::size_t cursor = 0;
+  while (buffer.size() - cursor >= kHeaderBytes) {
+    const std::uint32_t length = get_u32(buffer.data() + cursor + 2);
+    if (length < kHeaderBytes) {
+      // Corrupt length: drop the rest of the buffer rather than loop.
+      cursor = buffer.size();
+      break;
+    }
+    if (buffer.size() - cursor < length) break;  // partial frame
+    frames.emplace_back(buffer.begin() + static_cast<std::ptrdiff_t>(cursor),
+                        buffer.begin() +
+                            static_cast<std::ptrdiff_t>(cursor + length));
+    cursor += length;
+  }
+  buffer.erase(buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(cursor));
+  return frames;
+}
+
+}  // namespace polardraw::rfid::llrp

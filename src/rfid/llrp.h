@@ -1,0 +1,51 @@
+// Minimal LLRP-style wire framing for tag reports.
+//
+// The paper's implementation collects tag readings "through the Low Level
+// Reader Protocol (LLRP)" from a Java collector into a C# tracker
+// (section 4). This module provides the equivalent seam for this library:
+// a compact binary framing of TagReport batches, so a reader process and
+// a tracker process can be split across a socket or a file exactly the
+// way the paper's two halves were. The format follows LLRP's spirit
+// (big-endian, type + length framed messages) rather than its full
+// schema.
+//
+// Frame layout (all big-endian):
+//   u16 type        (kReportBatch)
+//   u32 length      (total frame bytes, header included)
+//   u32 count       (number of reports)
+//   count * record:
+//     u64 timestamp_us
+//     u16 antenna_id
+//     u32 epc
+//     i16 rss_centi_dbm          (RSS * 100, clamped)
+//     u16 phase_milli_rad        (phase in [0, 2*pi) * 1000)
+//     u16 read_rate_deci_hz
+//     u16 channel                (RF hop channel index)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rfid/tag_report.h"
+
+namespace polardraw::rfid::llrp {
+
+inline constexpr std::uint16_t kReportBatch = 0x00F1;
+
+/// Serializes a batch of tag reports into one LLRP-style frame.
+std::vector<std::uint8_t> encode_batch(const TagReportStream& reports);
+
+/// Parses one frame. Returns nullopt on malformed input (short buffer,
+/// wrong type, inconsistent length). Quantization: timestamps to 1 us,
+/// RSS to 0.01 dB, phase to ~1 mrad.
+std::optional<TagReportStream> decode_batch(
+    const std::vector<std::uint8_t>& frame);
+
+/// Splits a byte stream into complete frames (a TCP reassembly helper):
+/// consumes whole frames from the front of `buffer`, returning them and
+/// erasing the consumed bytes; partial trailing data stays in the buffer.
+std::vector<std::vector<std::uint8_t>> extract_frames(
+    std::vector<std::uint8_t>& buffer);
+
+}  // namespace polardraw::rfid::llrp

@@ -1,0 +1,39 @@
+#include "rfid/modulation.h"
+
+namespace polardraw::rfid {
+
+std::string_view to_string(Modulation m) {
+  switch (m) {
+    case Modulation::kFM0: return "FM0";
+    case Modulation::kMiller2: return "Miller-2";
+    case Modulation::kMiller4: return "Miller-4";
+    case Modulation::kMiller8: return "Miller-8";
+  }
+  return "unknown";
+}
+
+int miller_m(Modulation m) {
+  switch (m) {
+    case Modulation::kFM0: return 1;
+    case Modulation::kMiller2: return 2;
+    case Modulation::kMiller4: return 4;
+    case Modulation::kMiller8: return 8;
+  }
+  return 1;
+}
+
+double snr_gain(Modulation m) {
+  return static_cast<double>(miller_m(m));
+}
+
+double rate_factor(Modulation m) {
+  switch (m) {
+    case Modulation::kFM0: return 1.0;
+    case Modulation::kMiller2: return 0.8;
+    case Modulation::kMiller4: return 0.55;
+    case Modulation::kMiller8: return 0.35;
+  }
+  return 1.0;
+}
+
+}  // namespace polardraw::rfid

@@ -1,0 +1,36 @@
+// EPC Gen2 backscatter modulation schemes.
+//
+// Gen2 tags reply with FM0 or Miller-modulated subcarrier encodings
+// (M = 2, 4, 8). Longer Miller sequences spread each bit over more
+// subcarrier cycles, trading read rate for SNR -- the reader integrates
+// more energy per bit, so phase estimates get cleaner in noisy settings.
+// The paper's implementation (section 4) round-robins the available
+// schemes and keeps the first whose phase variance is at most 0.1 rad^2;
+// rfid/reader.cc implements the same selection loop.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace polardraw::rfid {
+
+enum class Modulation { kFM0, kMiller2, kMiller4, kMiller8 };
+
+inline constexpr std::array<Modulation, 4> kAllModulations = {
+    Modulation::kFM0, Modulation::kMiller2, Modulation::kMiller4,
+    Modulation::kMiller8};
+
+std::string_view to_string(Modulation m);
+
+/// Subcarrier cycles per bit (Miller M value; 1 for FM0).
+int miller_m(Modulation m);
+
+/// Linear SNR gain over FM0 from per-bit energy integration.
+/// Each doubling of M buys ~3 dB.
+double snr_gain(Modulation m);
+
+/// Relative read-rate factor (reads per second scale) versus FM0: longer
+/// symbols slow the air interface down.
+double rate_factor(Modulation m);
+
+}  // namespace polardraw::rfid

@@ -1,0 +1,166 @@
+#include "rfid/reader.h"
+
+#include <cmath>
+
+#include "common/angles.h"
+#include "common/stats.h"
+
+namespace polardraw::rfid {
+
+Reader::Reader(ReaderConfig config, std::vector<em::ReaderAntenna> antennas,
+               channel::MultipathChannel channel, Rng rng)
+    : config_(std::move(config)),
+      antennas_(std::move(antennas)),
+      channel_(std::move(channel)),
+      rng_(rng),
+      modulation_(config_.fixed_modulation) {
+  // Stable per-port RF-chain offsets, drawn once at construction (they model
+  // cable length and chain delay, which do not change during a session).
+  port_phase_offsets_.reserve(antennas_.size());
+  for (std::size_t i = 0; i < antennas_.size(); ++i) {
+    port_phase_offsets_.push_back(rng_.uniform(0.0, kTwoPi));
+  }
+}
+
+double Reader::quantize_phase(double phase_rad) const {
+  const double steps = std::pow(2.0, config_.phase_quantization_bits);
+  const double q = std::round(wrap_2pi(phase_rad) / kTwoPi * steps);
+  return wrap_2pi(q / steps * kTwoPi);
+}
+
+std::optional<TagReport> Reader::interrogate(int antenna_id, const em::Tag& tag,
+                                             double t_s) {
+  const auto& antenna = antennas_.at(static_cast<std::size_t>(antenna_id));
+
+  // FCC frequency hopping: a pseudo-random channel per dwell interval
+  // shifts the carrier within 902-928 MHz and applies a stable per-channel
+  // RF-chain phase offset.
+  em::TxConfig tx = config_.tx;
+  int hop_channel = 0;
+  double channel_phase_offset = 0.0;
+  if (config_.frequency_hopping && config_.hop_channels > 1) {
+    const auto dwell =
+        static_cast<std::uint64_t>(t_s / std::max(config_.hop_dwell_s, 1e-3));
+    // Deterministic per-dwell channel from a hash of the dwell index.
+    const std::uint64_t h =
+        dwell * 6364136223846793005ull + 1442695040888963407ull;
+    hop_channel = static_cast<int>(h % static_cast<std::uint64_t>(
+                                           config_.hop_channels));
+    tx.frequency_hz =
+        902.75e6 + 0.5e6 * static_cast<double>(hop_channel);  // 500 kHz grid
+    channel_phase_offset =
+        wrap_2pi(static_cast<double>(hop_channel) * 2.399963);  // stable
+  }
+
+  const channel::ChannelSample ch = channel_.evaluate(antenna, tag, tx, t_s);
+
+  // Activation check: the chip needs enough harvested power to respond.
+  if (ch.tag_power_dbm < tag.sensitivity_dbm) return std::nullopt;
+
+  channel::NoiseConfig noise = config_.noise;
+  noise.modulation_snr_gain = snr_gain(modulation_);
+  const channel::NoisyObservation obs =
+      channel::observe(ch.response, noise, rng_);
+
+  // Decode failure at very low SNR: probability of a CRC pass falls off
+  // steeply once the backscatter sideband nears the noise floor.
+  const double decode_margin_db = obs.snr_db;  // sideband SNR
+  if (decode_margin_db < 3.0) {
+    const double p_fail = std::min(1.0, (3.0 - decode_margin_db) / 10.0);
+    if (rng_.chance(p_fail)) return std::nullopt;
+  }
+
+  TagReport r;
+  r.timestamp_s = t_s;
+  r.antenna_id = antenna_id;
+  r.epc = tag.sensitivity_dbm < 0 ? 0xAD227Bu : 0u;  // fixed demo EPC
+  r.rss_dbm = obs.rss_dbm;
+  r.channel = hop_channel;
+  r.phase_rad = quantize_phase(
+      obs.phase_rad + channel_phase_offset +
+      port_phase_offsets_[static_cast<std::size_t>(antenna_id)]);
+  return r;
+}
+
+Modulation Reader::select_modulation(const TagStateFn& tag_at) {
+  if (!config_.auto_select_modulation) {
+    modulation_ = config_.fixed_modulation;
+    return modulation_;
+  }
+  // Round-robin schemes in rate order (fastest first), keep the first whose
+  // phase variance meets the paper's 0.1 rad^2 threshold.
+  for (Modulation m : kAllModulations) {
+    modulation_ = m;
+    RunningStats stats;
+    const em::Tag tag = tag_at(0.0);
+    for (int i = 0; i < config_.probe_reads; ++i) {
+      const double t = static_cast<double>(i) /
+                       (config_.aggregate_read_rate_hz * rate_factor(m));
+      if (auto rep = interrogate(0, tag, t)) {
+        stats.push(angle_diff(rep->phase_rad, 0.0));
+      }
+    }
+    if (stats.count() >= static_cast<std::size_t>(config_.probe_reads) / 2 &&
+        stats.variance() <= config_.phase_variance_threshold) {
+      return modulation_;
+    }
+  }
+  // Nothing met the bar; fall back to the most robust scheme.
+  modulation_ = Modulation::kMiller8;
+  return modulation_;
+}
+
+TagReportStream Reader::inventory_population(const std::vector<TagEntry>& tags,
+                                              double t_begin, double t_end) {
+  TagReportStream out;
+  if (tags.empty() || t_end <= t_begin) return out;
+  const double rate =
+      config_.aggregate_read_rate_hz * rate_factor(modulation_);
+  if (rate <= 0.0) return out;
+  const double dt = 1.0 / rate;
+  out.reserve(static_cast<std::size_t>((t_end - t_begin) / dt) + 1);
+
+  int port = 0;
+  const int num_ports = static_cast<int>(antennas_.size());
+  for (double t = t_begin; t < t_end; t += dt) {
+    // Gen2 slotted ALOHA: each inventory slot is won by one tag of the
+    // population (uniformly, for tags of comparable signal strength), so
+    // per-tag rate divides by the population size.
+    const TagEntry& entry = tags[rng_.index(tags.size())];
+    const double t_read = t + rng_.uniform(0.0, 0.2 * dt);
+    em::Tag tag = entry.state(t_read);
+    if (auto rep = interrogate(port, tag, t_read)) {
+      rep->epc = entry.epc;
+      rep->read_rate_hz = rate / num_ports;
+      out.push_back(*rep);
+    }
+    port = (port + 1) % num_ports;
+  }
+  return out;
+}
+
+TagReportStream Reader::inventory(const TagStateFn& tag_at, double t_begin,
+                                  double t_end) {
+  TagReportStream out;
+  const double rate =
+      config_.aggregate_read_rate_hz * rate_factor(modulation_);
+  if (rate <= 0.0 || t_end <= t_begin) return out;
+  const double dt = 1.0 / rate;
+  out.reserve(static_cast<std::size_t>((t_end - t_begin) / dt) + 1);
+
+  int port = 0;
+  const int num_ports = static_cast<int>(antennas_.size());
+  for (double t = t_begin; t < t_end; t += dt) {
+    // Small scheduling jitter: Gen2 slotted-ALOHA rounds are not metronomic.
+    const double t_read = t + rng_.uniform(0.0, 0.2 * dt);
+    const em::Tag tag = tag_at(t_read);
+    if (auto rep = interrogate(port, tag, t_read)) {
+      rep->read_rate_hz = rate / num_ports;
+      out.push_back(*rep);
+    }
+    port = (port + 1) % num_ports;
+  }
+  return out;
+}
+
+}  // namespace polardraw::rfid

@@ -1,0 +1,24 @@
+// LLRP-style tag report: the tuple a Gen2 reader delivers per successful
+// tag read. This is the *only* interface between the physical substrate
+// and the tracking algorithms -- exactly as the paper's Java LLRP collector
+// hands (timestamp, antenna, RSS, phase) tuples to the C# tracker.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace polardraw::rfid {
+
+struct TagReport {
+  double timestamp_s = 0.0;   // reader clock
+  int antenna_id = 0;         // 0-based antenna port index
+  std::uint32_t epc = 0;      // tag identity (EPC suffix)
+  double rss_dbm = -150.0;    // received signal strength
+  double phase_rad = 0.0;     // backscatter phase, [0, 2*pi)
+  double read_rate_hz = 0.0;  // diagnostic: current per-antenna rate
+  int channel = 0;            // RF channel index (frequency hopping)
+};
+
+using TagReportStream = std::vector<TagReport>;
+
+}  // namespace polardraw::rfid

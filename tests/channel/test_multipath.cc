@@ -1,0 +1,113 @@
+#include "channel/multipath.h"
+
+#include <gtest/gtest.h>
+
+#include "common/angles.h"
+#include "common/units.h"
+
+namespace polardraw::channel {
+namespace {
+
+class MultipathTest : public ::testing::Test {
+ protected:
+  MultipathTest() {
+    antenna_ = em::make_linear_antenna(Vec3{0.5, 1.25, 0.12}, kPi / 2.0);
+    antenna_.boresight = Vec3{0.0, -1.0, 0.0};
+    antenna_.polarization_axis = Vec3{0.0, 0.0, 1.0};
+    tag_.position = Vec3{0.5, 0.25, 0.0};
+    tag_.dipole_axis = Vec3{0.0, 0.0, 1.0};
+  }
+  em::ReaderAntenna antenna_;
+  em::Tag tag_;
+  em::TxConfig tx_;
+};
+
+TEST_F(MultipathTest, EmptyChannelEqualsLos) {
+  MultipathChannel ch;
+  const ChannelSample s = ch.evaluate(antenna_, tag_, tx_, 0.0);
+  EXPECT_EQ(s.response, s.los_response);
+  EXPECT_GT(std::norm(s.response), 0.0);
+}
+
+TEST_F(MultipathTest, ScatterersPerturbResponse) {
+  MultipathChannel clean;
+  MultipathChannel cluttered = make_office_channel(4);
+  const auto s0 = clean.evaluate(antenna_, tag_, tx_, 0.0);
+  const auto s1 = cluttered.evaluate(antenna_, tag_, tx_, 0.0);
+  EXPECT_NE(std::norm(s0.response), std::norm(s1.response));
+  // Clutter is a perturbation, not the dominant term, for a co-polarized
+  // line-of-sight link.
+  const double los_db = mw_to_dbm(std::norm(s0.response));
+  const double tot_db = mw_to_dbm(std::norm(s1.response));
+  EXPECT_NEAR(tot_db, los_db, 3.0);
+}
+
+TEST_F(MultipathTest, CrossPolarizedTagStillHarvestsViaReflections) {
+  // The feasibility-study observation: at deep mismatch the tag still
+  // gets some energy along depolarized reflection paths.
+  tag_.dipole_axis = Vec3{1.0, 0.0, 0.0};  // orthogonal to antenna axis
+  MultipathChannel clean;
+  MultipathChannel cluttered = make_office_channel(4);
+  const auto s_clean = clean.evaluate(antenna_, tag_, tx_, 0.0);
+  const auto s_clut = cluttered.evaluate(antenna_, tag_, tx_, 0.0);
+  EXPECT_GT(s_clut.tag_power_dbm, s_clean.tag_power_dbm);
+}
+
+TEST_F(MultipathTest, WalkingScattererChangesOverTime) {
+  MultipathChannel ch;
+  ch.add(make_bystander_walking(0.6, Vec3{0.5, 0.3, 0.0}));
+  const auto s0 = ch.evaluate(antenna_, tag_, tx_, 0.0);
+  const auto s1 = ch.evaluate(antenna_, tag_, tx_, 0.7);
+  EXPECT_NE(s0.response, s1.response);
+}
+
+TEST_F(MultipathTest, StaticScattererConstantOverTime) {
+  MultipathChannel ch;
+  ch.add(make_bystander_static(0.6, Vec3{0.5, 0.3, 0.0}));
+  const auto s0 = ch.evaluate(antenna_, tag_, tx_, 0.0);
+  const auto s1 = ch.evaluate(antenna_, tag_, tx_, 5.0);
+  EXPECT_EQ(s0.response, s1.response);
+}
+
+TEST_F(MultipathTest, CloserBystanderDisturbsMore) {
+  const auto baseline =
+      MultipathChannel{}.evaluate(antenna_, tag_, tx_, 0.0).response;
+  double prev_disturbance = -1.0;
+  for (double dist : {0.9, 0.6, 0.3}) {
+    MultipathChannel ch;
+    ch.add(make_bystander_static(dist, Vec3{0.5, 0.3, 0.0}));
+    const auto s = ch.evaluate(antenna_, tag_, tx_, 0.0);
+    const double disturbance = std::abs(s.response - baseline);
+    EXPECT_GT(disturbance, prev_disturbance)
+        << "bystander at " << dist << " m";
+    prev_disturbance = disturbance;
+  }
+}
+
+TEST(Scatterer, WalkOscillatesAroundNominal) {
+  Scatterer s = make_bystander_walking(0.5, Vec3{0.5, 0.3, 0.0});
+  const Vec3 nominal = s.position;
+  // Period start and half period are symmetric around the nominal point.
+  const Vec3 p0 = s.position_at(0.0);
+  const Vec3 p_half = s.position_at(s.walk_period_s / 2.0);
+  EXPECT_NEAR(p0.dist(nominal), 0.0, 1e-9);
+  EXPECT_NEAR(p_half.dist(nominal), 0.0, 1e-9);
+  // Quarter period reaches the amplitude.
+  const Vec3 pq = s.position_at(s.walk_period_s / 4.0);
+  EXPECT_NEAR(pq.dist(nominal), s.walk_amplitude_m, 1e-9);
+}
+
+TEST(Scatterer, OfficeClutterDeterministic) {
+  const Scatterer a = make_office_clutter(2);
+  const Scatterer b = make_office_clutter(2);
+  EXPECT_EQ(a.position, b.position);
+  EXPECT_NE(make_office_clutter(0).position, make_office_clutter(1).position);
+}
+
+TEST(OfficeChannel, CountRespected) {
+  EXPECT_EQ(make_office_channel(0).scatterers().size(), 0u);
+  EXPECT_EQ(make_office_channel(6).scatterers().size(), 6u);
+}
+
+}  // namespace
+}  // namespace polardraw::channel

@@ -1,0 +1,92 @@
+#include "channel/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "common/angles.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace polardraw::channel {
+namespace {
+
+TEST(Noise, HighSnrPhaseAccurate) {
+  NoiseConfig cfg;
+  Rng rng(3);
+  // -30 dBm signal vs -85 dBm floor: phase jitter should be near the PLL
+  // floor. The reader reports +4*pi*d/lambda, the negative of the complex
+  // argument.
+  const auto response = std::polar(std::sqrt(dbm_to_mw(-30.0)), -1.0);
+  RunningStats err;
+  for (int i = 0; i < 500; ++i) {
+    const auto obs = observe(response, cfg, rng);
+    err.push(angle_diff(obs.phase_rad, wrap_2pi(1.0)));
+  }
+  EXPECT_NEAR(err.mean(), 0.0, 0.02);
+  EXPECT_LT(err.stddev(), 2.0 * cfg.phase_noise_floor_rad);
+}
+
+TEST(Noise, LowSnrPhaseScattered) {
+  NoiseConfig cfg;
+  Rng rng(4);
+  const auto response = std::polar(std::sqrt(dbm_to_mw(-84.0)), 0.5);
+  RunningStats err;
+  for (int i = 0; i < 500; ++i) {
+    const auto obs = observe(response, cfg, rng);
+    err.push(angle_dist(obs.phase_rad, wrap_2pi(-0.5)));
+  }
+  // Near the noise floor the phase is nearly useless.
+  EXPECT_GT(err.mean(), 0.3);
+}
+
+TEST(Noise, RssTracksSignalPower) {
+  NoiseConfig cfg;
+  Rng rng(5);
+  for (double dbm : {-30.0, -45.0, -60.0}) {
+    const auto response = std::polar(std::sqrt(dbm_to_mw(dbm)), 0.3);
+    RunningStats rss;
+    for (int i = 0; i < 300; ++i) rss.push(observe(response, cfg, rng).rss_dbm);
+    EXPECT_NEAR(rss.mean(), dbm, 1.0) << "at " << dbm;
+  }
+}
+
+TEST(Noise, SnrReportedConsistently) {
+  NoiseConfig cfg;
+  Rng rng(6);
+  const auto response = std::polar(std::sqrt(dbm_to_mw(-55.0)), 0.0);
+  const auto obs = observe(response, cfg, rng);
+  EXPECT_NEAR(obs.snr_db, -55.0 - cfg.noise_floor_dbm, 1e-6);
+}
+
+TEST(Noise, ModulationGainImprovesPhase) {
+  NoiseConfig weak;  // FM0
+  NoiseConfig strong = weak;
+  strong.modulation_snr_gain = 8.0;  // Miller-8
+  strong.phase_noise_floor_rad = weak.phase_noise_floor_rad;
+  const auto response = std::polar(std::sqrt(dbm_to_mw(-75.0)), 1.2);
+  Rng rng_a(7), rng_b(7);
+  RunningStats err_weak, err_strong;
+  for (int i = 0; i < 500; ++i) {
+    err_weak.push(
+        angle_dist(observe(response, weak, rng_a).phase_rad, wrap_2pi(-1.2)));
+    err_strong.push(
+        angle_dist(observe(response, strong, rng_b).phase_rad, wrap_2pi(-1.2)));
+  }
+  EXPECT_LT(err_strong.mean(), err_weak.mean());
+}
+
+TEST(Noise, DeterministicGivenSeed) {
+  NoiseConfig cfg;
+  Rng a(9), b(9);
+  const auto response = std::polar(1e-3, 0.7);
+  for (int i = 0; i < 20; ++i) {
+    const auto oa = observe(response, cfg, a);
+    const auto ob = observe(response, cfg, b);
+    EXPECT_EQ(oa.rss_dbm, ob.rss_dbm);
+    EXPECT_EQ(oa.phase_rad, ob.phase_rad);
+  }
+}
+
+}  // namespace
+}  // namespace polardraw::channel

@@ -1,0 +1,109 @@
+#include "common/angles.h"
+
+#include <gtest/gtest.h>
+
+namespace polardraw {
+namespace {
+
+TEST(AngleConversion, DegreesRadians) {
+  EXPECT_NEAR(deg2rad(180.0), kPi, 1e-12);
+  EXPECT_NEAR(rad2deg(kPi / 2.0), 90.0, 1e-12);
+  EXPECT_NEAR(rad2deg(deg2rad(33.3)), 33.3, 1e-12);
+}
+
+TEST(Wrap2Pi, MapsIntoRange) {
+  EXPECT_NEAR(wrap_2pi(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_2pi(kTwoPi), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_2pi(-0.1), kTwoPi - 0.1, 1e-12);
+  EXPECT_NEAR(wrap_2pi(7.0 * kPi), kPi, 1e-9);
+  for (double a = -20.0; a < 20.0; a += 0.37) {
+    const double w = wrap_2pi(a);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, kTwoPi);
+  }
+}
+
+TEST(WrapPi, MapsIntoRange) {
+  EXPECT_NEAR(wrap_pi(kPi), kPi, 1e-12);
+  EXPECT_NEAR(wrap_pi(-kPi), kPi, 1e-12);  // (-pi, pi] convention
+  EXPECT_NEAR(wrap_pi(3.0 * kPi / 2.0), -kPi / 2.0, 1e-12);
+  for (double a = -20.0; a < 20.0; a += 0.41) {
+    const double w = wrap_pi(a);
+    EXPECT_GT(w, -kPi - 1e-12);
+    EXPECT_LE(w, kPi + 1e-12);
+  }
+}
+
+TEST(AngleDiff, SignedShortestPath) {
+  EXPECT_NEAR(angle_diff(0.1, 0.0), 0.1, 1e-12);
+  EXPECT_NEAR(angle_diff(0.0, 0.1), -0.1, 1e-12);
+  // Across the wrap.
+  EXPECT_NEAR(angle_diff(0.1, kTwoPi - 0.1), 0.2, 1e-12);
+  EXPECT_NEAR(angle_diff(kTwoPi - 0.1, 0.1), -0.2, 1e-12);
+}
+
+TEST(AngleDist, NonNegativeAndSymmetric) {
+  for (double a = 0.0; a < kTwoPi; a += 0.7) {
+    for (double b = 0.0; b < kTwoPi; b += 0.9) {
+      EXPECT_GE(angle_dist(a, b), 0.0);
+      EXPECT_LE(angle_dist(a, b), kPi + 1e-12);
+      EXPECT_NEAR(angle_dist(a, b), angle_dist(b, a), 1e-12);
+    }
+  }
+}
+
+TEST(Unwrap, RecoversLinearRamp) {
+  // A steadily growing phase wrapped to [0, 2*pi) must unwrap back to
+  // the original ramp (up to the starting offset).
+  std::vector<double> wrapped;
+  for (int i = 0; i < 100; ++i) {
+    wrapped.push_back(wrap_2pi(0.3 * i));
+  }
+  const auto un = unwrapped(wrapped);
+  for (int i = 1; i < 100; ++i) {
+    EXPECT_NEAR(un[i] - un[i - 1], 0.3, 1e-9) << "at " << i;
+  }
+}
+
+TEST(Unwrap, HandlesNegativeRamp) {
+  std::vector<double> wrapped;
+  for (int i = 0; i < 80; ++i) wrapped.push_back(wrap_2pi(-0.4 * i));
+  const auto un = unwrapped(wrapped);
+  for (int i = 1; i < 80; ++i) {
+    EXPECT_NEAR(un[i] - un[i - 1], -0.4, 1e-9);
+  }
+}
+
+TEST(Unwrap, ShortSeriesUntouched) {
+  std::vector<double> one{1.0};
+  unwrap_inplace(one);
+  EXPECT_EQ(one[0], 1.0);
+  std::vector<double> empty;
+  unwrap_inplace(empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(PhaseUnwrapper, StreamingMatchesBatch) {
+  std::vector<double> wrapped;
+  for (int i = 0; i < 60; ++i) {
+    wrapped.push_back(wrap_2pi(0.05 * i * i - 1.3 * i));
+  }
+  const auto batch = unwrapped(wrapped);
+  PhaseUnwrapper u;
+  for (std::size_t i = 0; i < wrapped.size(); ++i) {
+    const double streamed = u.push(wrapped[i]);
+    EXPECT_NEAR(streamed, batch[i], 1e-9) << "at " << i;
+  }
+}
+
+TEST(PhaseUnwrapper, ResetClearsState) {
+  PhaseUnwrapper u;
+  u.push(1.0);
+  u.push(2.0);
+  u.reset();
+  EXPECT_FALSE(u.has_value());
+  EXPECT_NEAR(u.push(5.0), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace polardraw

@@ -1,0 +1,112 @@
+#include "common/vec.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/angles.h"
+
+namespace polardraw {
+namespace {
+
+TEST(Vec2, DefaultIsZero) {
+  Vec2 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+}
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -4.0};
+  EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 0.0}, b{0.0, 1.0};
+  EXPECT_EQ(a.dot(b), 0.0);
+  EXPECT_EQ(a.cross(b), 1.0);
+  EXPECT_EQ(b.cross(a), -1.0);
+  EXPECT_EQ(a.dot(a), 1.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(v.dist({0.0, 0.0}), 5.0);
+  EXPECT_DOUBLE_EQ(v.dist({3.0, 0.0}), 4.0);
+}
+
+TEST(Vec2, NormalizedUnitLength) {
+  const Vec2 v = Vec2{3.0, 4.0}.normalized();
+  EXPECT_NEAR(v.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(v.x, 0.6, 1e-12);
+}
+
+TEST(Vec2, NormalizedZeroStaysZero) {
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Vec2, RotationQuarterTurn) {
+  const Vec2 r = Vec2{1.0, 0.0}.rotated(kPi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  const Vec2 v{2.5, -1.5};
+  for (double a : {0.1, 1.0, 2.0, 3.0, -2.2}) {
+    EXPECT_NEAR(v.rotated(a).norm(), v.norm(), 1e-12) << "angle " << a;
+  }
+}
+
+TEST(Vec2, AngleOfAxes) {
+  EXPECT_NEAR(Vec2(1.0, 0.0).angle(), 0.0, 1e-12);
+  EXPECT_NEAR(Vec2(0.0, 1.0).angle(), kPi / 2.0, 1e-12);
+  EXPECT_NEAR(Vec2(-1.0, 0.0).angle(), kPi, 1e-12);
+}
+
+TEST(Vec3, CrossProductRightHanded) {
+  const Vec3 x{1.0, 0.0, 0.0}, y{0.0, 1.0, 0.0};
+  EXPECT_EQ(x.cross(y), Vec3(0.0, 0.0, 1.0));
+  EXPECT_EQ(y.cross(x), Vec3(0.0, 0.0, -1.0));
+}
+
+TEST(Vec3, DotOrthogonal) {
+  EXPECT_EQ(Vec3(1, 0, 0).dot(Vec3(0, 1, 0)), 0.0);
+  EXPECT_EQ(Vec3(1, 2, 3).dot(Vec3(1, 2, 3)), 14.0);
+}
+
+TEST(Vec3, NormalizedAndXY) {
+  const Vec3 v{0.0, 3.0, 4.0};
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-12);
+  EXPECT_EQ(v.xy(), Vec2(0.0, 3.0));
+}
+
+TEST(Vec3, FromVec2) {
+  const Vec3 v{Vec2{1.0, 2.0}, 3.0};
+  EXPECT_EQ(v, Vec3(1.0, 2.0, 3.0));
+}
+
+TEST(VecPrint, StreamsReadably) {
+  std::ostringstream os;
+  os << Vec2{1.5, -2.0} << " " << Vec3{1.0, 2.0, 3.0};
+  EXPECT_EQ(os.str(), "(1.5, -2) (1, 2, 3)");
+}
+
+}  // namespace
+}  // namespace polardraw

@@ -1,0 +1,180 @@
+// Tests for the Kalman tracker and the reference-tag calibration.
+#include <gtest/gtest.h>
+
+#include "common/angles.h"
+#include "core/calibration.h"
+#include "core/kalman_tracker.h"
+#include "core/polardraw.h"
+#include "eval/harness.h"
+#include "recognition/procrustes.h"
+#include "sim/scene.h"
+
+namespace polardraw::core {
+namespace {
+
+PolarDrawConfig small_cfg() {
+  PolarDrawConfig cfg;
+  cfg.board_width_m = 0.4;
+  cfg.board_height_m = 0.3;
+  return cfg;
+}
+
+TrackObservation move_obs(Vec2 dir, double step) {
+  TrackObservation o;
+  o.direction.type = MotionType::kTranslational;
+  o.direction.direction = dir.normalized();
+  o.distance.lower_m = step;
+  o.distance.upper_m = 0.01;
+  o.distance.valid = true;
+  return o;
+}
+
+TEST(KalmanTracker, FollowsCommandedMotion) {
+  const auto cfg = small_cfg();
+  const KalmanTracker kf(cfg, {}, {0.1, 0.35}, {0.3, 0.35}, 0.12);
+  const Vec2 hint{0.1, 0.15};
+  std::vector<TrackObservation> obs(30, move_obs({1.0, 0.0}, 0.005));
+  const auto traj = kf.decode(obs, &hint);
+  ASSERT_EQ(traj.size(), 31u);
+  EXPECT_GT(traj.back().x - traj.front().x, 0.06);
+  EXPECT_NEAR(traj.back().y, traj.front().y, 0.04);
+}
+
+TEST(KalmanTracker, IdleDampsVelocity) {
+  const auto cfg = small_cfg();
+  const KalmanTracker kf(cfg, {}, {0.1, 0.35}, {0.3, 0.35}, 0.12);
+  const Vec2 hint{0.2, 0.15};
+  // Move, then go idle: the track must coast to a stop, not fly off.
+  std::vector<TrackObservation> obs(10, move_obs({1.0, 0.0}, 0.006));
+  obs.resize(40);  // 30 idle windows
+  const auto traj = kf.decode(obs, &hint);
+  const Vec2 at_stop = traj[12];
+  EXPECT_LT(traj.back().dist(at_stop), 0.05);
+}
+
+TEST(KalmanTracker, RespectsSpeedCap) {
+  const auto cfg = small_cfg();
+  const KalmanTracker kf(cfg, {}, {0.1, 0.35}, {0.3, 0.35}, 0.12);
+  const Vec2 hint{0.05, 0.15};
+  std::vector<TrackObservation> obs(20, move_obs({1.0, 0.0}, 0.02));
+  const auto traj = kf.decode(obs, &hint);
+  for (std::size_t i = 1; i < traj.size(); ++i) {
+    EXPECT_LE(traj[i].dist(traj[i - 1]),
+              cfg.vmax_mps * cfg.window_s + 1e-6);
+  }
+}
+
+TEST(KalmanTracker, EmptyObservations) {
+  const auto cfg = small_cfg();
+  const KalmanTracker kf(cfg, {}, {0.1, 0.35}, {0.3, 0.35}, 0.12);
+  EXPECT_TRUE(kf.decode({}).empty());
+}
+
+TEST(KalmanTracker, EndToEndViaConfigFlag) {
+  eval::TrialConfig cfg;
+  cfg.system = eval::System::kPolarDraw;
+  cfg.seed = 47;
+  cfg.algo.use_kalman_filter = true;
+  const auto res = eval::run_trial("O", cfg);
+  EXPECT_GT(res.trajectory.size(), 40u);
+  EXPECT_LT(res.procrustes_m, 0.15);
+}
+
+// ---------------------------------------------------------------------------
+// Reference-tag calibration
+// ---------------------------------------------------------------------------
+class CalibrationTest : public ::testing::Test {
+ protected:
+  CalibrationTest() : scene_(make_scene()) {}
+  static sim::Scene make_scene() {
+    sim::SceneConfig cfg;
+    cfg.seed = 13;
+    cfg.clutter_count = 0;  // calibration is done in a quiet setup
+    return sim::Scene(cfg);
+  }
+
+  /// Runs a static reference tag for `seconds` and returns the reports.
+  rfid::TagReportStream reference_run(Vec3 pos, double seconds) {
+    handwriting::WritingTrace trace;
+    for (int i = 0; i <= static_cast<int>(seconds / 0.005); ++i) {
+      handwriting::TraceSample s;
+      s.t_s = i * 0.005;
+      s.pen_tip = pos;
+      s.tag_pos = pos;
+      s.angles = {deg2rad(30.0), deg2rad(90.0)};
+      trace.samples.push_back(s);
+    }
+    return scene_.run(trace);
+  }
+
+  sim::Scene scene_;
+};
+
+TEST_F(CalibrationTest, RecoversPortOffsets) {
+  const Vec3 ref_pos{0.5, 0.25, 0.0};
+  const auto reports = reference_run(ref_pos, 3.0);
+  CalibrationSetup setup;
+  setup.tag_position = ref_pos;
+  for (const auto& a : scene_.antennas()) {
+    setup.antenna_positions.push_back(a.position);
+  }
+  const auto result = calibrate_from_reference(reports, setup);
+  ASSERT_TRUE(result.has_value());
+  const auto& truth = scene_.reader().port_phase_offsets();
+  ASSERT_EQ(result->calibration.port_offsets_rad.size(), truth.size());
+  for (std::size_t p = 0; p < truth.size(); ++p) {
+    EXPECT_LT(angle_dist(result->calibration.port_offsets_rad[p], truth[p]),
+              0.25)
+        << "port " << p;
+    EXPECT_LT(result->residual_std_rad[p], 0.3);
+    EXPECT_GE(result->reads_used[p], 10);
+  }
+}
+
+TEST_F(CalibrationTest, SelfCalibratedTrackingWorks) {
+  // Full deployment flow: calibrate with a reference tag, then track a
+  // letter using the ESTIMATED offsets instead of the simulator's truth.
+  const Vec3 ref_pos{0.5, 0.25, 0.0};
+  const auto ref_reports = reference_run(ref_pos, 3.0);
+  CalibrationSetup setup;
+  setup.tag_position = ref_pos;
+  for (const auto& a : scene_.antennas()) {
+    setup.antenna_positions.push_back(a.position);
+  }
+  const auto cal = calibrate_from_reference(ref_reports, setup);
+  ASSERT_TRUE(cal.has_value());
+
+  Rng rng(21);
+  handwriting::SynthesisConfig synth;
+  const auto trace = handwriting::synthesize("O", synth, rng);
+  const auto reports = scene_.run(trace);
+
+  PolarDrawConfig algo;
+  const auto apos = scene_.antenna_board_positions();
+  PolarDraw tracker(algo, apos[0], apos[1], 0.12);
+  const auto res = tracker.track(reports, &cal->calibration);
+  ASSERT_GT(res.trajectory.size(), 40u);
+  const auto truth_poly = handwriting::flatten_strokes(trace.ground_truth);
+  EXPECT_LT(recognition::procrustes_distance(truth_poly, res.trajectory),
+            0.10);
+}
+
+TEST(Calibration, RejectsInsufficientData) {
+  CalibrationSetup setup;
+  setup.tag_position = Vec3{0.5, 0.25, 0.0};
+  setup.antenna_positions = {Vec3{0.2, 1.25, 0.12}, Vec3{0.8, 1.25, 0.12}};
+  rfid::TagReportStream few;
+  for (int i = 0; i < 5; ++i) {
+    rfid::TagReport r;
+    r.antenna_id = i % 2;
+    r.phase_rad = 1.0;
+    few.push_back(r);
+  }
+  EXPECT_FALSE(calibrate_from_reference(few, setup, 10).has_value());
+  EXPECT_FALSE(calibrate_from_reference({}, setup).has_value());
+  EXPECT_FALSE(
+      calibrate_from_reference(few, CalibrationSetup{}).has_value());
+}
+
+}  // namespace
+}  // namespace polardraw::core

@@ -1,0 +1,155 @@
+#include "core/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "common/angles.h"
+
+namespace polardraw::core {
+namespace {
+
+rfid::TagReport report(double t, int ant, double rss, double phase) {
+  rfid::TagReport r;
+  r.timestamp_s = t;
+  r.antenna_id = ant;
+  r.rss_dbm = rss;
+  r.phase_rad = wrap_2pi(phase);
+  return r;
+}
+
+TEST(CircularMean, SimpleAverage) {
+  const auto m = circular_mean({0.1, 0.3});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NEAR(*m, 0.2, 1e-9);
+}
+
+TEST(CircularMean, HandlesWrap) {
+  // 0.1 and 2*pi - 0.1 average to 0, not pi.
+  const auto m = circular_mean({0.1, kTwoPi - 0.1});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NEAR(*m, 0.0, 1e-9);
+}
+
+TEST(CircularMean, EmptyIsNullopt) {
+  EXPECT_FALSE(circular_mean({}).has_value());
+}
+
+TEST(Preprocess, WindowsAggregateBothAntennas) {
+  PolarDrawConfig cfg;
+  rfid::TagReportStream reports;
+  // Two antennas, 4 reads per 50 ms window each, 5 windows.
+  for (int w = 0; w < 5; ++w) {
+    for (int k = 0; k < 4; ++k) {
+      const double t = w * 0.05 + k * 0.012;
+      reports.push_back(report(t, 0, -40.0 - w, 1.0 + 0.01 * w));
+      reports.push_back(report(t + 0.001, 1, -50.0 - w, 2.0 + 0.01 * w));
+    }
+  }
+  const auto windows = preprocess(reports, cfg);
+  ASSERT_EQ(windows.size(), 5u);
+  for (int w = 0; w < 5; ++w) {
+    EXPECT_TRUE(windows[w].both_rss_valid());
+    EXPECT_TRUE(windows[w].both_phase_valid());
+    EXPECT_NEAR(windows[w].rss_dbm[0], -40.0 - w, 1e-9);
+    EXPECT_NEAR(windows[w].rss_dbm[1], -50.0 - w, 1e-9);
+    EXPECT_EQ(windows[w].read_count[0], 4);
+  }
+}
+
+TEST(Preprocess, EmptyWindowsMarkedInvalid) {
+  PolarDrawConfig cfg;
+  rfid::TagReportStream reports;
+  reports.push_back(report(0.0, 0, -40.0, 1.0));
+  reports.push_back(report(0.2, 0, -40.0, 1.0));  // 4 windows later
+  const auto windows = preprocess(reports, cfg);
+  ASSERT_EQ(windows.size(), 5u);
+  EXPECT_TRUE(windows[0].rss_valid[0]);
+  EXPECT_FALSE(windows[1].rss_valid[0]);
+  EXPECT_FALSE(windows[2].both_rss_valid());
+}
+
+TEST(Preprocess, SpuriousJumpRejected) {
+  PolarDrawConfig cfg;
+  cfg.spurious_phase_threshold_rad = 0.2;
+  rfid::TagReportStream reports;
+  // Stable phase, one wild window (a cross-polarized reflection reading),
+  // then stable again.
+  for (int w = 0; w < 6; ++w) {
+    const double phase = w == 3 ? 2.5 : 1.0 + 0.02 * w;
+    reports.push_back(report(w * 0.05, 0, -40.0, phase));
+    reports.push_back(report(w * 0.05 + 0.01, 1, -40.0, 1.0));
+  }
+  const auto windows = preprocess(reports, cfg);
+  ASSERT_EQ(windows.size(), 6u);
+  EXPECT_TRUE(windows[2].phase_valid[0]);
+  EXPECT_FALSE(windows[3].phase_valid[0]);  // rejected
+  EXPECT_TRUE(windows[4].phase_valid[0]);   // recovered (gap-scaled)
+  // RSS is never rejected by the phase filter.
+  EXPECT_TRUE(windows[3].rss_valid[0]);
+}
+
+TEST(Preprocess, GapScalingAvoidsCascade) {
+  PolarDrawConfig cfg;
+  cfg.spurious_phase_threshold_rad = 0.2;
+  rfid::TagReportStream reports;
+  // Phase slews 0.15 rad/window; a 3-window read gap accumulates 0.45 rad
+  // of legitimate change, which must NOT be rejected.
+  int w = 0;
+  auto add = [&](int window) {
+    reports.push_back(report(window * 0.05, 0, -40.0, 1.0 + 0.15 * window));
+  };
+  for (w = 0; w < 3; ++w) add(w);
+  for (w = 6; w < 9; ++w) add(w);  // gap of 3 windows
+  const auto windows = preprocess(reports, cfg);
+  ASSERT_GE(windows.size(), 9u);
+  EXPECT_TRUE(windows[6].phase_valid[0]);
+  EXPECT_TRUE(windows[7].phase_valid[0]);
+}
+
+TEST(Preprocess, UnwrapsAcrossWindows) {
+  PolarDrawConfig cfg;
+  cfg.spurious_phase_threshold_rad = 0.5;
+  rfid::TagReportStream reports;
+  // Steady slew of 0.4 rad per window wraps after ~16 windows; the
+  // unwrapped series must keep increasing.
+  for (int w = 0; w < 30; ++w) {
+    reports.push_back(report(w * 0.05, 0, -40.0, 0.4 * w));
+  }
+  const auto windows = preprocess(reports, cfg);
+  double prev = -1e9;
+  for (const auto& win : windows) {
+    if (!win.phase_valid[0]) continue;
+    EXPECT_GT(win.phase_rad[0], prev);
+    prev = win.phase_rad[0];
+  }
+  EXPECT_GT(prev, 10.0);  // far beyond one wrap
+}
+
+TEST(Preprocess, CalibrationSubtractsPortOffsets) {
+  PolarDrawConfig cfg;
+  rfid::TagReportStream reports;
+  for (int w = 0; w < 3; ++w) {
+    reports.push_back(report(w * 0.05, 0, -40.0, 1.5));
+  }
+  PhaseCalibration cal{{0.5, 0.0}};
+  const auto windows = preprocess(reports, cfg, &cal);
+  EXPECT_NEAR(wrap_2pi(windows[0].phase_rad[0]), 1.0, 1e-9);
+}
+
+TEST(Preprocess, IgnoresForeignAntennas) {
+  PolarDrawConfig cfg;
+  rfid::TagReportStream reports;
+  reports.push_back(report(0.0, 0, -40.0, 1.0));
+  reports.push_back(report(0.0, 3, -40.0, 1.0));  // not a PolarDraw port
+  const auto windows = preprocess(reports, cfg);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_TRUE(windows[0].rss_valid[0]);
+  EXPECT_FALSE(windows[0].rss_valid[1]);
+}
+
+TEST(Preprocess, EmptyStreamEmptyResult) {
+  PolarDrawConfig cfg;
+  EXPECT_TRUE(preprocess({}, cfg).empty());
+}
+
+}  // namespace
+}  // namespace polardraw::core

@@ -1,0 +1,241 @@
+// Tests for the paper's future-work extensions implemented here: the
+// particle-filter tracker, the language-model post-processor, the
+// multi-tag inventory, and the WISP touch sensor.
+#include <gtest/gtest.h>
+
+#include "common/angles.h"
+#include "core/particle_tracker.h"
+#include "core/polardraw.h"
+#include "eval/harness.h"
+#include "recognition/language_model.h"
+#include "rfid/wisp.h"
+#include "sim/scene.h"
+
+namespace polardraw {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Particle filter
+// ---------------------------------------------------------------------------
+core::PolarDrawConfig small_cfg() {
+  core::PolarDrawConfig cfg;
+  cfg.board_width_m = 0.4;
+  cfg.board_height_m = 0.3;
+  return cfg;
+}
+
+core::TrackObservation move_obs(Vec2 dir, double step) {
+  core::TrackObservation o;
+  o.direction.type = core::MotionType::kTranslational;
+  o.direction.direction = dir.normalized();
+  o.distance.lower_m = step * 0.9;
+  o.distance.upper_m = 0.01;
+  o.distance.valid = true;
+  return o;
+}
+
+TEST(ParticleTracker, FollowsCommandedMotion) {
+  const auto cfg = small_cfg();
+  core::ParticleTracker pf(cfg, {}, {0.1, 0.35}, {0.3, 0.35}, 0.12, 5);
+  const Vec2 hint{0.1, 0.15};
+  std::vector<core::TrackObservation> obs(25, move_obs({1.0, 0.0}, 0.005));
+  const auto traj = pf.decode(obs, &hint);
+  ASSERT_EQ(traj.size(), 26u);
+  EXPECT_GT(traj.back().x - traj.front().x, 0.06);
+  EXPECT_NEAR(traj.back().y, traj.front().y, 0.05);
+}
+
+TEST(ParticleTracker, IdleHoldsPosition) {
+  const auto cfg = small_cfg();
+  core::ParticleTracker pf(cfg, {}, {0.1, 0.35}, {0.3, 0.35}, 0.12, 5);
+  const Vec2 hint{0.2, 0.15};
+  std::vector<core::TrackObservation> obs(20);  // all idle
+  const auto traj = pf.decode(obs, &hint);
+  for (const auto& p : traj) {
+    EXPECT_NEAR(p.x, 0.2, 0.06);
+    EXPECT_NEAR(p.y, 0.15, 0.06);
+  }
+}
+
+TEST(ParticleTracker, EmptyObservations) {
+  const auto cfg = small_cfg();
+  core::ParticleTracker pf(cfg, {}, {0.1, 0.35}, {0.3, 0.35}, 0.12);
+  EXPECT_TRUE(pf.decode({}).empty());
+}
+
+TEST(ParticleTracker, EndToEndViaConfigFlag) {
+  eval::TrialConfig cfg;
+  cfg.system = eval::System::kPolarDraw;
+  cfg.seed = 31;
+  cfg.algo.use_particle_filter = true;
+  const auto res = eval::run_trial("O", cfg);
+  EXPECT_GT(res.trajectory.size(), 40u);
+  EXPECT_LT(res.procrustes_m, 0.15);
+}
+
+// ---------------------------------------------------------------------------
+// Language model
+// ---------------------------------------------------------------------------
+TEST(BigramModel, CommonPatternsMoreLikely) {
+  const recognition::BigramModel lm;
+  // 'TH' is among the most common English bigrams; 'QX' is not.
+  EXPECT_GT(lm.transition_log_prob('T', 'H'),
+            lm.transition_log_prob('Q', 'X'));
+  EXPECT_GT(lm.log_prob("THE"), lm.log_prob("XQZ"));
+}
+
+TEST(BigramModel, DegenerateWords) {
+  const recognition::BigramModel lm;
+  EXPECT_LT(lm.log_prob(""), -1e5);
+  EXPECT_LT(lm.log_prob("A1B"), -1e5);
+}
+
+TEST(BigramModel, CustomCorpusLearns) {
+  const recognition::BigramModel lm({"ZZZZ", "ZZZ"});
+  EXPECT_GT(lm.transition_log_prob('Z', 'Z'),
+            lm.transition_log_prob('A', 'B'));
+}
+
+TEST(WordCorrector, DecodePrefersLikelySequences) {
+  const recognition::WordCorrector corrector{recognition::BigramModel{}, 2.0};
+  // Position scores tie exactly; the bigram prior must break the tie
+  // toward the common word.
+  std::vector<std::vector<recognition::LetterHypothesis>> positions{
+      {{'T', 0.0}, {'X', 0.0}},
+      {{'H', 0.0}, {'Q', 0.0}},
+      {{'E', 0.0}, {'Z', 0.0}},
+  };
+  EXPECT_EQ(corrector.decode(positions), "THE");
+}
+
+TEST(WordCorrector, DecodeRespectsStrongEvidence) {
+  const recognition::WordCorrector corrector{recognition::BigramModel{}, 0.5};
+  // Overwhelming classifier evidence for an unusual sequence must win.
+  std::vector<std::vector<recognition::LetterHypothesis>> positions{
+      {{'X', 0.0}, {'T', 50.0}},
+      {{'Q', 0.0}, {'H', 50.0}},
+  };
+  EXPECT_EQ(corrector.decode(positions), "XQ");
+}
+
+TEST(WordCorrector, SnapFixesOneLetterError) {
+  const recognition::WordCorrector corrector{recognition::BigramModel{}};
+  EXPECT_EQ(corrector.snap_to_dictionary("MOOM", {"MOON", "GOLD", "RAIN"}),
+            "MOON");
+  // Beyond max_edits: unchanged.
+  EXPECT_EQ(corrector.snap_to_dictionary("XYZQW", {"MOON"}), "XYZQW");
+}
+
+TEST(EditDistance, KnownValues) {
+  EXPECT_EQ(recognition::edit_distance("", ""), 0);
+  EXPECT_EQ(recognition::edit_distance("ABC", "ABC"), 0);
+  EXPECT_EQ(recognition::edit_distance("ABC", "ABD"), 1);
+  EXPECT_EQ(recognition::edit_distance("ABC", "AC"), 1);
+  EXPECT_EQ(recognition::edit_distance("KITTEN", "SITTING"), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tag inventory
+// ---------------------------------------------------------------------------
+TEST(MultiTag, PopulationSharesReadBudget) {
+  sim::SceneConfig scfg;
+  scfg.seed = 8;
+  sim::Scene scene(scfg);
+  em::Tag tag;
+  tag.position = Vec3{0.45, 0.25, 0.0};
+  tag.dipole_axis = em::pen_axis({deg2rad(30.0), deg2rad(90.0)});
+  em::Tag tag2 = tag;
+  tag2.position = Vec3{0.55, 0.25, 0.0};
+  const std::vector<rfid::TagEntry> tags{
+      {0xAA, [&](double) { return tag; }},
+      {0xBB, [&](double) { return tag2; }},
+  };
+  scene.reader().select_modulation(tags[0].state);
+  const auto reports = scene.reader().inventory_population(tags, 0.0, 3.0);
+  ASSERT_GT(reports.size(), 100u);
+  int a = 0, b = 0;
+  for (const auto& r : reports) {
+    if (r.epc == 0xAA) ++a;
+    if (r.epc == 0xBB) ++b;
+  }
+  EXPECT_EQ(a + b, static_cast<int>(reports.size()));
+  // Roughly even split of the slot budget.
+  EXPECT_NEAR(static_cast<double>(a) / (a + b), 0.5, 0.12);
+}
+
+TEST(MultiTag, EmptyPopulation) {
+  sim::SceneConfig scfg;
+  sim::Scene scene(scfg);
+  EXPECT_TRUE(scene.reader().inventory_population({}, 0.0, 1.0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// WISP touch sensing
+// ---------------------------------------------------------------------------
+TEST(Wisp, DetectsPenDownSegments) {
+  handwriting::SynthesisConfig cfg;
+  Rng rng(4);
+  const auto trace = handwriting::synthesize("T", cfg, rng);  // 2 strokes
+  rfid::WispConfig wcfg;
+  Rng wisp_rng(5);
+  const auto accel = rfid::simulate_wisp(trace, wcfg, wisp_rng);
+  ASSERT_GT(accel.size(), 100u);
+
+  const double window = 0.05;
+  const auto touch = rfid::detect_touch(accel, window);
+  ASSERT_FALSE(touch.empty());
+
+  // Compare against ground truth per window: require decent agreement on
+  // windows where the pen moves (dwell windows are ambiguous -- no
+  // friction while touching but static).
+  int agree = 0, total = 0;
+  for (std::size_t w = 0; w < touch.size(); ++w) {
+    const double t = (static_cast<double>(w) + 0.5) * window;
+    const auto tag = sim::tag_at_time(trace, t);
+    (void)tag;
+    // Find pen_down and speed at window center from the trace.
+    const auto& s = trace.samples;
+    auto it = std::lower_bound(
+        s.begin(), s.end(), t,
+        [](const handwriting::TraceSample& a, double tv) { return a.t_s < tv; });
+    if (it == s.begin() || it == s.end()) continue;
+    const auto& hi = *it;
+    const auto& lo = *(it - 1);
+    const double speed =
+        hi.pen_tip.dist(lo.pen_tip) / std::max(hi.t_s - lo.t_s, 1e-9);
+    if (speed < 0.02) continue;  // skip dwells and slow corners
+    ++total;
+    agree += touch[w] == lo.pen_down ? 1 : 0;
+  }
+  ASSERT_GT(total, 10);
+  EXPECT_GT(static_cast<double>(agree) / total, 0.8);
+}
+
+TEST(Wisp, GravityDominatesAtRest) {
+  handwriting::WritingTrace trace;
+  for (int i = 0; i <= 200; ++i) {
+    handwriting::TraceSample s;
+    s.t_s = i * 0.01;
+    s.pen_tip = Vec3{0.4, 0.2, 0.0};
+    s.pen_down = false;
+    trace.samples.push_back(s);
+  }
+  rfid::WispConfig cfg;
+  Rng rng(6);
+  const auto accel = rfid::simulate_wisp(trace, cfg, rng);
+  ASSERT_FALSE(accel.empty());
+  for (const auto& a : accel) {
+    EXPECT_NEAR(a.accel.norm(), cfg.gravity, 1.0);
+    EXPECT_LT(a.accel.y, 0.0);
+  }
+}
+
+TEST(Wisp, DegenerateInputs) {
+  rfid::WispConfig cfg;
+  Rng rng(1);
+  EXPECT_TRUE(rfid::simulate_wisp(handwriting::WritingTrace{}, cfg, rng).empty());
+  EXPECT_TRUE(rfid::detect_touch({}, 0.05).empty());
+}
+
+}  // namespace
+}  // namespace polardraw

@@ -1,0 +1,175 @@
+// Failure-injection tests: the pipeline must degrade gracefully, never
+// crash or emit garbage structure, under hostile inputs.
+#include <gtest/gtest.h>
+
+#include "common/angles.h"
+#include "core/polardraw.h"
+#include "eval/harness.h"
+#include "recognition/classifier.h"
+#include "sim/scene.h"
+
+namespace polardraw {
+namespace {
+
+core::PolarDraw default_tracker() {
+  core::PolarDrawConfig cfg;
+  return core::PolarDraw(cfg, {0.22, 1.25}, {0.78, 1.25}, 0.12);
+}
+
+rfid::TagReport report(double t, int ant, double rss, double phase) {
+  rfid::TagReport r;
+  r.timestamp_s = t;
+  r.antenna_id = ant;
+  r.rss_dbm = rss;
+  r.phase_rad = wrap_2pi(phase);
+  return r;
+}
+
+TEST(FailureInjection, EmptyReportStream) {
+  const auto tracker = default_tracker();
+  const auto res = tracker.track({});
+  EXPECT_TRUE(res.trajectory.empty());
+}
+
+TEST(FailureInjection, SingleReport) {
+  const auto tracker = default_tracker();
+  const auto res = tracker.track({report(0.0, 0, -40.0, 1.0)});
+  // One window cannot seed a chain; no crash, trivial output.
+  EXPECT_LE(res.trajectory.size(), 2u);
+}
+
+TEST(FailureInjection, OneAntennaSilentForever) {
+  const auto tracker = default_tracker();
+  rfid::TagReportStream reports;
+  for (int i = 0; i < 200; ++i) {
+    reports.push_back(report(i * 0.01, 0, -40.0, 0.3 + 0.01 * i));
+  }
+  const auto res = tracker.track(reports);
+  // Without the second antenna there is no direction/hyperbola info;
+  // the tracker must still return a bounded trajectory.
+  EXPECT_FALSE(res.trajectory.empty());
+  for (const auto& p : res.trajectory) {
+    EXPECT_GE(p.x, -0.1);
+    EXPECT_LE(p.x, 1.1);
+  }
+}
+
+TEST(FailureInjection, AllPhasesSpurious) {
+  core::PolarDrawConfig cfg;
+  cfg.spurious_phase_threshold_rad = 1e-6;  // reject every phase delta
+  core::PolarDraw tracker(cfg, {0.22, 1.25}, {0.78, 1.25}, 0.12);
+  rfid::TagReportStream reports;
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    reports.push_back(
+        report(i * 0.005, i % 2, -40.0, rng.uniform(0.0, kTwoPi)));
+  }
+  const auto res = tracker.track(reports);
+  EXPECT_FALSE(res.trajectory.empty());
+}
+
+TEST(FailureInjection, ConstantEverything) {
+  // A frozen tag: constant RSS/phase. Expect an (almost) stationary track.
+  const auto tracker = default_tracker();
+  rfid::TagReportStream reports;
+  for (int i = 0; i < 400; ++i) {
+    reports.push_back(report(i * 0.005, i % 2, -40.0, 1.0));
+  }
+  const auto res = tracker.track(reports);
+  ASSERT_GT(res.trajectory.size(), 10u);
+  double travel = 0.0;
+  for (std::size_t i = 1; i < res.trajectory.size(); ++i) {
+    travel += res.trajectory[i].dist(res.trajectory[i - 1]);
+  }
+  EXPECT_LT(travel, 0.05);
+}
+
+TEST(FailureInjection, OutOfOrderAntennaIds) {
+  const auto tracker = default_tracker();
+  rfid::TagReportStream reports;
+  for (int i = 0; i < 100; ++i) {
+    reports.push_back(report(i * 0.01, 7, -40.0, 1.0));    // bogus port
+    reports.push_back(report(i * 0.01, -3, -40.0, 1.0));   // bogus port
+    reports.push_back(report(i * 0.01, i % 2, -40.0, 1.0));
+  }
+  EXPECT_NO_THROW(tracker.track(reports));
+}
+
+TEST(FailureInjection, ExtremeRssValues) {
+  const auto tracker = default_tracker();
+  rfid::TagReportStream reports;
+  for (int i = 0; i < 200; ++i) {
+    const double rss = i % 3 == 0 ? -149.0 : (i % 3 == 1 ? 20.0 : -40.0);
+    reports.push_back(report(i * 0.01, i % 2, rss, 1.0 + 0.02 * i));
+  }
+  const auto res = tracker.track(reports);
+  EXPECT_FALSE(res.trajectory.empty());
+}
+
+TEST(FailureInjection, DeafTagProducesNoReads) {
+  sim::SceneConfig cfg;
+  cfg.seed = 5;
+  sim::Scene scene(cfg);
+  handwriting::WritingTrace trace;
+  for (int i = 0; i <= 100; ++i) {
+    handwriting::TraceSample s;
+    s.t_s = i * 0.01;
+    s.pen_tip = Vec3{0.5, 0.25, 0.0};
+    s.angles = {deg2rad(30.0), deg2rad(90.0)};
+    s.tag_pos = s.pen_tip;
+    trace.samples.push_back(s);
+  }
+  // Make the chip absurdly insensitive so every activation fails.
+  auto tag_fn = [&trace](double t) {
+    auto tag = sim::tag_at_time(trace, t);
+    tag.sensitivity_dbm = 100.0;
+    return tag;
+  };
+  scene.reader().select_modulation(tag_fn);
+  const auto reports = scene.reader().inventory(tag_fn, 0.0, 1.0);
+  EXPECT_TRUE(reports.empty());
+}
+
+TEST(FailureInjection, AnechoicChamberStillWorks) {
+  // Zero clutter: no multipath at all. Accuracy should not collapse.
+  eval::TrialConfig cfg;
+  cfg.system = eval::System::kPolarDraw;
+  cfg.seed = 77;
+  cfg.scene.clutter_count = 0;
+  const auto res = eval::run_trial("O", cfg);
+  EXPECT_LT(res.procrustes_m, 0.12);
+}
+
+TEST(FailureInjection, HeavyClutterDegradesButSurvives) {
+  eval::TrialConfig cfg;
+  cfg.system = eval::System::kPolarDraw;
+  cfg.seed = 78;
+  cfg.scene.clutter_count = 20;
+  const auto res = eval::run_trial("O", cfg);
+  EXPECT_FALSE(res.trajectory.empty());
+  EXPECT_LT(res.procrustes_m, 0.30);
+}
+
+TEST(FailureInjection, TinyWritingStillTracked) {
+  eval::TrialConfig cfg;
+  cfg.system = eval::System::kPolarDraw;
+  cfg.seed = 79;
+  cfg.synth.letter_size_m = 0.05;  // 5 cm letters
+  const auto res = eval::run_trial("O", cfg);
+  EXPECT_FALSE(res.trajectory.empty());
+}
+
+TEST(FailureInjection, ClassifierHandlesWildInput) {
+  const recognition::LetterClassifier cls;
+  Rng rng(5);
+  std::vector<Vec2> wild;
+  for (int i = 0; i < 500; ++i) {
+    wild.push_back({rng.uniform(-100.0, 100.0), rng.uniform(-100.0, 100.0)});
+  }
+  const auto r = cls.classify(wild);
+  EXPECT_NE(r.letter, 0);
+  EXPECT_GE(r.score, 0.0);
+}
+
+}  // namespace
+}  // namespace polardraw

@@ -1,0 +1,86 @@
+// Parameterized end-to-end matrix: every tracking system under test runs
+// the same trials and must satisfy the same basic contracts (non-empty
+// bounded trajectories, determinism, sane error magnitudes).
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+
+namespace polardraw::eval {
+namespace {
+
+class SystemMatrix : public ::testing::TestWithParam<System> {};
+
+TEST_P(SystemMatrix, TracksBoundedTrajectory) {
+  TrialConfig cfg;
+  cfg.system = GetParam();
+  cfg.seed = 61;
+  const auto res = run_trial("O", cfg);
+  ASSERT_GT(res.trajectory.size(), 30u) << to_string(GetParam());
+  for (const auto& p : res.trajectory) {
+    EXPECT_GE(p.x, -0.05);
+    EXPECT_LE(p.x, 1.05);
+    EXPECT_GE(p.y, -0.05);
+    EXPECT_LE(p.y, 0.65);
+  }
+}
+
+TEST_P(SystemMatrix, Deterministic) {
+  TrialConfig cfg;
+  cfg.system = GetParam();
+  cfg.seed = 62;
+  const auto a = run_trial("S", cfg);
+  const auto b = run_trial("S", cfg);
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+  for (std::size_t i = 0; i < a.trajectory.size(); i += 11) {
+    EXPECT_EQ(a.trajectory[i], b.trajectory[i]);
+  }
+}
+
+TEST_P(SystemMatrix, ErrorWithinSimulationBand) {
+  TrialConfig cfg;
+  cfg.system = GetParam();
+  cfg.seed = 63;
+  const auto res = run_trial("M", cfg);
+  // The strict no-polarization ablation is expected to be bad -- its
+  // whole point is collapsing; everything else stays under the paper's
+  // worst-case band.
+  if (GetParam() != System::kPolarDrawNoPol) {
+    EXPECT_LT(res.procrustes_m, 0.15) << to_string(GetParam());
+  } else {
+    EXPECT_LT(res.procrustes_m, 0.5);
+  }
+}
+
+TEST_P(SystemMatrix, SpeedLimitRespected) {
+  TrialConfig cfg;
+  cfg.system = GetParam();
+  cfg.seed = 64;
+  const auto res = run_trial("Z", cfg);
+  const double max_step =
+      cfg.algo.vmax_mps * cfg.algo.window_s + 2.5 * cfg.algo.block_m;
+  int violations = 0;
+  for (std::size_t i = 1; i < res.trajectory.size(); ++i) {
+    if (res.trajectory[i].dist(res.trajectory[i - 1]) > max_step) {
+      ++violations;
+    }
+  }
+  // The tag-offset compensation may inject a handful of azimuth-driven
+  // jumps; bulk motion must respect the limit.
+  EXPECT_LE(violations, static_cast<int>(res.trajectory.size() / 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, SystemMatrix,
+    ::testing::Values(System::kPolarDraw, System::kPolarDrawNoPol,
+                      System::kPolarDrawNoPolPhaseDir, System::kTagoram2,
+                      System::kTagoram4, System::kRfIdraw4),
+    [](const ::testing::TestParamInfo<System>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace polardraw::eval

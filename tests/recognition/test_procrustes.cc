@@ -1,0 +1,133 @@
+#include "recognition/procrustes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/angles.h"
+#include "common/rng.h"
+
+namespace polardraw::recognition {
+namespace {
+
+std::vector<Vec2> circle(int n, Vec2 center = {}, double r = 1.0) {
+  std::vector<Vec2> out;
+  for (int i = 0; i < n; ++i) {
+    const double a = kTwoPi * i / n;
+    out.push_back(center + Vec2{r * std::cos(a), r * std::sin(a)});
+  }
+  return out;
+}
+
+std::vector<Vec2> transformed(const std::vector<Vec2>& pts, double rot,
+                              double scale, Vec2 shift) {
+  std::vector<Vec2> out;
+  for (const Vec2& p : pts) out.push_back(p.rotated(rot) * scale + shift);
+  return out;
+}
+
+TEST(Procrustes, IdenticalShapesZeroDistance) {
+  const auto shape = circle(32);
+  const auto r = procrustes(shape, shape);
+  EXPECT_NEAR(r.rms_distance, 0.0, 1e-12);
+  EXPECT_NEAR(r.normalized, 0.0, 1e-12);
+  EXPECT_NEAR(r.scale, 1.0, 1e-12);
+}
+
+TEST(Procrustes, InvariantToSimilarityTransform) {
+  Rng rng(2);
+  std::vector<Vec2> shape;
+  for (int i = 0; i < 40; ++i) {
+    shape.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)});
+  }
+  const auto moved = transformed(shape, 0.4, 1.7, {3.0, -2.0});
+  const auto r = procrustes(shape, moved);
+  EXPECT_NEAR(r.rms_distance, 0.0, 1e-9);
+  EXPECT_NEAR(r.rotation_rad, -0.4, 1e-9);
+  EXPECT_NEAR(r.scale, 1.0 / 1.7, 1e-9);
+}
+
+TEST(Procrustes, ResidualMatchesInjectedNoise) {
+  Rng rng(7);
+  const auto shape = circle(64, {0.0, 0.0}, 0.5);
+  auto noisy = shape;
+  for (auto& p : noisy) {
+    p.x += rng.gaussian(0.0, 0.01);
+    p.y += rng.gaussian(0.0, 0.01);
+  }
+  const auto r = procrustes(shape, noisy);
+  // RMS residual ~ noise std-dev in 2-D: sqrt(2)*0.01 within tolerance.
+  EXPECT_GT(r.rms_distance, 0.005);
+  EXPECT_LT(r.rms_distance, 0.025);
+}
+
+TEST(Procrustes, RotationClampBites) {
+  const auto shape = circle(32);
+  // A line rotated 90 degrees: unrestricted alignment recovers it,
+  // clamped alignment cannot.
+  std::vector<Vec2> line, rotated_line;
+  for (int i = 0; i < 32; ++i) {
+    line.push_back({i * 0.1, 0.0});
+    rotated_line.push_back({0.0, i * 0.1});
+  }
+  const auto free = procrustes(line, rotated_line, /*max_rotation=*/10.0);
+  const auto clamped = procrustes(line, rotated_line, /*max_rotation=*/0.3);
+  EXPECT_LT(free.rms_distance, 1e-9);
+  EXPECT_GT(clamped.rms_distance, 0.1);
+  EXPECT_NEAR(std::fabs(clamped.rotation_rad), 0.3, 1e-9);
+}
+
+TEST(Procrustes, MismatchedLengthsRejected) {
+  const auto a = circle(10);
+  const auto b = circle(12);
+  const auto r = procrustes(a, b);
+  EXPECT_EQ(r.normalized, 1.0);
+}
+
+TEST(Procrustes, DegenerateProbeRejected) {
+  const auto a = circle(8);
+  const std::vector<Vec2> collapsed(8, Vec2{1.0, 1.0});
+  const auto r = procrustes(a, collapsed);
+  EXPECT_EQ(r.normalized, 1.0);
+}
+
+TEST(Resample, PreservesEndpoints) {
+  const std::vector<Vec2> poly{{0, 0}, {1, 0}, {1, 1}};
+  const auto r = resample_by_arclength(poly, 21);
+  ASSERT_EQ(r.size(), 21u);
+  EXPECT_EQ(r.front(), Vec2(0, 0));
+  EXPECT_NEAR(r.back().x, 1.0, 1e-9);
+  EXPECT_NEAR(r.back().y, 1.0, 1e-9);
+}
+
+TEST(Resample, EquallySpacedByArclength) {
+  const std::vector<Vec2> poly{{0, 0}, {2, 0}};
+  const auto r = resample_by_arclength(poly, 5);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_NEAR(r[i].x, 0.5 * i, 1e-9);
+  }
+}
+
+TEST(Resample, SpacingUniformOnBentPolyline) {
+  const std::vector<Vec2> poly{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  const auto r = resample_by_arclength(poly, 31);
+  std::vector<double> steps;
+  for (std::size_t i = 1; i < r.size(); ++i) steps.push_back(r[i].dist(r[i - 1]));
+  for (double s : steps) EXPECT_NEAR(s, 3.0 / 30.0, 1e-9);
+}
+
+TEST(Resample, DegenerateInputs) {
+  EXPECT_TRUE(resample_by_arclength({{1, 1}}, 0).empty());
+  const auto single = resample_by_arclength({{2, 3}}, 4);
+  ASSERT_EQ(single.size(), 4u);
+  for (const auto& p : single) EXPECT_EQ(p, Vec2(2, 3));
+  const auto empty = resample_by_arclength({}, 3);
+  ASSERT_EQ(empty.size(), 3u);
+}
+
+TEST(ProcrustesDistance, ConvenienceMatchesManual) {
+  const auto a = circle(40, {0, 0}, 1.0);
+  const auto b = circle(53, {5, 5}, 2.0);  // same shape, different sampling
+  EXPECT_LT(procrustes_distance(a, b), 0.02);
+}
+
+}  // namespace
+}  // namespace polardraw::recognition

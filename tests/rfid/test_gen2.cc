@@ -1,0 +1,88 @@
+// Tests for the Gen2 slotted-ALOHA inventory and Q adaptation.
+#include <gtest/gtest.h>
+
+#include "rfid/gen2.h"
+
+namespace polardraw::rfid {
+namespace {
+
+TEST(Gen2, SingleTagReadsFastOnceAdapted) {
+  // With one tag, rounds re-frame (QueryAdjust) toward Q = 0 within a few
+  // rounds; from then on nearly every round yields the read.
+  Gen2Inventory inv(Gen2Config{}, Rng(3));
+  int singletons = 0, collisions = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto round = inv.run_round(1);
+    singletons += round.singletons;
+    collisions += round.collisions;
+    for (int t : round.read_tags) EXPECT_EQ(t, 0);
+  }
+  EXPECT_LE(inv.current_q(), 1.5);
+  EXPECT_GE(singletons, 30);
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Gen2, SlotAccountingConsistent) {
+  Gen2Inventory inv(Gen2Config{}, Rng(4));
+  const auto round = inv.run_round(10);
+  EXPECT_EQ(round.singletons + round.collisions + round.empties,
+            round.processed);
+  EXPECT_GE(round.processed, 1);
+  EXPECT_LE(round.processed, round.slots);
+  EXPECT_GT(round.duration_s, 0.0);
+}
+
+TEST(Gen2, QConvergesTowardLog2Population) {
+  // With 64 tags, the adapted Q should settle near 6 (log2 64).
+  Gen2Config cfg;
+  cfg.initial_q = 2.0;
+  Gen2Inventory inv(cfg, Rng(5));
+  inv.run(64, 3.0);
+  EXPECT_NEAR(inv.current_q(), 6.0, 1.6);
+}
+
+TEST(Gen2, QDropsForSmallPopulation) {
+  Gen2Config cfg;
+  cfg.initial_q = 8.0;  // far too many slots for 2 tags
+  Gen2Inventory inv(cfg, Rng(6));
+  inv.run(2, 2.0);
+  EXPECT_LT(inv.current_q(), 4.0);
+}
+
+TEST(Gen2, ReadRateDividesWithPopulation) {
+  const double r1 = measure_read_rate(1, 4.0, 7);
+  const double r4 = measure_read_rate(4, 4.0, 7);
+  const double r16 = measure_read_rate(16, 4.0, 7);
+  EXPECT_GT(r1, 150.0);  // a lone tag reads fast
+  // Aggregate throughput falls with collisions/empties but stays within
+  // the classic slotted-ALOHA efficiency band.
+  EXPECT_GT(r4, 0.4 * r1);
+  EXPECT_GT(r16, 0.3 * r1);
+  EXPECT_LT(r16, r1);
+}
+
+TEST(Gen2, AllTagsEventuallyRead) {
+  Gen2Inventory inv(Gen2Config{}, Rng(8));
+  const auto rounds = inv.run(12, 1.0);
+  std::vector<bool> seen(12, false);
+  for (const auto& r : rounds) {
+    for (int t : r.read_tags) seen[static_cast<std::size_t>(t)] = true;
+  }
+  for (int t = 0; t < 12; ++t) {
+    EXPECT_TRUE(seen[static_cast<std::size_t>(t)]) << "tag " << t;
+  }
+}
+
+TEST(Gen2, DeterministicGivenSeed) {
+  Gen2Inventory a(Gen2Config{}, Rng(9));
+  Gen2Inventory b(Gen2Config{}, Rng(9));
+  for (int i = 0; i < 10; ++i) {
+    const auto ra = a.run_round(5);
+    const auto rb = b.run_round(5);
+    EXPECT_EQ(ra.singletons, rb.singletons);
+    EXPECT_EQ(ra.read_tags, rb.read_tags);
+  }
+}
+
+}  // namespace
+}  // namespace polardraw::rfid

@@ -1,0 +1,184 @@
+// Tests for the LLRP-style framing and the frequency-hopping reader mode.
+#include <gtest/gtest.h>
+
+#include "common/angles.h"
+#include "core/polardraw.h"
+#include "eval/harness.h"
+#include "rfid/llrp.h"
+#include "rfid/reader.h"
+
+namespace polardraw::rfid {
+namespace {
+
+TagReport sample_report(double t, int ant) {
+  TagReport r;
+  r.timestamp_s = t;
+  r.antenna_id = ant;
+  r.epc = 0xAD227Bu;
+  r.rss_dbm = -43.21;
+  r.phase_rad = 1.234;
+  r.read_rate_hz = 51.5;
+  r.channel = 7;
+  return r;
+}
+
+TEST(Llrp, RoundTripPreservesFields) {
+  TagReportStream batch{sample_report(1.5, 0), sample_report(1.51, 1)};
+  const auto frame = llrp::encode_batch(batch);
+  const auto decoded = llrp::decode_batch(frame);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR((*decoded)[i].timestamp_s, batch[i].timestamp_s, 1e-6);
+    EXPECT_EQ((*decoded)[i].antenna_id, batch[i].antenna_id);
+    EXPECT_EQ((*decoded)[i].epc, batch[i].epc);
+    EXPECT_NEAR((*decoded)[i].rss_dbm, batch[i].rss_dbm, 0.01);
+    EXPECT_NEAR((*decoded)[i].phase_rad, batch[i].phase_rad, 0.001);
+    EXPECT_NEAR((*decoded)[i].read_rate_hz, batch[i].read_rate_hz, 0.1);
+    EXPECT_EQ((*decoded)[i].channel, batch[i].channel);
+  }
+}
+
+TEST(Llrp, EmptyBatchRoundTrips) {
+  const auto frame = llrp::encode_batch({});
+  const auto decoded = llrp::decode_batch(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(Llrp, RejectsMalformedFrames) {
+  TagReportStream batch{sample_report(0.1, 0)};
+  auto frame = llrp::encode_batch(batch);
+  // Truncated.
+  auto short_frame = frame;
+  short_frame.pop_back();
+  EXPECT_FALSE(llrp::decode_batch(short_frame).has_value());
+  // Wrong type.
+  auto bad_type = frame;
+  bad_type[0] = 0xFF;
+  EXPECT_FALSE(llrp::decode_batch(bad_type).has_value());
+  // Inconsistent length field.
+  auto bad_len = frame;
+  bad_len[5] = static_cast<std::uint8_t>(bad_len[5] + 1);
+  EXPECT_FALSE(llrp::decode_batch(bad_len).has_value());
+  // Tiny buffer.
+  EXPECT_FALSE(llrp::decode_batch({0x00}).has_value());
+}
+
+TEST(Llrp, ExtractFramesReassemblesStream) {
+  TagReportStream a{sample_report(0.1, 0)};
+  TagReportStream b{sample_report(0.2, 1), sample_report(0.21, 0)};
+  const auto fa = llrp::encode_batch(a);
+  const auto fb = llrp::encode_batch(b);
+
+  std::vector<std::uint8_t> wire;
+  wire.insert(wire.end(), fa.begin(), fa.end());
+  wire.insert(wire.end(), fb.begin(), fb.end());
+  // Deliver in awkward chunks.
+  std::vector<std::uint8_t> buffer;
+  std::vector<std::vector<std::uint8_t>> got;
+  for (std::size_t i = 0; i < wire.size(); i += 7) {
+    const std::size_t end = std::min(i + 7, wire.size());
+    buffer.insert(buffer.end(), wire.begin() + i, wire.begin() + end);
+    for (auto& f : llrp::extract_frames(buffer)) got.push_back(std::move(f));
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(llrp::decode_batch(got[0])->size(), 1u);
+  EXPECT_EQ(llrp::decode_batch(got[1])->size(), 2u);
+}
+
+TEST(Llrp, ExtractFramesKeepsPartials) {
+  TagReportStream a{sample_report(0.1, 0)};
+  const auto fa = llrp::encode_batch(a);
+  std::vector<std::uint8_t> buffer(fa.begin(), fa.begin() + 5);
+  EXPECT_TRUE(llrp::extract_frames(buffer).empty());
+  EXPECT_EQ(buffer.size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Frequency hopping
+// ---------------------------------------------------------------------------
+em::ReaderAntenna hop_antenna() {
+  em::ReaderAntenna a = em::make_linear_antenna(Vec3{0.5, 1.25, 0.12}, kPi / 2.0);
+  a.boresight = Vec3{0.0, -1.0, 0.0};
+  a.polarization_axis = Vec3{0.0, 0.0, 1.0};
+  return a;
+}
+
+TEST(FrequencyHopping, ChannelsChangeAcrossDwells) {
+  ReaderConfig cfg;
+  cfg.auto_select_modulation = false;
+  cfg.fixed_modulation = Modulation::kFM0;
+  cfg.frequency_hopping = true;
+  Reader reader(cfg, {hop_antenna()}, channel::MultipathChannel{}, Rng(2));
+  em::Tag tag;
+  tag.position = Vec3{0.5, 0.25, 0.0};
+  tag.dipole_axis = Vec3{0.0, 0.0, 1.0};
+
+  std::set<int> channels;
+  for (int i = 0; i < 50; ++i) {
+    const auto rep = reader.interrogate(0, tag, i * 0.1);
+    ASSERT_TRUE(rep.has_value());
+    channels.insert(rep->channel);
+  }
+  EXPECT_GT(channels.size(), 5u);  // hops across the 5 s span
+}
+
+TEST(FrequencyHopping, StableWithinDwell) {
+  ReaderConfig cfg;
+  cfg.auto_select_modulation = false;
+  cfg.fixed_modulation = Modulation::kFM0;
+  cfg.frequency_hopping = true;
+  Reader reader(cfg, {hop_antenna()}, channel::MultipathChannel{}, Rng(2));
+  em::Tag tag;
+  tag.position = Vec3{0.5, 0.25, 0.0};
+  tag.dipole_axis = Vec3{0.0, 0.0, 1.0};
+
+  const auto r1 = reader.interrogate(0, tag, 0.01);
+  const auto r2 = reader.interrogate(0, tag, 0.02);
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(r1->channel, r2->channel);
+  EXPECT_NEAR(angle_dist(r1->phase_rad, r2->phase_rad), 0.0, 0.3);
+}
+
+TEST(FrequencyHopping, PreprocessRestartsAcrossHops) {
+  // Two channels with very different offsets: the delta across the hop
+  // must not poison the tracker. Build a synthetic stream directly.
+  core::PolarDrawConfig cfg;
+  TagReportStream reports;
+  for (int w = 0; w < 20; ++w) {
+    for (int a = 0; a < 2; ++a) {
+      TagReport r;
+      r.timestamp_s = w * 0.05 + a * 0.01;
+      r.antenna_id = a;
+      r.rss_dbm = -40.0;
+      r.channel = w < 10 ? 3 : 17;       // hop at window 10
+      r.phase_rad = wrap_2pi(1.0 + (w < 10 ? 0.0 : 2.5));  // offset jump
+      reports.push_back(r);
+    }
+  }
+  const auto windows = core::preprocess(reports, cfg);
+  core::PolarDraw tracker(cfg, {0.22, 1.25}, {0.78, 1.25}, 0.12);
+  const auto result = tracker.track_windows(windows);
+  // A 2.5 rad apparent jump would demand ~6.5 cm of phantom motion; with
+  // the hop guard the track stays nearly still.
+  double travel = 0.0;
+  for (std::size_t i = 1; i < result.trajectory.size(); ++i) {
+    travel += result.trajectory[i].dist(result.trajectory[i - 1]);
+  }
+  EXPECT_LT(travel, 0.04);
+}
+
+TEST(FrequencyHopping, EndToEndTrackingSurvivesHops) {
+  eval::TrialConfig cfg;
+  cfg.system = eval::System::kPolarDraw;
+  cfg.seed = 91;
+  cfg.scene.reader.frequency_hopping = true;
+  const auto res = eval::run_trial("O", cfg);
+  EXPECT_GT(res.trajectory.size(), 40u);
+  EXPECT_LT(res.procrustes_m, 0.20);
+}
+
+}  // namespace
+}  // namespace polardraw::rfid
