@@ -10,12 +10,17 @@ using namespace polardraw;
 
 namespace {
 
+bench::TrialTimes g_times;
+
 double run_variant(const char* label,
                    const std::function<void(eval::TrialConfig&)>& mutate,
                    Table& t, int reps) {
   auto cfg = bench::default_trial(eval::System::kPolarDraw, 1500);
   mutate(cfg);
-  const double acc = eval::letter_accuracy(bench::ten_letters(), reps, cfg);
+  std::vector<eval::TrialResult> results;
+  const double acc = eval::letter_accuracy(
+      bench::ten_letters(), reps, cfg, nullptr, bench::n_threads(), &results);
+  g_times.add(results);
   t.add_row({label, fmt(acc * 100.0, 1)});
   return acc;
 }
@@ -25,6 +30,7 @@ double run_variant(const char* label,
 static void run_experiment() {
   bench::banner("Design ablations", "DESIGN.md section 5 choices");
   const int reps = 2 * bench::reps_scale();
+  bench::Stopwatch watch;
   Table t({"Variant", "Accuracy (%)"});
   run_variant("baseline (paper defaults as calibrated)", [](auto&) {}, t, reps);
   run_variant("particle filter instead of the HMM (paper's future work)",
@@ -72,7 +78,9 @@ static void run_experiment() {
               reps);
   bench::emit(t, "ablation_design");
   std::cout << "\nEach row isolates one design choice; the baseline row is "
-               "the calibrated default configuration.\n\n";
+               "the calibrated default configuration.\n";
+  g_times.report(std::cout, watch.seconds());
+  std::cout << "\n";
 }
 
 static void BM_ViterbiVsGreedy(benchmark::State& state) {

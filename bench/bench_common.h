@@ -10,11 +10,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/table.h"
@@ -29,6 +31,50 @@ inline int reps_scale() {
   const int v = std::atoi(env);
   return v > 0 ? v : 1;
 }
+
+/// Worker threads for the batch trial API: POLARDRAW_THREADS when set,
+/// otherwise all hardware threads. Trial results are bit-identical at any
+/// value; this only changes wall-clock time.
+inline int n_threads() { return eval::default_thread_count(); }
+
+/// Wall-clock stopwatch for the experiment sections.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates per-trial wall times (TrialResult::wall_s) across an
+/// experiment and prints the batch-throughput summary line.
+class TrialTimes {
+ public:
+  void add(const std::vector<eval::TrialResult>& results) {
+    for (const auto& r : results) times_.push_back(r.wall_s);
+  }
+  void add(const eval::TrialResult& result) { times_.push_back(result.wall_s); }
+
+  /// "N trials in W s on T threads (cpu X s, mean Y ms/trial, p90 Z ms)".
+  void report(std::ostream& os, double elapsed_s) const {
+    if (times_.empty()) return;
+    double cpu = 0.0;
+    for (double t : times_) cpu += t;
+    os << times_.size() << " trials in " << fmt(elapsed_s, 2) << " s on "
+       << n_threads() << " thread(s): trial cpu " << fmt(cpu, 2)
+       << " s, mean " << fmt(1e3 * cpu / static_cast<double>(times_.size()), 1)
+       << " ms/trial, p90 " << fmt(percentile(times_, 90.0) * 1e3, 1)
+       << " ms.\n";
+  }
+
+ private:
+  std::vector<double> times_;
+};
 
 /// Prints the standard bench banner.
 inline void banner(const std::string& id, const std::string& title) {

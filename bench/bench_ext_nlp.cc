@@ -31,44 +31,53 @@ Outcome run(std::size_t len, int reps) {
   static const recognition::LetterClassifier classifier;
   static const recognition::WordCorrector corrector{
       recognition::BigramModel{}, 1.5};
+  // The trials dominate the cost: run them as one parallel batch, then
+  // post-process serially in trial-index order.
+  std::vector<eval::TrialSpec> specs;
   for (std::size_t i = 0; i < 10; ++i) {
     for (int r = 0; r < reps; ++r) {
-      const std::string word = eval::test_word(len, i);
-      auto cfg = bench::default_trial(eval::System::kPolarDraw,
-                                      5200 + 71 * len + 13 * i + r);
-      const auto res = eval::run_trial(word, cfg);
+      eval::TrialSpec spec{eval::test_word(len, i),
+                           bench::default_trial(eval::System::kPolarDraw,
+                                                5200 + 71 * len)};
+      spec.cfg.seed = eval::trial_seed(spec.cfg.seed, specs.size());
+      specs.push_back(std::move(spec));
+    }
+  }
+  const auto results = eval::run_trials(specs, bench::n_threads());
+  for (std::size_t n = 0; n < results.size(); ++n) {
+    const std::string& word = specs[n].text;
+    const auto& res = results[n];
 
-      // Per-letter segmentation with the classifier's actual best and
-      // runner-up hypotheses per position, plus a flat tail so the bigram
-      // prior can flip weakly supported letters.
-      const auto detail =
-          classifier.classify_word_detailed(res.trajectory, word.size());
-      std::string raw;
-      std::vector<std::vector<recognition::LetterHypothesis>> positions;
-      for (const auto& c : detail) {
-        raw.push_back(c.letter);
-        std::vector<recognition::LetterHypothesis> hyps{
-            {c.letter, 0.0},
-            {c.second, 10.0 * (c.second_score - c.score)}};
-        for (char alt : handwriting::alphabet()) {
-          if (alt != c.letter && alt != c.second) hyps.push_back({alt, 3.0});
-        }
-        positions.push_back(std::move(hyps));
+    // Per-letter segmentation with the classifier's actual best and
+    // runner-up hypotheses per position, plus a flat tail so the bigram
+    // prior can flip weakly supported letters.
+    const auto detail =
+        classifier.classify_word_detailed(res.trajectory, word.size());
+    std::string raw;
+    std::vector<std::vector<recognition::LetterHypothesis>> positions;
+    for (const auto& c : detail) {
+      raw.push_back(c.letter);
+      std::vector<recognition::LetterHypothesis> hyps{
+          {c.letter, 0.0},
+          {c.second, 10.0 * (c.second_score - c.score)}};
+      for (char alt : handwriting::alphabet()) {
+        if (alt != c.letter && alt != c.second) hyps.push_back({alt, 3.0});
       }
-      const std::string bigram = corrector.decode(positions);
-      const std::string snapped = corrector.snap_to_dictionary(
-          bigram, recognition::builtin_corpus(), 3);
+      positions.push_back(std::move(hyps));
+    }
+    const std::string bigram = corrector.decode(positions);
+    const std::string snapped = corrector.snap_to_dictionary(
+        bigram, recognition::builtin_corpus(), 3);
 
-      ++out.total;
-      out.raw_ok += raw == word ? 1 : 0;
-      out.bigram_ok += bigram == word ? 1 : 0;
-      out.snapped_ok += snapped == word ? 1 : 0;
-      for (std::size_t k = 0; k < word.size() && k < raw.size(); ++k) {
-        ++out.letters_total;
-        out.raw_letters_ok += raw[k] == word[k] ? 1 : 0;
-        if (k < snapped.size()) {
-          out.snapped_letters_ok += snapped[k] == word[k] ? 1 : 0;
-        }
+    ++out.total;
+    out.raw_ok += raw == word ? 1 : 0;
+    out.bigram_ok += bigram == word ? 1 : 0;
+    out.snapped_ok += snapped == word ? 1 : 0;
+    for (std::size_t k = 0; k < word.size() && k < raw.size(); ++k) {
+      ++out.letters_total;
+      out.raw_letters_ok += raw[k] == word[k] ? 1 : 0;
+      if (k < snapped.size()) {
+        out.snapped_letters_ok += snapped[k] == word[k] ? 1 : 0;
       }
     }
   }
@@ -93,31 +102,38 @@ static void run_dictionary_experiment() {
       if (w.size() == len) candidates.push_back(w);
     }
     int shape_ok = 0, lm_ok = 0, total = 0;
+    std::vector<eval::TrialSpec> specs;
     for (std::size_t i = 0; i < 10; ++i) {
       for (int r = 0; r < reps; ++r) {
-        const std::string word = eval::test_word(len, i);
-        auto cfg = bench::default_trial(eval::System::kPolarDraw,
-                                        6300 + 71 * len + 13 * i + r);
-        const auto res = eval::run_trial(word, cfg);
-        std::string best_shape, best_lm;
-        double s_shape = 1e18, s_lm = 1e18;
-        for (const auto& cand : candidates) {
-          const double shape = classifier.word_score(res.trajectory, cand);
-          if (shape < s_shape) {
-            s_shape = shape;
-            best_shape = cand;
-          }
-          const double with_lm =
-              shape - 0.004 * lm.log_prob(cand);  // prior as a soft bonus
-          if (with_lm < s_lm) {
-            s_lm = with_lm;
-            best_lm = cand;
-          }
-        }
-        ++total;
-        shape_ok += best_shape == word ? 1 : 0;
-        lm_ok += best_lm == word ? 1 : 0;
+        eval::TrialSpec spec{eval::test_word(len, i),
+                             bench::default_trial(eval::System::kPolarDraw,
+                                                  6300 + 71 * len)};
+        spec.cfg.seed = eval::trial_seed(spec.cfg.seed, specs.size());
+        specs.push_back(std::move(spec));
       }
+    }
+    const auto results = eval::run_trials(specs, bench::n_threads());
+    for (std::size_t n = 0; n < results.size(); ++n) {
+      const std::string& word = specs[n].text;
+      const auto& res = results[n];
+      std::string best_shape, best_lm;
+      double s_shape = 1e18, s_lm = 1e18;
+      for (const auto& cand : candidates) {
+        const double shape = classifier.word_score(res.trajectory, cand);
+        if (shape < s_shape) {
+          s_shape = shape;
+          best_shape = cand;
+        }
+        const double with_lm =
+            shape - 0.004 * lm.log_prob(cand);  // prior as a soft bonus
+        if (with_lm < s_lm) {
+          s_lm = with_lm;
+          best_lm = cand;
+        }
+      }
+      ++total;
+      shape_ok += best_shape == word ? 1 : 0;
+      lm_ok += best_lm == word ? 1 : 0;
     }
     t.add_row({std::to_string(len), std::to_string(candidates.size()),
                fmt(100.0 * shape_ok / std::max(total, 1), 1),

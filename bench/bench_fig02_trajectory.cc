@@ -14,9 +14,15 @@ static void run_experiment() {
   bench::banner("Figure 2", "Recovered trajectory: WoW, M, C, W, Z");
   const std::vector<std::string> items{"WOW", "M", "C", "W", "Z"};
   Table t({"Item", "Procrustes (cm)", "Recognized"});
+  bench::Stopwatch watch;
+  std::vector<eval::TrialSpec> specs;
   for (std::size_t i = 0; i < items.size(); ++i) {
-    auto cfg = bench::default_trial(eval::System::kPolarDraw, 1000 + i);
-    const auto res = eval::run_trial(items[i], cfg);
+    specs.push_back(
+        {items[i], bench::default_trial(eval::System::kPolarDraw, 1000 + i)});
+  }
+  const auto results = eval::run_trials(specs, bench::n_threads());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& res = results[i];
     t.add_row({items[i], fmt(res.procrustes_m * 100.0, 1), res.recognized});
     std::vector<std::pair<double, double>> pts;
     for (const auto& p : res.trajectory) pts.emplace_back(p.x, p.y);
@@ -25,7 +31,11 @@ static void run_experiment() {
   }
   t.print(std::cout);
   std::cout << "\nPaper reference: Fig. 2 shows legible recovered strokes "
-               "across a 100 x 20 cm strip.\n\n";
+               "across a 100 x 20 cm strip.\n";
+  bench::TrialTimes times;
+  times.add(results);
+  times.report(std::cout, watch.seconds());
+  std::cout << "\n";
 }
 
 static void BM_TrackLetter(benchmark::State& state) {

@@ -15,8 +15,14 @@ static void run_experiment() {
   const int reps = 4 * bench::reps_scale();
   auto cfg = bench::default_trial(eval::System::kPolarDraw, 777);
   recognition::ConfusionMatrix cm;
+  bench::Stopwatch watch;
+  std::vector<eval::TrialResult> results;
   const double overall = eval::letter_accuracy(
-      "ABCDEFGHIJKLMNOPQRSTUVWXYZ", reps, cfg, &cm);
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZ", reps, cfg, &cm, bench::n_threads(),
+      &results);
+  const double elapsed = watch.seconds();
+  bench::TrialTimes times;
+  times.add(results);
 
   Table t({"Letter", "Accuracy (%)", "Top confusion"});
   int above90 = 0, above85 = 0, above80 = 0;
@@ -34,7 +40,9 @@ static void run_experiment() {
             << cm.total() << " trials (paper: 93.6%).\n"
             << "Letters >=90%: " << above90 << "/26 (paper: 15), >=85%: "
             << above85 << "/26 (paper: 21), >=80%: " << above80
-            << "/26 (paper: 26).\n\n";
+            << "/26 (paper: 26).\n";
+  times.report(std::cout, elapsed);
+  std::cout << "\n";
 }
 
 static void BM_LetterTrial(benchmark::State& state) {

@@ -15,7 +15,11 @@ static void run_experiment() {
   const int reps = 3 * bench::reps_scale();
   auto cfg = bench::default_trial(eval::System::kPolarDraw, 999);
   recognition::ConfusionMatrix cm;
-  eval::letter_accuracy("ABCDEFGHIJKLMNOPQRSTUVWXYZ", reps, cfg, &cm);
+  bench::Stopwatch watch;
+  std::vector<eval::TrialResult> results;
+  eval::letter_accuracy("ABCDEFGHIJKLMNOPQRSTUVWXYZ", reps, cfg, &cm,
+                        bench::n_threads(), &results);
+  const double elapsed = watch.seconds();
 
   // Compact rendering: intensity glyphs per cell (columns A..Z).
   std::cout << "    ";
@@ -64,7 +68,11 @@ static void run_experiment() {
   std::cout << "\nSingle-stroke letters mean accuracy: "
             << fmt(100.0 * single / std::max(ns, 1), 1)
             << "%  vs multi-stroke: " << fmt(100.0 * multi / std::max(nm, 1), 1)
-            << "% (paper: single-stroke letters recognize better).\n\n";
+            << "% (paper: single-stroke letters recognize better).\n";
+  bench::TrialTimes times;
+  times.add(results);
+  times.report(std::cout, elapsed);
+  std::cout << "\n";
 }
 
 static void BM_ConfusionBookkeeping(benchmark::State& state) {

@@ -11,30 +11,28 @@ static void run_experiment() {
   bench::banner("Figure 18", "Word recognition accuracy vs word length");
   Table t({"Letters", "PolarDraw-2 (%)", "RF-IDraw-4 (%)", "Tagoram-4 (%)"});
   const int reps = 1 * bench::reps_scale();
+  bench::Stopwatch watch;
+  bench::TrialTimes times;
   for (std::size_t len = 2; len <= 5; ++len) {
     std::array<double, 3> acc{};
     const eval::System systems[3] = {eval::System::kPolarDraw,
                                      eval::System::kRfIdraw4,
                                      eval::System::kTagoram4};
     for (int s = 0; s < 3; ++s) {
-      int correct = 0, total = 0;
-      for (std::size_t i = 0; i < 10; ++i) {
-        for (int r = 0; r < reps; ++r) {
-          auto cfg = bench::default_trial(
-              systems[s], 7000 + 997 * len + 13 * i + r);
-          const auto res = eval::run_trial(eval::test_word(len, i), cfg);
-          ++total;
-          correct += res.all_correct ? 1 : 0;
-        }
-      }
-      acc[s] = 100.0 * correct / std::max(total, 1);
+      auto cfg = bench::default_trial(systems[s], 7000 + 997 * len);
+      std::vector<eval::TrialResult> results;
+      acc[s] = 100.0 * eval::word_accuracy(len, reps, cfg, &results,
+                                           bench::n_threads());
+      times.add(results);
     }
     t.add_row({std::to_string(len), fmt(acc[0], 1), fmt(acc[1], 1),
                fmt(acc[2], 1)});
   }
   bench::emit(t, "fig18_words");
   std::cout << "\nPaper reference: all >91% at 2 letters; PolarDraw "
-               "declines a little faster with length but stays >75%.\n\n";
+               "declines a little faster with length but stays >75%.\n";
+  times.report(std::cout, watch.seconds());
+  std::cout << "\n";
 }
 
 static void BM_WordTrial(benchmark::State& state) {

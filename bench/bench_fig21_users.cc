@@ -15,6 +15,8 @@ static void run_experiment() {
   bench::banner("Figure 21", "Recognition accuracy across users");
   Table t({"User", "PolarDraw-2 (%)", "RF-IDraw-4 (%)", "Tagoram-4 (%)"});
   const int reps = 2 * bench::reps_scale();
+  bench::Stopwatch watch;
+  bench::TrialTimes times;
   for (int user = 1; user <= 4; ++user) {
     std::array<double, 3> acc{};
     const eval::System systems[3] = {eval::System::kPolarDraw,
@@ -23,14 +25,20 @@ static void run_experiment() {
     for (int s = 0; s < 3; ++s) {
       auto cfg = bench::default_trial(systems[s], 9000 + 101 * user);
       cfg.synth.user = handwriting::user_style(user);
-      acc[s] = eval::letter_accuracy(bench::ten_letters(), reps, cfg) * 100.0;
+      std::vector<eval::TrialResult> results;
+      acc[s] = eval::letter_accuracy(bench::ten_letters(), reps, cfg, nullptr,
+                                     bench::n_threads(), &results) *
+               100.0;
+      times.add(results);
     }
     t.add_row({handwriting::user_style(user).name, fmt(acc[0], 1),
                fmt(acc[1], 1), fmt(acc[2], 1)});
   }
   bench::emit(t, "fig21_users");
   std::cout << "\nPaper reference: consistent accuracy across users; "
-               "User 2's stiff style dents PolarDraw only slightly.\n\n";
+               "User 2's stiff style dents PolarDraw only slightly.\n";
+  times.report(std::cout, watch.seconds());
+  std::cout << "\n";
 }
 
 static void BM_StiffUserTrial(benchmark::State& state) {

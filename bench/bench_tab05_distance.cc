@@ -14,19 +14,25 @@ static void run_experiment() {
   Table t({"Distance (cm)", "Accuracy (%)", "Paper (%)"});
   const int paper[7] = {77, 83, 87, 90, 91, 90, 88};
   const int reps = 2 * bench::reps_scale();
+  bench::Stopwatch watch;
+  bench::TrialTimes times;
   int idx = 0;
   for (int cm = 20; cm <= 140; cm += 20, ++idx) {
     auto cfg = bench::default_trial(eval::System::kPolarDraw,
                                     500 + static_cast<std::uint64_t>(cm));
     cfg.scene.antenna_standoff_m = cm / 100.0;
-    const double acc =
-        eval::letter_accuracy(bench::ten_letters(), reps, cfg);
+    std::vector<eval::TrialResult> results;
+    const double acc = eval::letter_accuracy(
+        bench::ten_letters(), reps, cfg, nullptr, bench::n_threads(), &results);
+    times.add(results);
     t.add_row({std::to_string(cm), fmt(acc * 100.0, 1),
                std::to_string(paper[idx])});
   }
   bench::emit(t, "tab05_distance");
   std::cout << "\nExpected shape: low at 20 cm (RSS mixes translation and "
-               "rotation), plateau near 80-120 cm, mild decline beyond.\n\n";
+               "rotation), plateau near 80-120 cm, mild decline beyond.\n";
+  times.report(std::cout, watch.seconds());
+  std::cout << "\n";
 }
 
 static void BM_TrialAtOneMeter(benchmark::State& state) {

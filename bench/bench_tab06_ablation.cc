@@ -23,9 +23,14 @@ static void run_experiment() {
       {eval::System::kPolarDrawNoPolPhaseDir, "-"},
   };
   double full = 0.0, ablated = 0.0;
+  bench::Stopwatch watch;
+  bench::TrialTimes times;
   for (const auto& row : rows) {
     auto cfg = bench::default_trial(row.system, 600);
-    const double acc = eval::letter_accuracy(bench::ten_letters(), reps, cfg);
+    std::vector<eval::TrialResult> results;
+    const double acc = eval::letter_accuracy(
+        bench::ten_letters(), reps, cfg, nullptr, bench::n_threads(), &results);
+    times.add(results);
     if (row.system == eval::System::kPolarDraw) full = acc;
     if (row.system == eval::System::kPolarDrawNoPol) ablated = acc;
     t.add_row({to_string(row.system), fmt(acc * 100.0, 1), row.paper});
@@ -34,7 +39,9 @@ static void run_experiment() {
   std::cout << "\nFull / strict-ablated ratio: "
             << fmt(full / std::max(ablated, 1e-6), 1)
             << "x (paper: ~4x). The charitable variant shows how much the "
-               "phase-trend fallback recovers on this substrate.\n\n";
+               "phase-trend fallback recovers on this substrate.\n";
+  times.report(std::cout, watch.seconds());
+  std::cout << "\n";
 }
 
 static void BM_AblatedTrial(benchmark::State& state) {

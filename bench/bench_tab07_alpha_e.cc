@@ -16,17 +16,24 @@ static void run_experiment() {
   const int paper[6] = {91, 91, 92, 91, 93, 90};
   const int sweep[6] = {-45, -30, -15, 15, 30, 45};
   const int reps = 2 * bench::reps_scale();
+  bench::Stopwatch watch;
+  bench::TrialTimes times;
   for (int i = 0; i < 6; ++i) {
     auto cfg = bench::default_trial(eval::System::kPolarDraw,
                                     1100 + static_cast<std::uint64_t>(i));
     cfg.algo.alpha_e_rad = deg2rad(static_cast<double>(sweep[i]));
-    const double acc = eval::letter_accuracy(bench::ten_letters(), reps, cfg);
+    std::vector<eval::TrialResult> results;
+    const double acc = eval::letter_accuracy(
+        bench::ten_letters(), reps, cfg, nullptr, bench::n_threads(), &results);
+    times.add(results);
     t.add_row({std::to_string(sweep[i]), fmt(acc * 100.0, 1),
                std::to_string(paper[i])});
   }
   bench::emit(t, "tab07_alpha_e");
   std::cout << "\nExpected shape: flat across the sweep -- the assumed "
-               "elevation barely matters (paper: 90-93% throughout).\n\n";
+               "elevation barely matters (paper: 90-93% throughout).\n";
+  times.report(std::cout, watch.seconds());
+  std::cout << "\n";
 }
 
 static void BM_TrialNegativeElevation(benchmark::State& state) {

@@ -17,17 +17,24 @@ static void run_experiment() {
   const int paper[5] = {92, 90, 91, 85, 80};
   const int sweep[5] = {15, 30, 45, 60, 75};
   const int reps = 2 * bench::reps_scale();
+  bench::Stopwatch watch;
+  bench::TrialTimes times;
   for (int i = 0; i < 5; ++i) {
     auto cfg = bench::default_trial(eval::System::kPolarDraw,
                                     1200 + static_cast<std::uint64_t>(i));
     cfg.scene.gamma = deg2rad(static_cast<double>(sweep[i]));
-    const double acc = eval::letter_accuracy(bench::ten_letters(), reps, cfg);
+    std::vector<eval::TrialResult> results;
+    const double acc = eval::letter_accuracy(
+        bench::ten_letters(), reps, cfg, nullptr, bench::n_threads(), &results);
+    times.add(results);
     t.add_row({std::to_string(sweep[i]), fmt(acc * 100.0, 1),
                std::to_string(paper[i])});
   }
   bench::emit(t, "tab08_gamma");
   std::cout << "\nExpected shape: flat for gamma <= 45 degrees, degrading "
-               "beyond as sector crossings become rare.\n\n";
+               "beyond as sector crossings become rare.\n";
+  times.report(std::cout, watch.seconds());
+  std::cout << "\n";
 }
 
 static void BM_TrialWideGamma(benchmark::State& state) {

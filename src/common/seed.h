@@ -1,0 +1,32 @@
+// Counter-based per-trial seed derivation.
+//
+// Sweeps over many independent trials must give trial k the same seed no
+// matter which order the trials execute in (forward, reversed, sharded
+// across threads, or alone): the seed is a pure function of the sweep's
+// base seed and the trial index, never of mutable generator state.
+// SplitMix64 (Steele et al., "Fast splittable pseudorandom number
+// generators") is the standard finalizer for this: its output function is
+// a bijection of the 64-bit counter, so distinct indices always yield
+// distinct, well-mixed seeds.
+#pragma once
+
+#include <cstdint>
+
+namespace polardraw {
+
+/// SplitMix64 finalizer: bijective avalanche mix of a 64-bit value.
+constexpr std::uint64_t splitmix64_mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Seed for trial `index` of a sweep with the given base seed. Equal
+/// (base, index) pairs always give the same seed; adjacent indices give
+/// statistically independent ones. This is the SplitMix64 stream seeded
+/// at `base`, read at position `index` in O(1).
+constexpr std::uint64_t splitmix64(std::uint64_t base, std::uint64_t index) {
+  return splitmix64_mix(base + (index + 1) * 0x9E3779B97F4A7C15ull);
+}
+
+}  // namespace polardraw

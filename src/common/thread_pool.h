@@ -1,0 +1,140 @@
+// A small fixed-size thread pool with a parallel_for-style map.
+//
+// The evaluation harness runs hundreds of independent trials per figure;
+// each is CPU-bound and embarrassingly parallel. This pool keeps a fixed
+// set of workers alive across batches (no per-batch thread spawn cost) and
+// hands out loop indices through a shared atomic counter, so work is
+// self-balancing without any stealing machinery. Determinism is the
+// caller's job: write results into a slot indexed by the loop variable and
+// aggregate in index order after parallel_for returns.
+//
+// Exceptions thrown by the body are captured (first one wins), the batch
+// is drained, and the exception is rethrown on the calling thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace polardraw {
+
+class ThreadPool {
+ public:
+  /// Creates `n_threads` workers; values < 1 are clamped to 1. A pool of
+  /// size 1 runs every batch inline on the calling thread (no workers).
+  explicit ThreadPool(int n_threads) : size_(n_threads < 1 ? 1 : n_threads) {
+    for (int i = 1; i < size_; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  int size() const { return size_; }
+
+  /// Runs body(i) for every i in [0, n), spread over the pool plus the
+  /// calling thread, and blocks until all n calls finished. Indices are
+  /// claimed through an atomic counter, so any thread may run any index;
+  /// the first exception thrown by the body is rethrown here after the
+  /// batch drains.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+    if (n == 0) return;
+    if (size_ == 1 || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      body_ = &body;
+      batch_end_ = n;
+      next_.store(0, std::memory_order_relaxed);
+      workers_active_ = static_cast<int>(workers_.size());
+      error_ = nullptr;
+      ++generation_;
+    }
+    work_ready_.notify_all();
+    run_batch();  // the calling thread works too
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_done_.wait(lock, [this] { return workers_active_ == 0; });
+    body_ = nullptr;
+    if (error_) std::rethrow_exception(error_);
+  }
+
+  /// Worker count from the POLARDRAW_THREADS environment variable, or the
+  /// hardware concurrency when unset/invalid (minimum 1).
+  static int default_thread_count() {
+    if (const char* env = std::getenv("POLARDRAW_THREADS")) {
+      const int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }
+
+ private:
+  void run_batch() {
+    try {
+      for (;;) {
+        const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch_end_) break;
+        (*body_)(i);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+      // Stop claiming further indices so the batch drains quickly.
+      next_.store(batch_end_, std::memory_order_relaxed);
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_ready_.wait(lock, [this, seen_generation] {
+          return stop_ || generation_ != seen_generation;
+        });
+        if (stop_) return;
+        seen_generation = generation_;
+      }
+      run_batch();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--workers_active_ == 0) batch_done_.notify_all();
+      }
+    }
+  }
+
+  const int size_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  int workers_active_ = 0;
+  std::exception_ptr error_;
+
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t batch_end_ = 0;
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace polardraw

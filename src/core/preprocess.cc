@@ -1,7 +1,8 @@
 #include "core/preprocess.h"
 
+#include <algorithm>
 #include <cmath>
-#include <map>
+#include <limits>
 
 #include "common/angles.h"
 
@@ -14,7 +15,13 @@ std::optional<double> circular_mean(const std::vector<double>& phases) {
     sx += std::cos(p);
     sy += std::sin(p);
   }
-  if (sx == 0.0 && sy == 0.0) return std::nullopt;
+  // A near-uniform phase set cancels to a resultant of rounding-noise
+  // magnitude; atan2 of that noise is a meaningless direction. Each of the
+  // n cos/sin terms contributes O(eps) rounding error, so anything below
+  // a few n*eps is indistinguishable from exact cancellation.
+  const double noise_floor = 8.0 * std::numeric_limits<double>::epsilon() *
+                             static_cast<double>(phases.size());
+  if (std::hypot(sx, sy) <= noise_floor) return std::nullopt;
   return wrap_2pi(std::atan2(sy, sx));
 }
 
@@ -26,16 +33,39 @@ std::vector<Window> preprocess(const rfid::TagReportStream& reports,
 
   // --- Step 1: window averaging ------------------------------------------
   const double t0 = reports.front().timestamp_s;
-  // Accumulators keyed by window ordinal.
+  // Accumulators indexed by window ordinal. The window count is known from
+  // the report span, so a contiguous vector replaces the former
+  // std::map<int, Acc>: bucketing a ~100 Hz stream is O(1) per read
+  // instead of O(log n), and the windows come out already ordered.
   struct Acc {
     std::vector<double> rss[2];
     std::vector<double> phase[2];
     std::vector<int> channel[2];
   };
-  std::map<int, Acc> buckets;
+  // A corrupt timestamp far past the stream start would otherwise size the
+  // bucket vector (and the output) absurdly; reads beyond the cap -- about
+  // 1.8 hours of stream at the 50 ms default -- are dropped, as are reads
+  // that predate the first report (negative window ordinal).
+  constexpr std::size_t kMaxWindows = 1u << 17;
+  double t_max = t0;
+  bool any_valid = false;
   for (const auto& r : reports) {
     if (r.antenna_id < 0 || r.antenna_id > 1) continue;
-    const int w = static_cast<int>((r.timestamp_s - t0) / cfg.window_s);
+    if (r.timestamp_s < t0) continue;
+    any_valid = true;
+    if (r.timestamp_s > t_max) t_max = r.timestamp_s;
+  }
+  if (!any_valid) return out;
+  const double span_windows = (t_max - t0) / cfg.window_s;
+  const std::size_t n_windows =
+      1 + static_cast<std::size_t>(
+              std::min(span_windows, static_cast<double>(kMaxWindows - 1)));
+  std::vector<Acc> buckets(n_windows);
+  for (const auto& r : reports) {
+    if (r.antenna_id < 0 || r.antenna_id > 1) continue;
+    const double w_f = (r.timestamp_s - t0) / cfg.window_s;
+    if (w_f < 0.0 || w_f >= static_cast<double>(n_windows)) continue;
+    const std::size_t w = static_cast<std::size_t>(w_f);
     double phase = r.phase_rad;
     if (calibration != nullptr &&
         static_cast<std::size_t>(r.antenna_id) <
@@ -47,32 +77,28 @@ std::vector<Window> preprocess(const rfid::TagReportStream& reports,
     acc.phase[r.antenna_id].push_back(phase);
     acc.channel[r.antenna_id].push_back(r.channel);
   }
-  if (buckets.empty()) return out;
 
-  const int last = buckets.rbegin()->first;
-  out.reserve(static_cast<std::size_t>(last) + 1);
-  for (int w = 0; w <= last; ++w) {
+  out.reserve(n_windows);
+  for (std::size_t w = 0; w < n_windows; ++w) {
     Window win;
-    win.index = w;
+    win.index = static_cast<int>(w);
     win.t_s = t0 + (static_cast<double>(w) + 0.5) * cfg.window_s;
-    const auto it = buckets.find(w);
-    if (it != buckets.end()) {
-      for (int a = 0; a < 2; ++a) {
-        const auto& rss = it->second.rss[a];
-        if (!rss.empty()) {
-          double s = 0.0;
-          for (double v : rss) s += v;
-          win.rss_dbm[a] = s / static_cast<double>(rss.size());
-          win.rss_valid[a] = true;
-          win.read_count[a] = static_cast<int>(rss.size());
-        }
-        if (const auto m = circular_mean(it->second.phase[a])) {
-          win.phase_rad[a] = *m;
-          win.phase_valid[a] = true;
-          // Majority channel of the window's reads (hopping diagnostics).
-          const auto& chs = it->second.channel[a];
-          if (!chs.empty()) win.channel[a] = chs[chs.size() / 2];
-        }
+    const Acc& acc = buckets[w];
+    for (int a = 0; a < 2; ++a) {
+      const auto& rss = acc.rss[a];
+      if (!rss.empty()) {
+        double s = 0.0;
+        for (double v : rss) s += v;
+        win.rss_dbm[a] = s / static_cast<double>(rss.size());
+        win.rss_valid[a] = true;
+        win.read_count[a] = static_cast<int>(rss.size());
+      }
+      if (const auto m = circular_mean(acc.phase[a])) {
+        win.phase_rad[a] = *m;
+        win.phase_valid[a] = true;
+        // Majority channel of the window's reads (hopping diagnostics).
+        const auto& chs = acc.channel[a];
+        if (!chs.empty()) win.channel[a] = chs[chs.size() / 2];
       }
     }
     out.push_back(win);

@@ -1,9 +1,13 @@
 #include "eval/harness.h"
 
+#include <algorithm>
 #include <array>
+#include <chrono>
 
 #include "baselines/rfidraw.h"
 #include "baselines/tagoram.h"
+#include "common/seed.h"
+#include "common/thread_pool.h"
 #include "core/polardraw.h"
 #include "recognition/procrustes.h"
 
@@ -49,6 +53,7 @@ void apply_system_layout(TrialConfig& cfg) {
 }
 
 TrialResult run_trial(const std::string& text, const TrialConfig& cfg_in) {
+  const auto trial_start = std::chrono::steady_clock::now();
   TrialConfig cfg = cfg_in;
   apply_system_layout(cfg);
   cfg.scene.seed = cfg.seed;
@@ -137,24 +142,83 @@ TrialResult run_trial(const std::string& text, const TrialConfig& cfg_in) {
           static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
     out.all_correct = out.recognized == upper;
   }
+  out.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - trial_start)
+                   .count();
   return out;
 }
 
+std::uint64_t trial_seed(std::uint64_t base, std::uint64_t index) {
+  return splitmix64(base, index);
+}
+
+int default_thread_count() { return ThreadPool::default_thread_count(); }
+
+std::vector<TrialResult> run_trials(const std::vector<TrialSpec>& specs,
+                                    int n_threads) {
+  if (n_threads <= 0) n_threads = default_thread_count();
+  std::vector<TrialResult> results(specs.size());
+  ThreadPool pool(n_threads);
+  pool.parallel_for(specs.size(), [&](std::size_t i) {
+    results[i] = run_trial(specs[i].text, specs[i].cfg);
+  });
+  return results;
+}
+
 double letter_accuracy(const std::string& letters, int reps, TrialConfig cfg,
-                       recognition::ConfusionMatrix* cm) {
-  int correct = 0, total = 0;
+                       recognition::ConfusionMatrix* cm, int n_threads,
+                       std::vector<TrialResult>* results_out) {
+  // Counter-based seeding: trial k's seed depends only on (cfg.seed, k),
+  // never on how many trials ran before it or on which thread it lands.
+  std::vector<TrialSpec> specs;
+  specs.reserve(letters.size() * static_cast<std::size_t>(std::max(reps, 0)));
   for (char c : letters) {
     for (int r = 0; r < reps; ++r) {
-      cfg.seed = cfg.seed * 6364136223846793005ull + 1442695040888963407ull;
-      const auto res = run_trial(std::string(1, c), cfg);
-      ++total;
-      if (res.all_correct) ++correct;
-      if (cm != nullptr && !res.recognized.empty()) {
-        cm->record(c, res.recognized[0]);
-      }
+      TrialSpec spec{std::string(1, c), cfg};
+      spec.cfg.seed = trial_seed(cfg.seed, specs.size());
+      specs.push_back(std::move(spec));
     }
   }
-  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+  auto results = run_trials(specs, n_threads);
+  // Aggregate strictly in trial-index order after the join so the
+  // confusion matrix is bit-identical at every thread count.
+  int correct = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].all_correct) ++correct;
+    if (cm != nullptr && !results[i].recognized.empty()) {
+      cm->record(specs[i].text[0], results[i].recognized[0]);
+    }
+  }
+  const double acc =
+      results.empty()
+          ? 0.0
+          : static_cast<double>(correct) / static_cast<double>(results.size());
+  if (results_out != nullptr) *results_out = std::move(results);
+  return acc;
+}
+
+double word_accuracy(std::size_t letters, int reps, TrialConfig cfg,
+                     std::vector<TrialResult>* results_out, int n_threads) {
+  std::vector<TrialSpec> specs;
+  specs.reserve(10 * static_cast<std::size_t>(std::max(reps, 0)));
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (int r = 0; r < reps; ++r) {
+      TrialSpec spec{test_word(letters, i), cfg};
+      spec.cfg.seed = trial_seed(cfg.seed, specs.size());
+      specs.push_back(std::move(spec));
+    }
+  }
+  auto results = run_trials(specs, n_threads);
+  int correct = 0;
+  for (const auto& res : results) {
+    if (res.all_correct) ++correct;
+  }
+  const double acc =
+      results.empty()
+          ? 0.0
+          : static_cast<double>(correct) / static_cast<double>(results.size());
+  if (results_out != nullptr) *results_out = std::move(results);
+  return acc;
 }
 
 std::string test_word(std::size_t letters, std::size_t index) {

@@ -45,16 +45,54 @@ struct TrialResult {
   std::string recognized;             // classifier output (same length)
   bool all_correct = false;           // recognized == text
   std::size_t report_count = 0;       // raw reads delivered by the reader
+  double wall_s = 0.0;                // wall-clock time of this trial
 };
 
 /// Runs one trial end to end. `text` may be a single letter or a word.
 TrialResult run_trial(const std::string& text, const TrialConfig& cfg);
 
+/// One entry of a trial batch: the text to write plus its full config
+/// (including the trial's own seed).
+struct TrialSpec {
+  std::string text;
+  TrialConfig cfg;
+};
+
+/// Seed for trial `index` of a sweep whose config carries `base`: a pure
+/// function of (base, index), so trial k draws the same randomness whether
+/// it runs first, last, alone, or on any thread. All sweep helpers below
+/// derive their per-trial seeds through this.
+std::uint64_t trial_seed(std::uint64_t base, std::uint64_t index);
+
+/// Number of worker threads the batch helpers use when a caller passes
+/// n_threads <= 0: the POLARDRAW_THREADS environment variable, or the
+/// hardware concurrency when unset.
+int default_thread_count();
+
+/// Runs every spec (each already carrying its own seed) across
+/// `n_threads` workers (<= 0: default_thread_count()). Results come back
+/// indexed exactly like `specs`, so any aggregation the caller performs in
+/// index order is bit-identical at every thread count.
+std::vector<TrialResult> run_trials(const std::vector<TrialSpec>& specs,
+                                    int n_threads = 0);
+
 /// Convenience: letter-recognition accuracy over `reps` trials per letter
-/// for the given letters, advancing the seed each rep. Also fills `cm`
-/// when non-null.
+/// for the given letters. Trial seeds are counter-derived from cfg.seed
+/// (trial_seed), and the confusion matrix is filled in trial-index order
+/// after the parallel batch joins, so accuracy and `cm` are identical for
+/// every `n_threads` (<= 0: default_thread_count()).
 double letter_accuracy(const std::string& letters, int reps, TrialConfig cfg,
-                       recognition::ConfusionMatrix* cm = nullptr);
+                       recognition::ConfusionMatrix* cm = nullptr,
+                       int n_threads = 0,
+                       std::vector<TrialResult>* results = nullptr);
+
+/// Word-recognition accuracy over the 10-word lexicon of the given length
+/// (test_word), `reps` trials per word, seeded and parallelized exactly
+/// like letter_accuracy. `results` (when non-null) receives the per-trial
+/// outcomes in trial-index order (word-major).
+double word_accuracy(std::size_t letters, int reps, TrialConfig cfg,
+                     std::vector<TrialResult>* results = nullptr,
+                     int n_threads = 0);
 
 /// Applies System-appropriate defaults to the scene layout.
 void apply_system_layout(TrialConfig& cfg);

@@ -1,0 +1,92 @@
+// Tests for the fixed-size thread pool and its parallel_for map.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace polardraw {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for(hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ResultsLandInTheirOwnSlots) {
+  ThreadPool pool(4);
+  std::vector<std::size_t> out(1000, 0);
+  pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  long total = 0;
+  for (int batch = 0; batch < 20; ++batch) {
+    std::vector<int> v(50, 0);
+    pool.parallel_for(v.size(), [&](std::size_t i) { v[i] = 1; });
+    total += std::accumulate(v.begin(), v.end(), 0);
+  }
+  EXPECT_EQ(total, 20 * 50);
+}
+
+TEST(ThreadPool, EmptyAndSingleRangesWork) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, MoreThreadsThanWorkIsFine) {
+  ThreadPool pool(16);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesBodyExceptions) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.parallel_for(100,
+                          [&](std::size_t i) {
+                            if (i == 37) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+    // The pool must still be usable after an exceptional batch.
+    std::atomic<int> ok{0};
+    pool.parallel_for(10, [&](std::size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 10);
+  }
+}
+
+TEST(ThreadPool, ClampsNonPositiveThreadCounts) {
+  ThreadPool pool(-3);
+  EXPECT_EQ(pool.size(), 1);
+  int calls = 0;
+  pool.parallel_for(5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnvOverride) {
+  ::setenv("POLARDRAW_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3);
+  ::setenv("POLARDRAW_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+  ::unsetenv("POLARDRAW_THREADS");
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+}
+
+}  // namespace
+}  // namespace polardraw

@@ -33,6 +33,30 @@ TEST(CircularMean, EmptyIsNullopt) {
   EXPECT_FALSE(circular_mean({}).has_value());
 }
 
+TEST(CircularMean, NearCancellationIsNullopt) {
+  // Antipodal pairs cancel exactly in real arithmetic but leave a
+  // resultant of rounding-noise magnitude in floating point; the mean
+  // direction of that noise is meaningless and must be rejected rather
+  // than returned as if it carried information.
+  EXPECT_FALSE(circular_mean({0.3, 0.3 + kPi}).has_value());
+  // Uniformly spread phases (4 points a quarter-turn apart).
+  EXPECT_FALSE(
+      circular_mean({0.1, 0.1 + kPi / 2, 0.1 + kPi, 0.1 + 3 * kPi / 2})
+          .has_value());
+  // Many near-uniform samples: per-term rounding error grows with n, and
+  // so must the rejection threshold.
+  std::vector<double> uniform;
+  for (int i = 0; i < 1000; ++i) uniform.push_back(kTwoPi * i / 1000.0);
+  EXPECT_FALSE(circular_mean(uniform).has_value());
+}
+
+TEST(CircularMean, TightClusterSurvivesTheNoiseFloor) {
+  // A genuinely concentrated set must not be swallowed by the epsilon.
+  const auto m = circular_mean({1.0, 1.0, 1.0, 1.0});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NEAR(*m, 1.0, 1e-12);
+}
+
 TEST(Preprocess, WindowsAggregateBothAntennas) {
   PolarDrawConfig cfg;
   rfid::TagReportStream reports;
@@ -149,6 +173,54 @@ TEST(Preprocess, IgnoresForeignAntennas) {
 TEST(Preprocess, EmptyStreamEmptyResult) {
   PolarDrawConfig cfg;
   EXPECT_TRUE(preprocess({}, cfg).empty());
+}
+
+TEST(Preprocess, ReportsBeforeStreamStartAreDropped) {
+  PolarDrawConfig cfg;
+  rfid::TagReportStream reports;
+  // An unsorted stream whose later entries predate the first report would
+  // index a negative window ordinal; those reads must be skipped, not
+  // bucketed out of range.
+  reports.push_back(report(1.00, 0, -40.0, 1.0));
+  reports.push_back(report(0.40, 0, -90.0, 2.5));  // before t0
+  reports.push_back(report(1.01, 1, -50.0, 2.0));
+  const auto windows = preprocess(reports, cfg);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_TRUE(windows[0].both_rss_valid());
+  EXPECT_NEAR(windows[0].rss_dbm[0], -40.0, 1e-9);  // -90 dropped, not mixed
+}
+
+TEST(Preprocess, FarFutureTimestampDoesNotExplodeWindowCount) {
+  PolarDrawConfig cfg;
+  rfid::TagReportStream reports;
+  reports.push_back(report(0.00, 0, -40.0, 1.0));
+  reports.push_back(report(0.01, 1, -50.0, 2.0));
+  // A corrupt timestamp ~3 years into the stream: the window count must
+  // stay capped instead of allocating one window per 50 ms of the span.
+  reports.push_back(report(1e8, 0, -60.0, 0.5));
+  const auto windows = preprocess(reports, cfg);
+  ASSERT_FALSE(windows.empty());
+  EXPECT_LE(windows.size(), (1u << 17));
+  EXPECT_TRUE(windows[0].both_rss_valid());
+}
+
+TEST(Preprocess, LongStreamBucketsStayOrdinal) {
+  // The vector-bucketed fast path must agree with the definition: read k
+  // at time t lands in window floor((t - t0) / window_s).
+  PolarDrawConfig cfg;
+  rfid::TagReportStream reports;
+  for (int k = 0; k < 400; ++k) {
+    reports.push_back(report(0.013 * k, 0, -40.0, 1.0));
+  }
+  const auto windows = preprocess(reports, cfg);
+  const double span = 0.013 * 399;
+  ASSERT_EQ(windows.size(), static_cast<std::size_t>(span / cfg.window_s) + 1);
+  int reads = 0;
+  for (const auto& w : windows) {
+    EXPECT_EQ(w.index, &w - windows.data());
+    reads += w.read_count[0];
+  }
+  EXPECT_EQ(reads, 400);
 }
 
 }  // namespace
