@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("em")
+subdirs("channel")
+subdirs("rfid")
+subdirs("handwriting")
+subdirs("sim")
+subdirs("recognition")
+subdirs("core")
+subdirs("baselines")
+subdirs("eval")

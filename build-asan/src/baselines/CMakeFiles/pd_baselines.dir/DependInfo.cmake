@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/grid_search.cc" "src/baselines/CMakeFiles/pd_baselines.dir/grid_search.cc.o" "gcc" "src/baselines/CMakeFiles/pd_baselines.dir/grid_search.cc.o.d"
+  "/root/repo/src/baselines/rfidraw.cc" "src/baselines/CMakeFiles/pd_baselines.dir/rfidraw.cc.o" "gcc" "src/baselines/CMakeFiles/pd_baselines.dir/rfidraw.cc.o.d"
+  "/root/repo/src/baselines/tagoram.cc" "src/baselines/CMakeFiles/pd_baselines.dir/tagoram.cc.o" "gcc" "src/baselines/CMakeFiles/pd_baselines.dir/tagoram.cc.o.d"
+  "/root/repo/src/baselines/windowing.cc" "src/baselines/CMakeFiles/pd_baselines.dir/windowing.cc.o" "gcc" "src/baselines/CMakeFiles/pd_baselines.dir/windowing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/em/CMakeFiles/pd_em.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/rfid/CMakeFiles/pd_rfid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/channel/CMakeFiles/pd_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

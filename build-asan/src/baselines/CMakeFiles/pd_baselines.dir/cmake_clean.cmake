@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_baselines.dir/grid_search.cc.o"
+  "CMakeFiles/pd_baselines.dir/grid_search.cc.o.d"
+  "CMakeFiles/pd_baselines.dir/rfidraw.cc.o"
+  "CMakeFiles/pd_baselines.dir/rfidraw.cc.o.d"
+  "CMakeFiles/pd_baselines.dir/tagoram.cc.o"
+  "CMakeFiles/pd_baselines.dir/tagoram.cc.o.d"
+  "CMakeFiles/pd_baselines.dir/windowing.cc.o"
+  "CMakeFiles/pd_baselines.dir/windowing.cc.o.d"
+  "libpd_baselines.a"
+  "libpd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

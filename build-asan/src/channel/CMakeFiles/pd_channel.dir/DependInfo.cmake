@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/multipath.cc" "src/channel/CMakeFiles/pd_channel.dir/multipath.cc.o" "gcc" "src/channel/CMakeFiles/pd_channel.dir/multipath.cc.o.d"
+  "/root/repo/src/channel/noise.cc" "src/channel/CMakeFiles/pd_channel.dir/noise.cc.o" "gcc" "src/channel/CMakeFiles/pd_channel.dir/noise.cc.o.d"
+  "/root/repo/src/channel/scatterer.cc" "src/channel/CMakeFiles/pd_channel.dir/scatterer.cc.o" "gcc" "src/channel/CMakeFiles/pd_channel.dir/scatterer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/em/CMakeFiles/pd_em.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_channel.dir/multipath.cc.o"
+  "CMakeFiles/pd_channel.dir/multipath.cc.o.d"
+  "CMakeFiles/pd_channel.dir/noise.cc.o"
+  "CMakeFiles/pd_channel.dir/noise.cc.o.d"
+  "CMakeFiles/pd_channel.dir/scatterer.cc.o"
+  "CMakeFiles/pd_channel.dir/scatterer.cc.o.d"
+  "libpd_channel.a"
+  "libpd_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_common.dir/angles.cc.o"
+  "CMakeFiles/pd_common.dir/angles.cc.o.d"
+  "CMakeFiles/pd_common.dir/stats.cc.o"
+  "CMakeFiles/pd_common.dir/stats.cc.o.d"
+  "CMakeFiles/pd_common.dir/table.cc.o"
+  "CMakeFiles/pd_common.dir/table.cc.o.d"
+  "CMakeFiles/pd_common.dir/vec.cc.o"
+  "CMakeFiles/pd_common.dir/vec.cc.o.d"
+  "libpd_common.a"
+  "libpd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

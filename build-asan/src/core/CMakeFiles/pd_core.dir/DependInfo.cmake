@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cc" "src/core/CMakeFiles/pd_core.dir/calibration.cc.o" "gcc" "src/core/CMakeFiles/pd_core.dir/calibration.cc.o.d"
+  "/root/repo/src/core/distance_estimator.cc" "src/core/CMakeFiles/pd_core.dir/distance_estimator.cc.o" "gcc" "src/core/CMakeFiles/pd_core.dir/distance_estimator.cc.o.d"
+  "/root/repo/src/core/hmm_tracker.cc" "src/core/CMakeFiles/pd_core.dir/hmm_tracker.cc.o" "gcc" "src/core/CMakeFiles/pd_core.dir/hmm_tracker.cc.o.d"
+  "/root/repo/src/core/kalman_tracker.cc" "src/core/CMakeFiles/pd_core.dir/kalman_tracker.cc.o" "gcc" "src/core/CMakeFiles/pd_core.dir/kalman_tracker.cc.o.d"
+  "/root/repo/src/core/particle_tracker.cc" "src/core/CMakeFiles/pd_core.dir/particle_tracker.cc.o" "gcc" "src/core/CMakeFiles/pd_core.dir/particle_tracker.cc.o.d"
+  "/root/repo/src/core/polardraw.cc" "src/core/CMakeFiles/pd_core.dir/polardraw.cc.o" "gcc" "src/core/CMakeFiles/pd_core.dir/polardraw.cc.o.d"
+  "/root/repo/src/core/preprocess.cc" "src/core/CMakeFiles/pd_core.dir/preprocess.cc.o" "gcc" "src/core/CMakeFiles/pd_core.dir/preprocess.cc.o.d"
+  "/root/repo/src/core/rotation_tracker.cc" "src/core/CMakeFiles/pd_core.dir/rotation_tracker.cc.o" "gcc" "src/core/CMakeFiles/pd_core.dir/rotation_tracker.cc.o.d"
+  "/root/repo/src/core/translation_tracker.cc" "src/core/CMakeFiles/pd_core.dir/translation_tracker.cc.o" "gcc" "src/core/CMakeFiles/pd_core.dir/translation_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/em/CMakeFiles/pd_em.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/rfid/CMakeFiles/pd_rfid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/channel/CMakeFiles/pd_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

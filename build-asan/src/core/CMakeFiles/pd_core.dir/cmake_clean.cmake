@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_core.dir/calibration.cc.o"
+  "CMakeFiles/pd_core.dir/calibration.cc.o.d"
+  "CMakeFiles/pd_core.dir/distance_estimator.cc.o"
+  "CMakeFiles/pd_core.dir/distance_estimator.cc.o.d"
+  "CMakeFiles/pd_core.dir/hmm_tracker.cc.o"
+  "CMakeFiles/pd_core.dir/hmm_tracker.cc.o.d"
+  "CMakeFiles/pd_core.dir/kalman_tracker.cc.o"
+  "CMakeFiles/pd_core.dir/kalman_tracker.cc.o.d"
+  "CMakeFiles/pd_core.dir/particle_tracker.cc.o"
+  "CMakeFiles/pd_core.dir/particle_tracker.cc.o.d"
+  "CMakeFiles/pd_core.dir/polardraw.cc.o"
+  "CMakeFiles/pd_core.dir/polardraw.cc.o.d"
+  "CMakeFiles/pd_core.dir/preprocess.cc.o"
+  "CMakeFiles/pd_core.dir/preprocess.cc.o.d"
+  "CMakeFiles/pd_core.dir/rotation_tracker.cc.o"
+  "CMakeFiles/pd_core.dir/rotation_tracker.cc.o.d"
+  "CMakeFiles/pd_core.dir/translation_tracker.cc.o"
+  "CMakeFiles/pd_core.dir/translation_tracker.cc.o.d"
+  "libpd_core.a"
+  "libpd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/em/antenna.cc" "src/em/CMakeFiles/pd_em.dir/antenna.cc.o" "gcc" "src/em/CMakeFiles/pd_em.dir/antenna.cc.o.d"
+  "/root/repo/src/em/polarization.cc" "src/em/CMakeFiles/pd_em.dir/polarization.cc.o" "gcc" "src/em/CMakeFiles/pd_em.dir/polarization.cc.o.d"
+  "/root/repo/src/em/propagation.cc" "src/em/CMakeFiles/pd_em.dir/propagation.cc.o" "gcc" "src/em/CMakeFiles/pd_em.dir/propagation.cc.o.d"
+  "/root/repo/src/em/tag.cc" "src/em/CMakeFiles/pd_em.dir/tag.cc.o" "gcc" "src/em/CMakeFiles/pd_em.dir/tag.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_em.dir/antenna.cc.o"
+  "CMakeFiles/pd_em.dir/antenna.cc.o.d"
+  "CMakeFiles/pd_em.dir/polarization.cc.o"
+  "CMakeFiles/pd_em.dir/polarization.cc.o.d"
+  "CMakeFiles/pd_em.dir/propagation.cc.o"
+  "CMakeFiles/pd_em.dir/propagation.cc.o.d"
+  "CMakeFiles/pd_em.dir/tag.cc.o"
+  "CMakeFiles/pd_em.dir/tag.cc.o.d"
+  "libpd_em.a"
+  "libpd_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

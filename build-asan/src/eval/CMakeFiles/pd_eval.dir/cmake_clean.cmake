@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_eval.dir/harness.cc.o"
+  "CMakeFiles/pd_eval.dir/harness.cc.o.d"
+  "libpd_eval.a"
+  "libpd_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/handwriting/kinematics.cc" "src/handwriting/CMakeFiles/pd_handwriting.dir/kinematics.cc.o" "gcc" "src/handwriting/CMakeFiles/pd_handwriting.dir/kinematics.cc.o.d"
+  "/root/repo/src/handwriting/stroke_font.cc" "src/handwriting/CMakeFiles/pd_handwriting.dir/stroke_font.cc.o" "gcc" "src/handwriting/CMakeFiles/pd_handwriting.dir/stroke_font.cc.o.d"
+  "/root/repo/src/handwriting/synthesizer.cc" "src/handwriting/CMakeFiles/pd_handwriting.dir/synthesizer.cc.o" "gcc" "src/handwriting/CMakeFiles/pd_handwriting.dir/synthesizer.cc.o.d"
+  "/root/repo/src/handwriting/user.cc" "src/handwriting/CMakeFiles/pd_handwriting.dir/user.cc.o" "gcc" "src/handwriting/CMakeFiles/pd_handwriting.dir/user.cc.o.d"
+  "/root/repo/src/handwriting/wrist.cc" "src/handwriting/CMakeFiles/pd_handwriting.dir/wrist.cc.o" "gcc" "src/handwriting/CMakeFiles/pd_handwriting.dir/wrist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/em/CMakeFiles/pd_em.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_handwriting.dir/kinematics.cc.o"
+  "CMakeFiles/pd_handwriting.dir/kinematics.cc.o.d"
+  "CMakeFiles/pd_handwriting.dir/stroke_font.cc.o"
+  "CMakeFiles/pd_handwriting.dir/stroke_font.cc.o.d"
+  "CMakeFiles/pd_handwriting.dir/synthesizer.cc.o"
+  "CMakeFiles/pd_handwriting.dir/synthesizer.cc.o.d"
+  "CMakeFiles/pd_handwriting.dir/user.cc.o"
+  "CMakeFiles/pd_handwriting.dir/user.cc.o.d"
+  "CMakeFiles/pd_handwriting.dir/wrist.cc.o"
+  "CMakeFiles/pd_handwriting.dir/wrist.cc.o.d"
+  "libpd_handwriting.a"
+  "libpd_handwriting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_handwriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

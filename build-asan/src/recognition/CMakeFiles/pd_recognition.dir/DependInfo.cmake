@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recognition/classifier.cc" "src/recognition/CMakeFiles/pd_recognition.dir/classifier.cc.o" "gcc" "src/recognition/CMakeFiles/pd_recognition.dir/classifier.cc.o.d"
+  "/root/repo/src/recognition/dtw.cc" "src/recognition/CMakeFiles/pd_recognition.dir/dtw.cc.o" "gcc" "src/recognition/CMakeFiles/pd_recognition.dir/dtw.cc.o.d"
+  "/root/repo/src/recognition/language_model.cc" "src/recognition/CMakeFiles/pd_recognition.dir/language_model.cc.o" "gcc" "src/recognition/CMakeFiles/pd_recognition.dir/language_model.cc.o.d"
+  "/root/repo/src/recognition/procrustes.cc" "src/recognition/CMakeFiles/pd_recognition.dir/procrustes.cc.o" "gcc" "src/recognition/CMakeFiles/pd_recognition.dir/procrustes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/handwriting/CMakeFiles/pd_handwriting.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/em/CMakeFiles/pd_em.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_recognition.dir/classifier.cc.o"
+  "CMakeFiles/pd_recognition.dir/classifier.cc.o.d"
+  "CMakeFiles/pd_recognition.dir/dtw.cc.o"
+  "CMakeFiles/pd_recognition.dir/dtw.cc.o.d"
+  "CMakeFiles/pd_recognition.dir/language_model.cc.o"
+  "CMakeFiles/pd_recognition.dir/language_model.cc.o.d"
+  "CMakeFiles/pd_recognition.dir/procrustes.cc.o"
+  "CMakeFiles/pd_recognition.dir/procrustes.cc.o.d"
+  "libpd_recognition.a"
+  "libpd_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rfid/gen2.cc" "src/rfid/CMakeFiles/pd_rfid.dir/gen2.cc.o" "gcc" "src/rfid/CMakeFiles/pd_rfid.dir/gen2.cc.o.d"
+  "/root/repo/src/rfid/llrp.cc" "src/rfid/CMakeFiles/pd_rfid.dir/llrp.cc.o" "gcc" "src/rfid/CMakeFiles/pd_rfid.dir/llrp.cc.o.d"
+  "/root/repo/src/rfid/modulation.cc" "src/rfid/CMakeFiles/pd_rfid.dir/modulation.cc.o" "gcc" "src/rfid/CMakeFiles/pd_rfid.dir/modulation.cc.o.d"
+  "/root/repo/src/rfid/reader.cc" "src/rfid/CMakeFiles/pd_rfid.dir/reader.cc.o" "gcc" "src/rfid/CMakeFiles/pd_rfid.dir/reader.cc.o.d"
+  "/root/repo/src/rfid/wisp.cc" "src/rfid/CMakeFiles/pd_rfid.dir/wisp.cc.o" "gcc" "src/rfid/CMakeFiles/pd_rfid.dir/wisp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/em/CMakeFiles/pd_em.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/channel/CMakeFiles/pd_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_rfid.dir/gen2.cc.o"
+  "CMakeFiles/pd_rfid.dir/gen2.cc.o.d"
+  "CMakeFiles/pd_rfid.dir/llrp.cc.o"
+  "CMakeFiles/pd_rfid.dir/llrp.cc.o.d"
+  "CMakeFiles/pd_rfid.dir/modulation.cc.o"
+  "CMakeFiles/pd_rfid.dir/modulation.cc.o.d"
+  "CMakeFiles/pd_rfid.dir/reader.cc.o"
+  "CMakeFiles/pd_rfid.dir/reader.cc.o.d"
+  "CMakeFiles/pd_rfid.dir/wisp.cc.o"
+  "CMakeFiles/pd_rfid.dir/wisp.cc.o.d"
+  "libpd_rfid.a"
+  "libpd_rfid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_rfid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/scene.cc" "src/sim/CMakeFiles/pd_sim.dir/scene.cc.o" "gcc" "src/sim/CMakeFiles/pd_sim.dir/scene.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/em/CMakeFiles/pd_em.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/channel/CMakeFiles/pd_channel.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/rfid/CMakeFiles/pd_rfid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/handwriting/CMakeFiles/pd_handwriting.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_sim.dir/scene.cc.o"
+  "CMakeFiles/pd_sim.dir/scene.cc.o.d"
+  "libpd_sim.a"
+  "libpd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel.dir/channel/test_multipath.cc.o"
+  "CMakeFiles/test_channel.dir/channel/test_multipath.cc.o.d"
+  "CMakeFiles/test_channel.dir/channel/test_noise.cc.o"
+  "CMakeFiles/test_channel.dir/channel/test_noise.cc.o.d"
+  "test_channel"
+  "test_channel.pdb"
+  "test_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_hmm_tracker.cc.o"
+  "CMakeFiles/test_core.dir/core/test_hmm_tracker.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_kalman_calibration.cc.o"
+  "CMakeFiles/test_core.dir/core/test_kalman_calibration.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_preprocess.cc.o"
+  "CMakeFiles/test_core.dir/core/test_preprocess.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_rotation_tracker.cc.o"
+  "CMakeFiles/test_core.dir/core/test_rotation_tracker.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_translation_distance.cc.o"
+  "CMakeFiles/test_core.dir/core/test_translation_distance.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_em.dir/em/test_polarization.cc.o"
+  "CMakeFiles/test_em.dir/em/test_polarization.cc.o.d"
+  "CMakeFiles/test_em.dir/em/test_propagation.cc.o"
+  "CMakeFiles/test_em.dir/em/test_propagation.cc.o.d"
+  "test_em"
+  "test_em.pdb"
+  "test_em[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

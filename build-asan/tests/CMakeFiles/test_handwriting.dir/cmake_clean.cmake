@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_handwriting.dir/handwriting/test_kinematics.cc.o"
+  "CMakeFiles/test_handwriting.dir/handwriting/test_kinematics.cc.o.d"
+  "CMakeFiles/test_handwriting.dir/handwriting/test_stroke_font.cc.o"
+  "CMakeFiles/test_handwriting.dir/handwriting/test_stroke_font.cc.o.d"
+  "CMakeFiles/test_handwriting.dir/handwriting/test_synthesizer.cc.o"
+  "CMakeFiles/test_handwriting.dir/handwriting/test_synthesizer.cc.o.d"
+  "CMakeFiles/test_handwriting.dir/handwriting/test_wrist.cc.o"
+  "CMakeFiles/test_handwriting.dir/handwriting/test_wrist.cc.o.d"
+  "test_handwriting"
+  "test_handwriting.pdb"
+  "test_handwriting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_handwriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_polardraw_pipeline.cc" "tests/CMakeFiles/test_integration.dir/core/test_polardraw_pipeline.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/core/test_polardraw_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/em/CMakeFiles/pd_em.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/channel/CMakeFiles/pd_channel.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/rfid/CMakeFiles/pd_rfid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/handwriting/CMakeFiles/pd_handwriting.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/pd_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/recognition/CMakeFiles/pd_recognition.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/pd_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/baselines/CMakeFiles/pd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/eval/CMakeFiles/pd_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recognition.dir/recognition/test_classifier.cc.o"
+  "CMakeFiles/test_recognition.dir/recognition/test_classifier.cc.o.d"
+  "CMakeFiles/test_recognition.dir/recognition/test_procrustes.cc.o"
+  "CMakeFiles/test_recognition.dir/recognition/test_procrustes.cc.o.d"
+  "CMakeFiles/test_recognition.dir/recognition/test_word_detail.cc.o"
+  "CMakeFiles/test_recognition.dir/recognition/test_word_detail.cc.o.d"
+  "test_recognition"
+  "test_recognition.pdb"
+  "test_recognition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rfid.dir/rfid/test_gen2.cc.o"
+  "CMakeFiles/test_rfid.dir/rfid/test_gen2.cc.o.d"
+  "CMakeFiles/test_rfid.dir/rfid/test_llrp_hopping.cc.o"
+  "CMakeFiles/test_rfid.dir/rfid/test_llrp_hopping.cc.o.d"
+  "CMakeFiles/test_rfid.dir/rfid/test_reader.cc.o"
+  "CMakeFiles/test_rfid.dir/rfid/test_reader.cc.o.d"
+  "test_rfid"
+  "test_rfid.pdb"
+  "test_rfid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rfid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

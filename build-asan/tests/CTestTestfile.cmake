@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_em[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_channel[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_rfid[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_handwriting[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_recognition[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_properties[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_eval[1]_include.cmake")
