@@ -1,0 +1,118 @@
+// Decode hot-path benchmark: windows/sec and wall time per trajectory
+// length for the HMM Viterbi decoder (and the Kalman/particle consumers
+// of the shared phase-field cache), on seeded synthetic observation
+// streams (core/decode_testbed.h) over the default board and config.
+//
+// PD_BENCH_SMOKE=1 registers a tiny variant (small grid, few windows)
+// for sanitizer CI: same code paths, seconds instead of minutes under
+// ASan+UBSan.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "core/decode_testbed.h"
+#include "core/hmm_tracker.h"
+#include "core/kalman_tracker.h"
+#include "core/particle_tracker.h"
+#include "core/phase_field.h"
+
+using namespace polardraw;
+using namespace polardraw::core;
+
+namespace {
+
+PolarDrawConfig bench_config(bool smoke) {
+  PolarDrawConfig cfg;  // default board/config is the headline number
+  if (smoke) {
+    cfg.board_width_m = 0.3;
+    cfg.board_height_m = 0.2;
+    cfg.block_m = 0.005;
+    cfg.beam_width = 150;
+  }
+  return cfg;
+}
+
+void add_window_rate(benchmark::State& state, int n_windows) {
+  state.counters["windows/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n_windows,
+      benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() * n_windows);
+}
+
+void BM_HmmDecode(benchmark::State& state, bool smoke) {
+  const int n = static_cast<int>(state.range(0));
+  const auto cfg = bench_config(smoke);
+  const auto tb = make_decode_testbed(cfg, n, 42);
+  const HmmTracker hmm(cfg, tb.a1, tb.a2, tb.antenna_z);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmm.decode(tb.obs, &tb.start).size());
+  }
+  add_window_rate(state, n);
+}
+
+void BM_HmmTrackerConstruct(benchmark::State& state, bool smoke) {
+  // Per-track setup cost (includes building the phase-field cache).
+  const auto cfg = bench_config(smoke);
+  const auto tb = make_decode_testbed(cfg, 1, 42);
+  for (auto _ : state) {
+    const HmmTracker hmm(cfg, tb.a1, tb.a2, tb.antenna_z);
+    benchmark::DoNotOptimize(hmm.cols());
+  }
+}
+
+void BM_KalmanDecode(benchmark::State& state, bool smoke) {
+  const int n = static_cast<int>(state.range(0));
+  const auto cfg = bench_config(smoke);
+  const auto tb = make_decode_testbed(cfg, n, 42);
+  const KalmanTracker kf(cfg, KalmanConfig{}, tb.a1, tb.a2, tb.antenna_z);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kf.decode(tb.obs, &tb.start).size());
+  }
+  add_window_rate(state, n);
+}
+
+void BM_ParticleDecode(benchmark::State& state, bool smoke) {
+  const int n = static_cast<int>(state.range(0));
+  const auto cfg = bench_config(smoke);
+  const auto tb = make_decode_testbed(cfg, n, 42);
+  ParticleTracker pf(cfg, ParticleFilterConfig{}, tb.a1, tb.a2,
+                     tb.antenna_z);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf.decode(tb.obs, &tb.start).size());
+  }
+  add_window_rate(state, n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = std::getenv("PD_BENCH_SMOKE") != nullptr;
+  const std::vector<std::int64_t> lengths =
+      smoke ? std::vector<std::int64_t>{16}
+            : std::vector<std::int64_t>{50, 200, 800};
+  for (const auto n : lengths) {
+    benchmark::RegisterBenchmark(
+        "BM_HmmDecode", [smoke](benchmark::State& s) { BM_HmmDecode(s, smoke); })
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark(
+      "BM_HmmTrackerConstruct",
+      [smoke](benchmark::State& s) { BM_HmmTrackerConstruct(s, smoke); })
+      ->Unit(benchmark::kMillisecond);
+  const std::int64_t filter_len = smoke ? 16 : 200;
+  benchmark::RegisterBenchmark(
+      "BM_KalmanDecode",
+      [smoke](benchmark::State& s) { BM_KalmanDecode(s, smoke); })
+      ->Arg(filter_len)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "BM_ParticleDecode",
+      [smoke](benchmark::State& s) { BM_ParticleDecode(s, smoke); })
+      ->Arg(filter_len)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -22,7 +22,10 @@ DistanceEstimate DistanceEstimator::estimate(double dtheta1, double dtheta2,
   };
   e.lower_m = std::max(denoised(dtheta1), denoised(dtheta2));
   e.upper_m = cfg_.vmax_mps * cfg_.window_s;
-  e.dtheta21 = theta2_now - theta1_now;
+  // Wrap once at the source so every consumer sees [0, 2pi). Readers report
+  // phase in [0, 2pi) already, but the difference of two such values lives
+  // in (-2pi, 2pi); pre-PR2 each consumer had to re-wrap defensively.
+  e.dtheta21 = wrap_2pi(theta2_now - theta1_now);
   // A displacement whose phase-implied lower bound exceeds the speed-limit
   // upper bound is physically inconsistent (usually residual spurious
   // phase); flag it so the HMM falls back to the transition prior.

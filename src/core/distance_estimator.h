@@ -21,8 +21,10 @@ struct DistanceEstimate {
   double upper_m = 0.0;  // vmax * dt
   double dl1_m = 0.0;    // per-antenna link-length changes
   double dl2_m = 0.0;
-  /// Measured inter-antenna phase difference theta2 - theta1 (radians,
-  /// unwrapped values, so this is defined up to the initial 2k*pi).
+  /// Measured inter-antenna phase difference theta2 - theta1, wrapped to
+  /// [0, 2*pi) at the source (the physical quantity is only defined modulo
+  /// 2*pi anyway). Consumers may compare it against expected_dtheta21 /
+  /// PhaseField::phase without re-wrapping.
   double dtheta21 = 0.0;
   bool valid = false;
 };

@@ -3,46 +3,47 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
+#include <numeric>
 
 #include "common/angles.h"
+#include "core/scoreboard.h"
 
 namespace polardraw::core {
 
 namespace {
-constexpr float kNegInf = -std::numeric_limits<float>::infinity();
 constexpr double kWeightFloor = 1e-6;  // keeps log-probabilities finite
 }  // namespace
 
 HmmTracker::HmmTracker(const PolarDrawConfig& cfg, Vec2 a1, Vec2 a2,
-                       double antenna_z)
+                       double antenna_z,
+                       std::shared_ptr<const PhaseField> field)
     : cfg_(cfg),
       a1_(a1),
       a2_(a2),
       antenna_z_(antenna_z),
-      cols_(std::max(1, static_cast<int>(cfg.board_width_m / cfg.block_m))),
-      rows_(std::max(1, static_cast<int>(cfg.board_height_m / cfg.block_m))),
-      dist_(cfg) {}
-
-Vec2 HmmTracker::block_center(int col, int row) const {
-  return Vec2{(static_cast<double>(col) + 0.5) * cfg_.block_m,
-              (static_cast<double>(row) + 0.5) * cfg_.block_m};
-}
+      field_(field != nullptr
+                 ? std::move(field)
+                 : std::make_shared<const PhaseField>(cfg, a1, a2, antenna_z)),
+      cols_(field_->cols()),
+      rows_(field_->rows()) {}
 
 Vec2 HmmTracker::initial_location(double dtheta21) const {
-  // Scan the grid for blocks whose expected inter-antenna phase difference
-  // matches the measurement; among matches prefer the one nearest the board
-  // center (the paper picks a point on a candidate hyperbola arbitrarily --
-  // absolute position is unobservable; only trajectory shape matters).
+  // Scan the cached field for blocks whose expected inter-antenna phase
+  // difference matches the measurement; among matches prefer the one
+  // nearest the board center (the paper picks a point on a candidate
+  // hyperbola arbitrarily -- absolute position is unobservable; only
+  // trajectory shape matters).
   const Vec2 center{cfg_.board_width_m / 2.0, cfg_.board_height_m / 2.0};
   const double target = wrap_2pi(dtheta21);
   double best_score = std::numeric_limits<double>::infinity();
   Vec2 best = center;
   for (int r = 0; r < rows_; ++r) {
     for (int c = 0; c < cols_; ++c) {
-      const Vec2 p = block_center(c, r);
-      const double expected = dist_.expected_dtheta21(p, a1_, a2_, antenna_z_);
-      const double mismatch = angle_dist(expected, target);
+      const double mismatch = angle_dist(field_->phase_at(c, r), target);
+      // The center-distance term only adds; skip the sqrt when the phase
+      // mismatch alone already loses.
+      if (mismatch * 2.0 >= best_score) continue;
+      const Vec2 p = field_->block_center(c, r);
       const double score = mismatch * 2.0 + p.dist(center);
       if (score < best_score) {
         best_score = score;
@@ -53,45 +54,12 @@ Vec2 HmmTracker::initial_location(double dtheta21) const {
   return best;
 }
 
-double HmmTracker::emission_weight(const Vec2& candidate, const Vec2& previous,
-                                   const TrackObservation& o) const {
-  double w = 1.0;
-
-  // Hyperbola term of Eq. 11: 1 - |dtheta_meas - dtheta(x,y)| / (4*pi),
-  // compared circularly.
-  if (cfg_.use_hyperbola_constraint && o.has_phase && o.distance.valid) {
-    const double expected =
-        dist_.expected_dtheta21(candidate, a1_, a2_, antenna_z_);
-    const double mismatch =
-        angle_dist(expected, wrap_2pi(o.distance.dtheta21));
-    const double term = std::max(1.0 - mismatch / (4.0 * kPi), kWeightFloor);
-    w *= cfg_.hyperbola_sharpness == 1.0
-             ? term
-             : std::pow(term, cfg_.hyperbola_sharpness);
-  }
-
-  // Direction-line term of Eq. 11: perpendicular distance from the
-  // candidate to the line through the previous location along the
-  // estimated moving direction, normalized by the max displacement.
-  if (o.direction.type != MotionType::kIdle &&
-      o.direction.direction.norm_sq() > 0.0) {
-    const Vec2 d = o.direction.direction;
-    const Vec2 rel = candidate - previous;
-    const double perp = std::fabs(rel.cross(d));
-    const double dmax = std::max(o.distance.upper_m, cfg_.block_m);
-    double term = std::max(1.0 - perp / dmax, kWeightFloor);
-    // Half-plane preference: candidates behind the motion direction are
-    // inconsistent with the estimated heading.
-    if (rel.dot(d) < -0.25 * cfg_.block_m) term *= 0.25;
-    w *= term;
-  }
-  return w;
-}
-
 std::vector<Vec2> HmmTracker::decode(const std::vector<TrackObservation>& obs,
                                      const Vec2* initial_hint) const {
   std::vector<Vec2> traj;
   if (obs.empty()) return traj;
+
+  const PhaseField& field = *field_;
 
   // --- Initial state -------------------------------------------------------
   Vec2 start{cfg_.board_width_m / 2.0, cfg_.board_height_m / 2.0};
@@ -110,52 +78,136 @@ std::vector<Vec2> HmmTracker::decode(const std::vector<TrackObservation>& obs,
   const int r0 = std::clamp(static_cast<int>(start.y / cfg_.block_m), 0,
                             rows_ - 1);
 
-  std::vector<std::vector<Node>> beams;
-  beams.reserve(obs.size() + 1);
-  beams.push_back({Node{c0, r0, 0.0f, -1}});
+  // --- Beam arena ----------------------------------------------------------
+  // All surviving nodes of all steps, flat SoA; `parent` is an absolute
+  // arena index so the backtrace never touches per-step containers.
+  std::vector<std::int32_t> node_cell;
+  std::vector<float> node_logp;
+  std::vector<std::int32_t> node_parent;
+  node_cell.push_back(r0 * cols_ + c0);
+  node_logp.push_back(0.0f);
+  node_parent.push_back(-1);
+  std::size_t prev_begin = 0, prev_end = 1;
+
+  // Scratch reused across windows: candidate SoA for the step being built,
+  // the best-candidate-per-cell scoreboard, the per-window hyperbola-term
+  // cache (the term depends only on the destination cell, so it is shared
+  // by every incoming edge), and the pruning index buffer.
+  const std::size_t n_cells = field.cells();
+  GenerationScoreboard<std::int32_t> best_slot(n_cells);
+  GenerationScoreboard<double> hyper_term(n_cells);
+  std::vector<std::int32_t> cand_cell, cand_parent;
+  std::vector<float> cand_logp;
+  std::vector<std::int32_t> order;
+  std::vector<int> dc_lim;  // per-|dr| column reach inside the outer radius
 
   // --- Forward pass --------------------------------------------------------
   for (const auto& o : obs) {
-    const auto& prev = beams.back();
-
     // Feasible annulus in blocks. An invalid (inconsistent) distance
     // estimate degrades to "anywhere within the speed limit".
-    const double lower =
-        o.distance.valid ? o.distance.lower_m : 0.0;
+    const double lower = o.distance.valid ? o.distance.lower_m : 0.0;
     const double upper = std::max(
         {o.distance.upper_m, lower, cfg_.block_m * 0.5});
     const int reach = std::max(1, static_cast<int>(std::ceil(
                                    upper / cfg_.block_m)));
 
-    std::vector<Node> next;
-    next.reserve(prev.size() * (2 * reach + 1));
+    // Per-window hoists of everything the old per-edge emission recomputed.
+    const double out_thresh = upper + 0.5 * cfg_.block_m;
+    const double quarter_block = 0.25 * cfg_.block_m;
+    const bool use_hyper =
+        cfg_.use_hyperbola_constraint && o.has_phase && o.distance.valid;
+    const double meas = use_hyper ? wrap_2pi(o.distance.dtheta21) : 0.0;
+    const bool use_dir = o.direction.type != MotionType::kIdle &&
+                         o.direction.direction.norm_sq() > 0.0;
+    const Vec2 dir = o.direction.direction;
+    const double dmax = std::max(o.distance.upper_m, cfg_.block_m);
+    const double back_thresh = -0.25 * cfg_.block_m;
+    const bool idle_step_penalty =
+        o.direction.type == MotionType::kIdle && upper > 0.0;
 
-    // Best incoming score per candidate block, tracked sparsely.
-    // Key = row * cols + col.
-    std::unordered_map<std::int64_t, std::size_t> best_idx;
-    best_idx.reserve(prev.size() * 8);
+    // Integer annulus bound: a candidate |dc| blocks away horizontally and
+    // |dr| vertically is at least ~sqrt(dc^2+dr^2) blocks out, so columns
+    // beyond this limit cannot pass the exact outer-radius test below (the
+    // +1 absorbs block-center rounding). Rows stay within [-reach, reach].
+    const double r_blocks = out_thresh / cfg_.block_m;
+    dc_lim.assign(static_cast<std::size_t>(reach) + 1, 0);
+    for (int dr = 0; dr <= reach; ++dr) {
+      const double rem = r_blocks * r_blocks - static_cast<double>(dr) * dr;
+      dc_lim[static_cast<std::size_t>(dr)] =
+          rem <= 0.0 ? 0
+                     : std::min(reach, static_cast<int>(std::sqrt(rem)) + 1);
+    }
 
-    for (std::int32_t pi = 0; pi < static_cast<std::int32_t>(prev.size());
-         ++pi) {
-      const Node& p = prev[pi];
-      if (p.log_prob == kNegInf) continue;
-      const Vec2 from = block_center(p.col, p.row);
-      for (int dr = -reach; dr <= reach; ++dr) {
-        const int nr = p.row + dr;
-        if (nr < 0 || nr >= rows_) continue;
-        for (int dc = -reach; dc <= reach; ++dc) {
-          const int nc = p.col + dc;
-          if (nc < 0 || nc >= cols_) continue;
-          const Vec2 to = block_center(nc, nr);
-          const double step = from.dist(to);
+    best_slot.clear();
+    hyper_term.clear();
+    cand_cell.clear();
+    cand_logp.clear();
+    cand_parent.clear();
+
+    for (std::size_t a = prev_begin; a < prev_end; ++a) {
+      const std::int32_t pcell = node_cell[a];
+      const int pr = pcell / cols_;
+      const int pc = pcell % cols_;
+      const float plp = node_logp[a];
+      const double fx = field.center_x(pc);
+      const double fy = field.center_y(pr);
+      const int dr_lo = std::max(-reach, -pr);
+      const int dr_hi = std::min(reach, rows_ - 1 - pr);
+      for (int dr = dr_lo; dr <= dr_hi; ++dr) {
+        const int nr = pr + dr;
+        const double ty = field.center_y(nr);
+        const double ddy = fy - ty;
+        const int lim = dc_lim[static_cast<std::size_t>(dr < 0 ? -dr : dr)];
+        const int dc_lo = std::max(-lim, -pc);
+        const int dc_hi = std::min(lim, cols_ - 1 - pc);
+        const std::int32_t row_base = nr * cols_;
+        for (int dc = dc_lo; dc <= dc_hi; ++dc) {
+          const int nc = pc + dc;
+          const double tx = field.center_x(nc);
+          const double ddx = fx - tx;
+          const double step = std::sqrt(ddx * ddx + ddy * ddy);
           // Annulus membership (Eq. 8); allow a quarter-block tolerance so
           // the discretization cannot strand the chain, while keeping the
           // lower bound binding (it is the phase-derived minimum motion).
-          if (step > upper + 0.5 * cfg_.block_m) continue;
-          if (step + 0.25 * cfg_.block_m < lower) continue;
+          if (step > out_thresh) continue;
+          if (step + quarter_block < lower) continue;
 
-          double w = emission_weight(to, from, o);
-          if (o.direction.type == MotionType::kIdle && upper > 0.0) {
+          const std::size_t ncell = static_cast<std::size_t>(row_base + nc);
+          // Hyperbola term of Eq. 11: 1 - |dtheta_meas - dtheta(x,y)| /
+          // (4*pi), compared circularly against the cached field.
+          double w;
+          if (use_hyper) {
+            if (hyper_term.contains(ncell)) {
+              w = hyper_term.get(ncell);
+            } else {
+              const double mismatch =
+                  angle_dist(field.phase_at_cell(ncell), meas);
+              const double term =
+                  std::max(1.0 - mismatch / (4.0 * kPi), kWeightFloor);
+              w = cfg_.hyperbola_sharpness == 1.0
+                      ? term
+                      : std::pow(term, cfg_.hyperbola_sharpness);
+              hyper_term.put(ncell, w);
+            }
+          } else {
+            w = 1.0;
+          }
+
+          // Direction-line term of Eq. 11: perpendicular distance from the
+          // candidate to the line through the previous location along the
+          // estimated moving direction, normalized by the max displacement.
+          if (use_dir) {
+            const double rx = tx - fx;
+            const double ry = ty - fy;
+            const double perp = std::fabs(rx * dir.y - ry * dir.x);
+            double term = std::max(1.0 - perp / dmax, kWeightFloor);
+            // Half-plane preference: candidates behind the motion direction
+            // are inconsistent with the estimated heading.
+            if (rx * dir.x + ry * dir.y < back_thresh) term *= 0.25;
+            w *= term;
+          }
+
+          if (idle_step_penalty) {
             // No direction estimate this window: tie-break toward small
             // steps (an undetected motion is a small motion), otherwise
             // the annulus blocks tie -- exactly along the hyperbola when
@@ -164,64 +216,94 @@ std::vector<Vec2> HmmTracker::decode(const std::vector<TrackObservation>& obs,
             const double frac = step / upper;
             w *= std::exp(-cfg_.unobserved_step_penalty * frac * frac);
           }
-          const float lp =
-              p.log_prob + static_cast<float>(std::log(std::max(w, kWeightFloor)));
-          const std::int64_t key =
-              static_cast<std::int64_t>(nr) * cols_ + nc;
-          const auto it = best_idx.find(key);
-          if (it == best_idx.end()) {
-            best_idx.emplace(key, next.size());
-            next.push_back({nc, nr, lp, pi});
-          } else if (lp > next[it->second].log_prob) {
-            next[it->second] = {nc, nr, lp, pi};
+
+          const float lp = plp + static_cast<float>(
+                                     std::log(std::max(w, kWeightFloor)));
+          if (!best_slot.contains(ncell)) {
+            best_slot.put(ncell,
+                          static_cast<std::int32_t>(cand_cell.size()));
+            cand_cell.push_back(static_cast<std::int32_t>(ncell));
+            cand_logp.push_back(lp);
+            cand_parent.push_back(static_cast<std::int32_t>(a));
+          } else {
+            const std::int32_t slot = best_slot.get(ncell);
+            if (lp > cand_logp[static_cast<std::size_t>(slot)]) {
+              cand_logp[static_cast<std::size_t>(slot)] = lp;
+              cand_parent[static_cast<std::size_t>(slot)] =
+                  static_cast<std::int32_t>(a);
+            }
           }
         }
       }
     }
 
-    if (next.empty()) {
-      // Chain starved (e.g. all motion rejected) -- hold position.
-      next.push_back({prev.front().col, prev.front().row,
-                      prev.front().log_prob, 0});
+    if (cand_cell.empty()) {
+      // Chain starved (e.g. all motion rejected) -- hold the most probable
+      // surviving state. (Pre-PR2 this held prev.front(), which after
+      // nth_element pruning is an arbitrary survivor.)
+      std::size_t best = prev_begin;
+      for (std::size_t a = prev_begin + 1; a < prev_end; ++a) {
+        if (node_logp[a] > node_logp[best]) best = a;
+      }
+      cand_cell.push_back(node_cell[best]);
+      cand_logp.push_back(node_logp[best]);
+      cand_parent.push_back(static_cast<std::int32_t>(best));
     }
-    // Beam pruning: keep the most probable states.
-    if (next.size() > cfg_.beam_width) {
-      std::nth_element(next.begin(), next.begin() + cfg_.beam_width,
-                       next.end(), [](const Node& a, const Node& b) {
-                         return a.log_prob > b.log_prob;
-                       });
-      next.resize(cfg_.beam_width);
+
+    // Beam pruning: keep the most probable states. Selection runs on an
+    // index buffer so the SoA candidate arrays are gathered once.
+    const std::size_t n_cand = cand_cell.size();
+    const std::size_t new_begin = node_cell.size();
+    if (n_cand > cfg_.beam_width) {
+      order.resize(n_cand);
+      std::iota(order.begin(), order.end(), 0);
+      std::nth_element(
+          order.begin(),
+          order.begin() + static_cast<std::ptrdiff_t>(cfg_.beam_width),
+          order.end(), [&](std::int32_t x, std::int32_t y) {
+            return cand_logp[static_cast<std::size_t>(x)] >
+                   cand_logp[static_cast<std::size_t>(y)];
+          });
+      for (std::size_t i = 0; i < cfg_.beam_width; ++i) {
+        const auto s = static_cast<std::size_t>(order[i]);
+        node_cell.push_back(cand_cell[s]);
+        node_logp.push_back(cand_logp[s]);
+        node_parent.push_back(cand_parent[s]);
+      }
+    } else {
+      node_cell.insert(node_cell.end(), cand_cell.begin(), cand_cell.end());
+      node_logp.insert(node_logp.end(), cand_logp.begin(), cand_logp.end());
+      node_parent.insert(node_parent.end(), cand_parent.begin(),
+                         cand_parent.end());
     }
-    if (!cfg_.use_viterbi) {
+    if (!cfg_.use_viterbi && node_cell.size() - new_begin > 1) {
       // Greedy ablation: collapse the beam to the single best state.
-      const auto it = std::max_element(
-          next.begin(), next.end(),
-          [](const Node& a, const Node& b) { return a.log_prob < b.log_prob; });
-      next = {*it};
+      std::size_t best = new_begin;
+      for (std::size_t a = new_begin + 1; a < node_cell.size(); ++a) {
+        if (node_logp[a] > node_logp[best]) best = a;
+      }
+      node_cell[new_begin] = node_cell[best];
+      node_logp[new_begin] = node_logp[best];
+      node_parent[new_begin] = node_parent[best];
+      node_cell.resize(new_begin + 1);
+      node_logp.resize(new_begin + 1);
+      node_parent.resize(new_begin + 1);
     }
-    beams.push_back(std::move(next));
+    prev_begin = new_begin;
+    prev_end = node_cell.size();
   }
 
   // --- Backtrace -----------------------------------------------------------
-  const auto& last = beams.back();
-  std::int32_t idx = 0;
-  for (std::int32_t i = 1; i < static_cast<std::int32_t>(last.size()); ++i) {
-    if (last[i].log_prob > last[idx].log_prob) idx = i;
+  std::size_t best = prev_begin;
+  for (std::size_t a = prev_begin + 1; a < prev_end; ++a) {
+    if (node_logp[a] > node_logp[best]) best = a;
   }
   std::vector<Vec2> reversed;
-  reversed.reserve(beams.size());
-  for (std::size_t step = beams.size(); step-- > 0;) {
-    const Node& n = beams[step][static_cast<std::size_t>(idx)];
-    reversed.push_back(block_center(n.col, n.row));
-    idx = n.parent;
-    if (idx < 0 && step > 0) {
-      // Defensive: should only happen at step 0.
-      for (std::size_t s = step; s-- > 0;) {
-        reversed.push_back(block_center(beams[s].front().col,
-                                        beams[s].front().row));
-      }
-      break;
-    }
+  reversed.reserve(obs.size() + 1);
+  for (std::int32_t a = static_cast<std::int32_t>(best); a >= 0;
+       a = node_parent[static_cast<std::size_t>(a)]) {
+    const std::int32_t cell = node_cell[static_cast<std::size_t>(a)];
+    reversed.push_back(field.block_center(cell % cols_, cell / cols_));
   }
   traj.assign(reversed.rbegin(), reversed.rend());
   return traj;

@@ -16,15 +16,24 @@
 // Viterbi decoding with beam pruning recovers the most likely block
 // sequence; the final trajectory is then rotated by the accumulated
 // initial-azimuth error (Eq. 10).
+//
+// Hot-path layout: the expected phase-difference field is precomputed once
+// per antenna layout (core/phase_field.h) and shared with the Kalman and
+// particle trackers; the forward pass tracks best-per-cell candidates in a
+// dense generation-stamped scoreboard (core/scoreboard.h) and stores beams
+// as flat SoA arrays in a step-indexed arena, so a decode allocates a
+// handful of buffers total instead of per-window node vectors.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/vec.h"
 #include "core/config.h"
 #include "core/distance_estimator.h"
 #include "core/motion.h"
+#include "core/phase_field.h"
 
 namespace polardraw::core {
 
@@ -39,7 +48,10 @@ class HmmTracker {
  public:
   /// `a1`, `a2`: antenna positions projected on the board plane;
   /// `antenna_z`: common standoff of the antennas from the board.
-  HmmTracker(const PolarDrawConfig& cfg, Vec2 a1, Vec2 a2, double antenna_z);
+  /// `field`: optional pre-built phase-difference cache for this layout
+  /// (shared across trackers); built on the spot when absent.
+  HmmTracker(const PolarDrawConfig& cfg, Vec2 a1, Vec2 a2, double antenna_z,
+             std::shared_ptr<const PhaseField> field = nullptr);
 
   /// Decodes the most likely block-center trajectory for the observation
   /// sequence. `initial_hint`: when provided (e.g. from hyperbolic
@@ -63,24 +75,17 @@ class HmmTracker {
   // Grid helpers (exposed for tests).
   int cols() const { return cols_; }
   int rows() const { return rows_; }
-  Vec2 block_center(int col, int row) const;
+  Vec2 block_center(int col, int row) const {
+    return field_->block_center(col, row);
+  }
+  const PhaseField& field() const { return *field_; }
 
  private:
-  struct Node {
-    std::int32_t col;
-    std::int32_t row;
-    float log_prob;
-    std::int32_t parent;  // index into previous step's beam; -1 = none
-  };
-
-  double emission_weight(const Vec2& candidate, const Vec2& previous,
-                         const TrackObservation& o) const;
-
   PolarDrawConfig cfg_;
   Vec2 a1_, a2_;
   double antenna_z_;
+  std::shared_ptr<const PhaseField> field_;
   int cols_, rows_;
-  DistanceEstimator dist_;
 };
 
 }  // namespace polardraw::core

@@ -79,8 +79,16 @@ void scalar_update(Vec4& x, Mat4& p, const Vec4& h_row, double innovation,
 }  // namespace
 
 KalmanTracker::KalmanTracker(const PolarDrawConfig& cfg, KalmanConfig kf,
-                             Vec2 a1, Vec2 a2, double antenna_z)
-    : cfg_(cfg), kf_(kf), a1_(a1), a2_(a2), antenna_z_(antenna_z), dist_(cfg) {}
+                             Vec2 a1, Vec2 a2, double antenna_z,
+                             std::shared_ptr<const PhaseField> field)
+    : cfg_(cfg),
+      kf_(kf),
+      a1_(a1),
+      a2_(a2),
+      antenna_z_(antenna_z),
+      field_(field != nullptr ? std::move(field)
+                              : std::make_shared<const PhaseField>(
+                                    cfg, a1, a2, antenna_z)) {}
 
 std::vector<Vec2> KalmanTracker::decode(const std::vector<TrackObservation>& obs,
                                         const Vec2* initial_hint) const {
@@ -91,7 +99,7 @@ std::vector<Vec2> KalmanTracker::decode(const std::vector<TrackObservation>& obs
   if (initial_hint != nullptr) {
     start = *initial_hint;
   } else {
-    const HmmTracker hmm(cfg_, a1_, a2_, antenna_z_);
+    const HmmTracker hmm(cfg_, a1_, a2_, antenna_z_, field_);
     for (const auto& o : obs) {
       if (o.has_phase) {
         start = hmm.initial_location(o.distance.dtheta21);
@@ -156,21 +164,14 @@ std::vector<Vec2> KalmanTracker::decode(const std::vector<TrackObservation>& obs
     // --- Update: hyperbola (inter-antenna phase difference) -----------------
     if (cfg_.use_hyperbola_constraint && o.has_phase && o.distance.valid) {
       const Vec2 pos{x[0], x[1]};
-      const double expected =
-          dist_.expected_dtheta21(pos, a1_, a2_, antenna_z_);
+      const double expected = field_->phase(pos);
       const double innovation =
           angle_diff(wrap_2pi(o.distance.dtheta21), expected);
-      // Numerical Jacobian of expected_dtheta21 w.r.t. position.
-      const double eps = 1e-4;
-      const double dx =
-          (dist_.expected_dtheta21({pos.x + eps, pos.y}, a1_, a2_, antenna_z_) -
-           expected);
-      const double dy =
-          (dist_.expected_dtheta21({pos.x, pos.y + eps}, a1_, a2_, antenna_z_) -
-           expected);
-      scalar_update(x, p,
-                    Vec4{wrap_pi(dx) / eps, wrap_pi(dy) / eps, 0.0, 0.0},
-                    innovation,
+      // Analytic Jacobian of the expected phase difference, interpolated
+      // from the shared field (pre-PR2 this cost three full evaluations
+      // of expected_dtheta21 per update for a finite difference).
+      const Vec2 jac = field_->jacobian(pos);
+      scalar_update(x, p, Vec4{jac.x, jac.y, 0.0, 0.0}, innovation,
                     kf_.hyperbola_noise_rad * kf_.hyperbola_noise_rad);
     }
 

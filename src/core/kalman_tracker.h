@@ -16,12 +16,14 @@
 // cloud or the Viterbi beam can.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/vec.h"
 #include "core/config.h"
 #include "core/distance_estimator.h"
 #include "core/hmm_tracker.h"
+#include "core/phase_field.h"
 
 namespace polardraw::core {
 
@@ -41,8 +43,11 @@ struct KalmanConfig {
 
 class KalmanTracker {
  public:
+  /// `field`: optional shared phase-difference cache for this antenna
+  /// layout; built on the spot when absent.
   KalmanTracker(const PolarDrawConfig& cfg, KalmanConfig kf, Vec2 a1, Vec2 a2,
-                double antenna_z);
+                double antenna_z,
+                std::shared_ptr<const PhaseField> field = nullptr);
 
   /// Filters the observation sequence; returns one position per window.
   std::vector<Vec2> decode(const std::vector<TrackObservation>& obs,
@@ -53,7 +58,7 @@ class KalmanTracker {
   KalmanConfig kf_;
   Vec2 a1_, a2_;
   double antenna_z_;
-  DistanceEstimator dist_;
+  std::shared_ptr<const PhaseField> field_;
 };
 
 }  // namespace polardraw::core

@@ -9,13 +9,16 @@ namespace polardraw::core {
 
 ParticleTracker::ParticleTracker(const PolarDrawConfig& cfg,
                                  ParticleFilterConfig pf, Vec2 a1, Vec2 a2,
-                                 double antenna_z, std::uint64_t seed)
+                                 double antenna_z, std::uint64_t seed,
+                                 std::shared_ptr<const PhaseField> field)
     : cfg_(cfg),
       pf_(pf),
       a1_(a1),
       a2_(a2),
       antenna_z_(antenna_z),
-      dist_(cfg),
+      field_(field != nullptr ? std::move(field)
+                              : std::make_shared<const PhaseField>(
+                                    cfg, a1, a2, antenna_z)),
       rng_(seed) {}
 
 void ParticleTracker::resample_if_needed() {
@@ -63,7 +66,7 @@ std::vector<Vec2> ParticleTracker::decode(
   if (initial_hint != nullptr) {
     start = *initial_hint;
   } else {
-    const HmmTracker hmm(cfg_, a1_, a2_, antenna_z_);
+    const HmmTracker hmm(cfg_, a1_, a2_, antenna_z_, field_);
     for (const auto& o : obs) {
       if (o.has_phase) {
         start = hmm.initial_location(o.distance.dtheta21);
@@ -123,8 +126,8 @@ std::vector<Vec2> ParticleTracker::decode(
         if (rel.dot(o.direction.direction) < -0.001) w *= 0.25;
       }
       if (cfg_.use_hyperbola_constraint && o.has_phase && o.distance.valid) {
-        const double expected =
-            dist_.expected_dtheta21(p.pos, a1_, a2_, antenna_z_);
+        // Bilinear read of the shared field (particles are off-grid).
+        const double expected = field_->phase(p.pos);
         const double mismatch =
             angle_dist(expected, wrap_2pi(o.distance.dtheta21));
         w *= std::pow(std::max(1.0 - mismatch / (4.0 * kPi), 1e-4),

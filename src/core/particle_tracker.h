@@ -14,6 +14,7 @@
 // mean per window, followed by the same Eq. 10 correction hook.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -21,6 +22,7 @@
 #include "core/config.h"
 #include "core/distance_estimator.h"
 #include "core/hmm_tracker.h"
+#include "core/phase_field.h"
 
 namespace polardraw::core {
 
@@ -37,9 +39,13 @@ struct ParticleFilterConfig {
 
 class ParticleTracker {
  public:
+  /// `field`: optional shared phase-difference cache for this antenna
+  /// layout; built on the spot when absent. Off-grid particles read the
+  /// field through bilinear interpolation.
   ParticleTracker(const PolarDrawConfig& cfg, ParticleFilterConfig pf,
                   Vec2 a1, Vec2 a2, double antenna_z,
-                  std::uint64_t seed = 1);
+                  std::uint64_t seed = 1,
+                  std::shared_ptr<const PhaseField> field = nullptr);
 
   /// Filters the observation sequence; returns one position per window.
   /// `initial_hint` seeds the particle cloud (pass the hyperbolic fix).
@@ -61,7 +67,7 @@ class ParticleTracker {
   ParticleFilterConfig pf_;
   Vec2 a1_, a2_;
   double antenna_z_;
-  DistanceEstimator dist_;
+  std::shared_ptr<const PhaseField> field_;
   Rng rng_;
   std::vector<Particle> particles_;
 };

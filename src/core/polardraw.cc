@@ -7,6 +7,7 @@
 #include "core/distance_estimator.h"
 #include "core/kalman_tracker.h"
 #include "core/particle_tracker.h"
+#include "core/phase_field.h"
 #include "core/rotation_tracker.h"
 #include "core/translation_tracker.h"
 
@@ -145,13 +146,18 @@ TrackingResult PolarDraw::track_windows(
   }
 
   // --- Decode + final rotation correction ----------------------------------
-  const HmmTracker hmm(cfg_, a1_, a2_, antenna_z_);
+  // One phase-difference field per (antenna layout, grid); every tracker —
+  // including the filters' HMM bootstrap — shares it.
+  const auto field =
+      std::make_shared<const PhaseField>(cfg_, a1_, a2_, antenna_z_);
+  const HmmTracker hmm(cfg_, a1_, a2_, antenna_z_, field);
   std::vector<Vec2> traj;
   if (cfg_.use_particle_filter) {
-    ParticleTracker pf(cfg_, ParticleFilterConfig{}, a1_, a2_, antenna_z_);
+    ParticleTracker pf(cfg_, ParticleFilterConfig{}, a1_, a2_, antenna_z_, 1,
+                       field);
     traj = pf.decode(observations);
   } else if (cfg_.use_kalman_filter) {
-    const KalmanTracker kf(cfg_, KalmanConfig{}, a1_, a2_, antenna_z_);
+    const KalmanTracker kf(cfg_, KalmanConfig{}, a1_, a2_, antenna_z_, field);
     traj = kf.decode(observations);
   } else {
     traj = hmm.decode(observations);
