@@ -8,6 +8,7 @@
 
 #include "common/angles.h"
 #include "common/table.h"
+#include "common/units.h"
 #include "em/propagation.h"
 #include "sim/scene.h"
 
@@ -40,8 +41,8 @@ int main() {
       const em::Tag tag = em::make_pen_tag(Vec3{pos, 0.0}, angles);
       const auto l0 = em::evaluate_los_link(rig[0], tag, tx);
       const auto l1 = em::evaluate_los_link(rig[1], tag, tx);
-      const double r0 = 10.0 * std::log10(std::norm(l0.response));
-      const double r1 = 10.0 * std::log10(std::norm(l1.response));
+      const double r0 = ratio_to_db(std::norm(l0.response));
+      const double r1 = ratio_to_db(std::norm(l1.response));
       if (!first) {
         const double ds0 = r0 - prev0, ds1 = r1 - prev1;
         const char* winner = std::fabs(ds0) > std::fabs(ds1) ? "|ds0|" : "|ds1|";

@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
     const auto cls = classifier.classify(res.trajectory);
     std::cout << "\nPen EPC 0x" << std::hex << epc << std::dec << ": "
               << stream.size() << " reads (~"
-              << fmt(stream.size() / std::max(t_end, 1e-9), 0)
+              << fmt(static_cast<double>(stream.size()) / std::max(t_end, 1e-9), 0)
               << " Hz), wrote '" << truth.at(epc) << "', recognized '"
               << cls.letter << "'\n";
     std::vector<std::pair<double, double>> pts;

@@ -27,6 +27,7 @@ struct NoiseConfig {
   double phase_noise_floor_rad = 0.08;
 
   /// SNR gain (linear) of the active modulation scheme relative to FM0.
+  // polarlint-allow(R3): dimensionless linear SNR multiplier, not a power level
   double modulation_snr_gain = 1.0;
 };
 

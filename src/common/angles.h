@@ -14,28 +14,38 @@ namespace polardraw {
 inline constexpr double kPi = std::numbers::pi;
 inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
 
-constexpr double deg2rad(double deg) { return deg * kPi / 180.0; }
-constexpr double rad2deg(double rad) { return rad * 180.0 / kPi; }
+[[nodiscard]] constexpr double deg2rad(double deg) { return deg * kPi / 180.0; }
+[[nodiscard]] constexpr double rad2deg(double rad) { return rad * 180.0 / kPi; }
 
 /// Wraps an angle to [0, 2*pi).
-inline double wrap_2pi(double rad) {
+[[nodiscard]] inline double wrap_2pi(double rad) {
   double r = std::fmod(rad, kTwoPi);
   if (r < 0.0) r += kTwoPi;
   return r;
 }
 
 /// Wraps an angle to (-pi, pi].
-inline double wrap_pi(double rad) {
+[[nodiscard]] inline double wrap_pi(double rad) {
   double r = wrap_2pi(rad);
   if (r > kPi) r -= kTwoPi;
   return r;
 }
 
+/// Folds an angle to [0, pi): the canonical representative of a projected
+/// *line* angle, which is only meaningful modulo pi (a line at theta and at
+/// theta + pi is the same line). Used for board-projected pen rotation and
+/// polarization axes.
+[[nodiscard]] inline double fold_pi(double rad) {
+  double r = std::fmod(rad, kPi);
+  if (r < 0.0) r += kPi;
+  return r;
+}
+
 /// Smallest signed difference a - b on the circle, in (-pi, pi].
-inline double angle_diff(double a, double b) { return wrap_pi(a - b); }
+[[nodiscard]] inline double angle_diff(double a, double b) { return wrap_pi(a - b); }
 
 /// Absolute circular distance between two angles, in [0, pi].
-inline double angle_dist(double a, double b) { return std::fabs(angle_diff(a, b)); }
+[[nodiscard]] inline double angle_dist(double a, double b) { return std::fabs(angle_diff(a, b)); }
 
 /// Unwraps a phase series in place: successive samples are shifted by
 /// multiples of 2*pi so that no step exceeds pi in magnitude.
@@ -43,7 +53,7 @@ inline double angle_dist(double a, double b) { return std::fabs(angle_diff(a, b)
 void unwrap_inplace(std::vector<double>& phases);
 
 /// Returns an unwrapped copy of `phases`.
-std::vector<double> unwrapped(std::vector<double> phases);
+[[nodiscard]] std::vector<double> unwrapped(std::vector<double> phases);
 
 /// Incremental unwrapper for streaming phase data.
 ///
@@ -53,21 +63,21 @@ std::vector<double> unwrapped(std::vector<double> phases);
 class PhaseUnwrapper {
  public:
   /// Feeds the next wrapped sample; returns the unwrapped (continuous) value.
-  double push(double wrapped_phase) {
+  double push(double wrapped_phase_rad) {
     if (!has_prev_) {
       has_prev_ = true;
-      prev_wrapped_ = wrapped_phase;
-      unwrapped_ = wrapped_phase;
+      prev_wrapped_ = wrapped_phase_rad;
+      unwrapped_ = wrapped_phase_rad;
       return unwrapped_;
     }
-    unwrapped_ += angle_diff(wrapped_phase, prev_wrapped_);
-    prev_wrapped_ = wrapped_phase;
+    unwrapped_ += angle_diff(wrapped_phase_rad, prev_wrapped_);
+    prev_wrapped_ = wrapped_phase_rad;
     return unwrapped_;
   }
 
   void reset() { has_prev_ = false; unwrapped_ = 0.0; }
-  bool has_value() const { return has_prev_; }
-  double value() const { return unwrapped_; }
+  [[nodiscard]] bool has_value() const { return has_prev_; }
+  [[nodiscard]] double value() const { return unwrapped_; }
 
  private:
   bool has_prev_ = false;

@@ -20,15 +20,15 @@ class RunningStats {
     max_ = n_ == 1 ? x : std::max(max_, x);
   }
 
-  std::size_t count() const { return n_; }
-  double mean() const { return mean_; }
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
   /// Population variance (0 when fewer than two samples).
-  double variance() const {
+  [[nodiscard]] double variance() const {
     return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
   }
-  double stddev() const { return std::sqrt(variance()); }
-  double min() const { return min_; }
-  double max() const { return max_; }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
 
   void reset() { *this = RunningStats{}; }
 
@@ -42,18 +42,18 @@ class RunningStats {
 
 /// Percentile with linear interpolation; `p` in [0, 100].
 /// Sorts a copy; fine for evaluation-sized vectors.
-double percentile(std::vector<double> values, double p);
+[[nodiscard]] double percentile(std::vector<double> values, double p);
 
 /// Median convenience wrapper.
-inline double median(std::vector<double> values) {
+[[nodiscard]] inline double median(std::vector<double> values) {
   return percentile(std::move(values), 50.0);
 }
 
 /// Arithmetic mean (0 for an empty vector).
-double mean_of(const std::vector<double>& values);
+[[nodiscard]] double mean_of(const std::vector<double>& values);
 
 /// Empirical CDF evaluated at the sorted sample points.
 /// Returns pairs (value, cumulative fraction) suitable for plotting.
-std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> values);
+[[nodiscard]] std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> values);
 
 }  // namespace polardraw

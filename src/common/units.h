@@ -1,4 +1,8 @@
 // Power / amplitude unit conversions used by the RF layer.
+//
+// All dB math in the repo routes through these helpers (polarlint rule R2):
+// powers are dBm / mW, ratios are dB, field amplitudes use the 20-per-decade
+// convention.
 #pragma once
 
 #include <cmath>
@@ -7,18 +11,26 @@ namespace polardraw {
 
 /// Converts milliwatts to dBm. Clamped far below thermal noise for 0 input
 /// so callers never see -inf propagate through arithmetic.
-inline double mw_to_dbm(double mw) {
+[[nodiscard]] inline double mw_to_dbm(double mw) {
   constexpr double kFloorDbm = -150.0;
   if (mw <= 0.0) return kFloorDbm;
   const double dbm = 10.0 * std::log10(mw);
   return dbm < kFloorDbm ? kFloorDbm : dbm;
 }
 
-inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+[[nodiscard]] inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
 
 /// Converts a power ratio to decibels (clamped like mw_to_dbm).
-inline double ratio_to_db(double ratio) { return mw_to_dbm(ratio); }
+[[nodiscard]] inline double ratio_to_db(double ratio) { return mw_to_dbm(ratio); }
 
-inline double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+[[nodiscard]] inline double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Converts a *field-amplitude* ratio expressed in dB to linear scale
+/// (20 dB per decade, the voltage/E-field convention). Used e.g. to turn a
+/// cross-polarization discrimination figure into a leakage amplitude:
+/// leak_amp = db_to_amplitude_ratio(-xpd_db).
+[[nodiscard]] inline double db_to_amplitude_ratio(double db) {
+  return std::pow(10.0, db / 20.0);
+}
 
 }  // namespace polardraw

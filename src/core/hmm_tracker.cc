@@ -1,5 +1,7 @@
 #include "core/hmm_tracker.h"
 
+// polarlint: hot-path -- no node-based hash maps in the decode loop.
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -310,7 +312,7 @@ std::vector<Vec2> HmmTracker::decode(const std::vector<TrackObservation>& obs,
 }
 
 std::vector<Vec2> HmmTracker::rotate_trajectory(const std::vector<Vec2>& traj,
-                                                double alpha_r_error) {
+                                                double alpha_r_error_rad) {
   if (traj.empty()) return traj;
   Vec2 centroid;
   for (const Vec2& p : traj) centroid += p;
@@ -318,7 +320,7 @@ std::vector<Vec2> HmmTracker::rotate_trajectory(const std::vector<Vec2>& traj,
   std::vector<Vec2> out;
   out.reserve(traj.size());
   for (const Vec2& p : traj) {
-    out.push_back(centroid + (p - centroid).rotated(-alpha_r_error));
+    out.push_back(centroid + (p - centroid).rotated(-alpha_r_error_rad));
   }
   return out;
 }

@@ -68,9 +68,9 @@ class HmmTracker {
   Vec2 initial_location(double dtheta21) const;
 
   /// Applies Eq. 10: rotates a trajectory about its centroid by
-  /// `-alpha_r_error` to undo the initial-azimuth error.
+  /// `-alpha_r_error_rad` to undo the initial-azimuth error.
   static std::vector<Vec2> rotate_trajectory(const std::vector<Vec2>& traj,
-                                             double alpha_r_error);
+                                             double alpha_r_error_rad);
 
   // Grid helpers (exposed for tests).
   int cols() const { return cols_; }

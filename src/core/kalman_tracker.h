@@ -33,6 +33,7 @@ struct KalmanConfig {
   /// Measurement noise of the speed pseudo-measurement, m.
   double speed_noise_m = 0.004;
   /// Measurement noise of the heading pseudo-measurement, m/s.
+  // polarlint-allow(R3): velocity pseudo-measurement noise in m/s, not an angle
   double heading_noise_mps = 0.06;
   /// Measurement noise of the hyperbola phase difference, radians.
   double hyperbola_noise_rad = 0.35;

@@ -1,5 +1,7 @@
 #include "core/phase_field.h"
 
+// polarlint: hot-path -- no node-based hash maps in the decode loop.
+
 #include <algorithm>
 #include <cmath>
 

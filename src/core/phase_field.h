@@ -1,4 +1,5 @@
 // Precomputed inter-antenna phase-difference field over the whiteboard grid.
+// polarlint: hot-path -- no node-based hash maps in the decode loop.
 //
 // The antennas never move during a writing session, so the hyperbola field
 // of Eq. 7 -- DistanceEstimator::expected_dtheta21 evaluated at every block

@@ -65,14 +65,14 @@ double RotationTracker::initial_azimuth(Sector sector,
   return kPi / 2.0;
 }
 
-double RotationTracker::rotation_angle(double alpha_a) const {
-  return em::rotation_angle_from_pen({cfg_.alpha_e_rad, alpha_a});
+double RotationTracker::rotation_angle(double alpha_a_rad) const {
+  return em::rotation_angle_from_pen({cfg_.alpha_e_rad, alpha_a_rad});
 }
 
-Vec2 RotationTracker::motion_direction(double alpha_r, RotationSense sense) {
+Vec2 RotationTracker::motion_direction(double alpha_r_rad, RotationSense sense) {
   // Motion is perpendicular to the board-projected pen angle; the wrist
   // model fixes the horizontal sign: clockwise rotation = moving right.
-  const Vec2 pen_dir{std::cos(alpha_r), std::sin(alpha_r)};
+  const Vec2 pen_dir{std::cos(alpha_r_rad), std::sin(alpha_r_rad)};
   Vec2 perp{-pen_dir.y, pen_dir.x};
   const bool want_right = sense == RotationSense::kClockwise;
   if ((want_right && perp.x < 0.0) || (!want_right && perp.x > 0.0)) {
@@ -126,10 +126,10 @@ RotationSense RotationTracker::sense_in_sector(Sector sector, double ds1,
   return RotationSense::kNone;
 }
 
-Sector RotationTracker::sector_of(double alpha_a) const {
+Sector RotationTracker::sector_of(double alpha_a_rad) const {
   const double g = cfg_.gamma_rad;
-  if (alpha_a < kPi / 2.0 - g) return Sector::kSector3;
-  if (alpha_a <= kPi / 2.0 + g) return Sector::kSector2;
+  if (alpha_a_rad < kPi / 2.0 - g) return Sector::kSector3;
+  if (alpha_a_rad <= kPi / 2.0 + g) return Sector::kSector2;
   return Sector::kSector1;
 }
 

@@ -52,19 +52,19 @@ class RotationTracker {
   /// pattern cannot occur in this sector (indicating a sector crossing).
   static RotationSense sense_in_sector(Sector sector, double ds1, double ds2);
 
-  /// Sector containing azimuth `alpha_a` given the configured gamma.
-  Sector sector_of(double alpha_a) const;
+  /// Sector containing azimuth `alpha_a_rad` given the configured gamma.
+  Sector sector_of(double alpha_a_rad) const;
 
   /// Eq. 2: the initial azimuth for a (sector, sense) pair.
   double initial_azimuth(Sector sector, RotationSense sense) const;
 
   /// Eq. 1 wrapper: board rotation angle for the tracked azimuth.
-  double rotation_angle(double alpha_a) const;
+  double rotation_angle(double alpha_a_rad) const;
 
   /// Motion direction (unit vector) for a rotation angle + sense:
   /// perpendicular to alpha_r, horizontal sign matching the wrist model
   /// (clockwise = rightward).
-  static Vec2 motion_direction(double alpha_r, RotationSense sense);
+  static Vec2 motion_direction(double alpha_r_rad, RotationSense sense);
 
  private:
   /// Sector boundary angle between two adjacent sectors, radians.

@@ -1,4 +1,5 @@
 // Dense per-cell scoreboard with O(1) bulk reset via generation stamps.
+// polarlint: hot-path -- no node-based hash maps in the decode loop.
 //
 // The Viterbi forward pass needs "best incoming candidate per grid cell"
 // for every window. A hash map pays allocation and hashing on the hot

@@ -20,18 +20,16 @@ double ReaderAntenna::gain_toward(const Vec3& target) const {
 
 double ReaderAntenna::board_polarization_angle() const {
   const double a = std::atan2(polarization_axis.y, polarization_axis.x);
-  double folded = std::fmod(a, kPi);
-  if (folded < 0.0) folded += kPi;
-  return folded;
+  return fold_pi(a);
 }
 
-ReaderAntenna make_linear_antenna(const Vec3& position, double angle_from_x,
+ReaderAntenna make_linear_antenna(const Vec3& position, double angle_from_x_rad,
                                   double gain_dbi) {
   ReaderAntenna a;
   a.position = position;
   a.boresight = Vec3{0.0, 0.0, -1.0};
   a.polarization_axis =
-      Vec3{std::cos(angle_from_x), std::sin(angle_from_x), 0.0};
+      Vec3{std::cos(angle_from_x_rad), std::sin(angle_from_x_rad), 0.0};
   a.mode = PolarizationMode::kLinear;
   a.gain_dbi = gain_dbi;
   return a;

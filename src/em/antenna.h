@@ -65,10 +65,10 @@ struct ReaderAntenna {
 };
 
 /// Builds a board-facing linear antenna whose polarization axis lies in the
-/// board-parallel plane at `angle_from_x` radians from the +X axis. This is
+/// board-parallel plane at `angle_from_x_rad` radians from the +X axis. This is
 /// the construction the paper's Fig. 8 uses: two antennas at +/- gamma from
 /// the board vertical, i.e. angles pi/2 +/- gamma from X.
-ReaderAntenna make_linear_antenna(const Vec3& position, double angle_from_x,
+ReaderAntenna make_linear_antenna(const Vec3& position, double angle_from_x_rad,
                                   double gain_dbi = 8.0);
 
 /// Builds a board-facing circularly polarized antenna (baseline systems).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/units.h"
+
 namespace polardraw::em {
 
 namespace {
@@ -39,7 +41,7 @@ double field_coupling(double mismatch_rad) { return std::cos(mismatch_rad); }
 
 std::complex<double> complex_field_coupling(double mismatch_rad,
                                             double xpd_db) {
-  const double leak_amp = std::pow(10.0, -xpd_db / 20.0);
+  const double leak_amp = db_to_amplitude_ratio(-xpd_db);
   return {std::cos(mismatch_rad), leak_amp * std::sin(mismatch_rad)};
 }
 

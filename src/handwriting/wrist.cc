@@ -12,25 +12,24 @@ WristModel::WristModel(WristStyle style, Rng rng)
 
 void WristModel::reset() {
   started_ = false;
-  elevation_offset_ = 0.0;
-  azimuth_ = kPi / 2.0;
+  elevation_offset_rad_ = 0.0;
+  azimuth_rad_ = kPi / 2.0;
 }
 
-double WristModel::azimuth_from_rotation(double alpha_r, double alpha_e,
-                                         double min_azimuth) {
-  // cos(alpha_a) = tan(alpha_e) / tan(alpha_r). Fold alpha_r to (0, pi)
-  // first (a projected line angle). tan(alpha_r) -> 0 (pen projection
+double WristModel::azimuth_from_rotation(double alpha_r_rad, double alpha_e_rad,
+                                         double min_azimuth_rad) {
+  // cos(alpha_a) = tan(alpha_e_rad) / tan(alpha_r_rad). Fold alpha_r_rad to [0, pi)
+  // first (a projected line angle). tan(alpha_r_rad) -> 0 (pen projection
   // horizontal) saturates the azimuth at the clamp.
-  double ar = std::fmod(alpha_r, kPi);
-  if (ar < 0.0) ar += kPi;
+  const double ar = fold_pi(alpha_r_rad);
   const double t = std::tan(ar);
   double cos_a;
   if (std::fabs(t) < 1e-9) {
-    cos_a = std::tan(alpha_e) > 0.0 ? 1.0 : -1.0;
+    cos_a = std::tan(alpha_e_rad) > 0.0 ? 1.0 : -1.0;
   } else {
-    cos_a = std::tan(alpha_e) / t;
+    cos_a = std::tan(alpha_e_rad) / t;
   }
-  const double limit = std::cos(min_azimuth);
+  const double limit = std::cos(min_azimuth_rad);
   cos_a = std::clamp(cos_a, -limit, limit);
   return std::acos(cos_a);
 }
@@ -77,19 +76,19 @@ em::PenAngles WristModel::step(const PathSample& sample) {
     }
     last_ar_ = ar;
 
-    const double elevation = style_.elevation + elevation_offset_;
-    azimuth_ = azimuth_from_rotation(ar, elevation);
+    const double elevation = style_.elevation + elevation_offset_rad_;
+    azimuth_rad_ = azimuth_from_rotation(ar, elevation);
   }
 
   if (dt > 0.0) {
-    elevation_offset_ +=
+    elevation_offset_rad_ +=
         rng_.gaussian(0.0, style_.elevation_wander * std::sqrt(dt));
-    elevation_offset_ = std::clamp(elevation_offset_, -0.2, 0.2);
+    elevation_offset_rad_ = std::clamp(elevation_offset_rad_, -0.2, 0.2);
   }
-  double az = azimuth_ + rng_.gaussian(0.0, style_.tremor);
+  double az = azimuth_rad_ + rng_.gaussian(0.0, style_.tremor);
   az = std::clamp(az, deg2rad(8.0), deg2rad(172.0));
 
-  return em::PenAngles{style_.elevation + elevation_offset_, az};
+  return em::PenAngles{style_.elevation + elevation_offset_rad_, az};
 }
 
 }  // namespace polardraw::handwriting

@@ -3,16 +3,16 @@
 // Implements the writing model of the paper's section 3.2 / Fig. 7 as
 // rest-and-pivot kinematics. While a stroke is drawn the hand rests at a
 // fixed pivot on the board and the pen pivots about it, so the pen's
-// board-plane projection (angle alpha_r) points from the pivot to the tip
+// board-plane projection (angle alpha_r_rad) points from the pivot to the tip
 // and the tip's motion is perpendicular to it -- clockwise rotation for
 // rightward motion, counter-clockwise for leftward. When the pen
 // over-extends (the projected angle or the reach leaves the comfortable
 // range) the hand slides to restore posture, which momentarily makes the
 // motion translation-dominant; pen-up transits reposition the hand under
-// the next stroke. The azimuth alpha_a follows from alpha_r by inverting
+// the next stroke. The azimuth alpha_a follows from alpha_r_rad by inverting
 // the paper's Eq. 1:
 //
-//   cos(alpha_a) = tan(alpha_e) / tan(alpha_r)
+//   cos(alpha_a) = tan(alpha_e_rad) / tan(alpha_r_rad)
 //
 // Horizontal stroke segments therefore sweep the azimuth across the
 // Fig. 8 sectors (rotation-dominant windows) while vertical segments
@@ -27,7 +27,7 @@
 namespace polardraw::handwriting {
 
 struct WristStyle {
-  /// Mean pen elevation angle, radians (paper's alpha_e, ~30 deg typical).
+  /// Mean pen elevation angle, radians (paper's alpha_e_rad, ~30 deg typical).
   double elevation = 0.5235987755982988;  // 30 deg
 
   /// Slow elevation wander (std-dev, radians) around the mean.
@@ -38,7 +38,7 @@ struct WristStyle {
   Vec2 pivot_offset{0.005, -0.035};
 
   /// Comfortable half-range of the projected pen angle around vertical,
-  /// radians. The hand slides once alpha_r leaves
+  /// radians. The hand slides once alpha_r_rad leaves
   /// [pi/2 - half_range, pi/2 + half_range]. A "stiff" writer (paper's
   /// User 2) has a small half-range: the arm moves, the pen barely
   /// rotates.
@@ -68,10 +68,10 @@ class WristModel {
   const Vec2& pivot() const { return pivot_; }
 
   /// Inverse of the paper's Eq. 1: azimuth for a projected pen angle
-  /// alpha_r at elevation alpha_e; clamped to the open interval
-  /// (min_azimuth, pi - min_azimuth). Exposed for tests.
-  static double azimuth_from_rotation(double alpha_r, double alpha_e,
-                                      double min_azimuth = 0.14);
+  /// alpha_r_rad at elevation alpha_e_rad; clamped to the open interval
+  /// (min_azimuth_rad, pi - min_azimuth_rad). Exposed for tests.
+  static double azimuth_from_rotation(double alpha_r_rad, double alpha_e_rad,
+                                      double min_azimuth_rad = 0.14);
 
  private:
   WristStyle style_;
@@ -79,8 +79,8 @@ class WristModel {
   Vec2 pivot_;
   bool started_ = false;
   double prev_t_ = 0.0;
-  double elevation_offset_ = 0.0;
-  double azimuth_ = 1.5707963267948966;
+  double elevation_offset_rad_ = 0.0;
+  double azimuth_rad_ = 1.5707963267948966;
   double last_ar_ = 1.5707963267948966;
 };
 

@@ -101,7 +101,7 @@ Modulation Reader::select_modulation(const TagStateFn& tag_at) {
       }
     }
     if (stats.count() >= static_cast<std::size_t>(config_.probe_reads) / 2 &&
-        stats.variance() <= config_.phase_variance_threshold) {
+        stats.variance() <= config_.phase_variance_threshold_rad2) {
       return modulation_;
     }
   }

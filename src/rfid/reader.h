@@ -45,7 +45,7 @@ struct ReaderConfig {
   Modulation fixed_modulation = Modulation::kMiller4;
 
   /// Phase-variance acceptance threshold for auto-selection, rad^2.
-  double phase_variance_threshold = 0.1;
+  double phase_variance_threshold_rad2 = 0.1;
 
   /// Number of probe reads per scheme during auto-selection.
   int probe_reads = 25;

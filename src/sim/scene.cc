@@ -29,12 +29,12 @@ std::vector<em::ReaderAntenna> build_rig(const SceneConfig& cfg) {
     return a;
   };
   // Linear antenna looking down with polarization axis in the X-Z plane
-  // at `angle_from_x` (pi/2 +/- gamma puts it gamma off the Z axis).
-  const auto linear_down = [&](const Vec3& pos, double angle_from_x) {
-    em::ReaderAntenna a = em::make_linear_antenna(pos, angle_from_x);
+  // at `angle_from_x_rad` (pi/2 +/- gamma puts it gamma off the Z axis).
+  const auto linear_down = [&](const Vec3& pos, double angle_from_x_rad) {
+    em::ReaderAntenna a = em::make_linear_antenna(pos, angle_from_x_rad);
     a.boresight = Vec3{0.0, -1.0, 0.0};
     a.polarization_axis =
-        Vec3{std::cos(angle_from_x), 0.0, std::sin(angle_from_x)};
+        Vec3{std::cos(angle_from_x_rad), 0.0, std::sin(angle_from_x_rad)};
     return a;
   };
 

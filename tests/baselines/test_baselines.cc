@@ -9,12 +9,12 @@
 namespace polardraw::baselines {
 namespace {
 
-rfid::TagReport report(double t, int ant, double phase, double rss = -40.0) {
+rfid::TagReport report(double t, int ant, double phase_rad, double rss_dbm = -40.0) {
   rfid::TagReport r;
   r.timestamp_s = t;
   r.antenna_id = ant;
-  r.phase_rad = wrap_2pi(phase);
-  r.rss_dbm = rss;
+  r.phase_rad = wrap_2pi(phase_rad);
+  r.rss_dbm = rss_dbm;
   return r;
 }
 

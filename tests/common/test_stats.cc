@@ -36,10 +36,10 @@ TEST(RunningStats, MatchesBatchOnRandomData) {
   }
   double mean = 0.0;
   for (double x : xs) mean += x;
-  mean /= xs.size();
+  mean /= static_cast<double>(xs.size());
   double var = 0.0;
   for (double x : xs) var += (x - mean) * (x - mean);
-  var /= xs.size();
+  var /= static_cast<double>(xs.size());
   EXPECT_NEAR(s.mean(), mean, 1e-9);
   EXPECT_NEAR(s.variance(), var, 1e-9);
 }

@@ -7,12 +7,12 @@
 namespace polardraw::core {
 namespace {
 
-rfid::TagReport report(double t, int ant, double rss, double phase) {
+rfid::TagReport report(double t, int ant, double rss_dbm, double phase_rad) {
   rfid::TagReport r;
   r.timestamp_s = t;
   r.antenna_id = ant;
-  r.rss_dbm = rss;
-  r.phase_rad = wrap_2pi(phase);
+  r.rss_dbm = rss_dbm;
+  r.phase_rad = wrap_2pi(phase_rad);
   return r;
 }
 

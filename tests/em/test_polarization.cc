@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "common/angles.h"
+#include "common/units.h"
+
+#include <cmath>
 
 namespace polardraw::em {
 namespace {
@@ -86,7 +89,26 @@ TEST(ComplexCoupling, PowerFloorMatchesXpd) {
   // Round-trip power at full mismatch = leak^4 power = -2*XPD dB.
   const auto c = complex_field_coupling(kPi / 2.0, 15.0);
   const double round_trip_power = std::norm(c * c);
+  // polarlint-allow(R2): pins the raw 10*log10 formula the units.h helpers reproduce
   EXPECT_NEAR(10.0 * std::log10(round_trip_power), -2.0 * 15.0, 1e-9);
+}
+
+TEST(ComplexCoupling, DbToAmplitudeRatioPinsLegacyExpression) {
+  // complex_field_coupling's leak amplitude used to be computed inline as
+  // pow(10.0, -xpd_db / 20.0); the units.h helper must be bit-identical so
+  // the refactor cannot move any decode output.
+  for (double xpd_db = 0.0; xpd_db <= 40.0; xpd_db += 0.7) {
+    // polarlint-allow(R2): pins db_to_amplitude_ratio against the legacy inline expression
+    const double legacy = std::pow(10.0, -xpd_db / 20.0);
+    EXPECT_EQ(db_to_amplitude_ratio(-xpd_db), legacy) << xpd_db;
+    const auto c = complex_field_coupling(kPi / 2.0, xpd_db);
+    EXPECT_EQ(c.imag(), legacy) << xpd_db;  // full mismatch: pure leak
+  }
+  // The 20-per-decade field convention: amplitude ratio squared = power ratio.
+  for (double db = -30.0; db <= 30.0; db += 1.3) {
+    const double amp = db_to_amplitude_ratio(db);
+    EXPECT_NEAR(amp * amp, db_to_ratio(db), 1e-12 * db_to_ratio(db)) << db;
+  }
 }
 
 TEST(ComplexCoupling, PhaseGlidesMonotonically) {

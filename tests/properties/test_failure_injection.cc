@@ -16,12 +16,12 @@ core::PolarDraw default_tracker() {
   return core::PolarDraw(cfg, {0.22, 1.25}, {0.78, 1.25}, 0.12);
 }
 
-rfid::TagReport report(double t, int ant, double rss, double phase) {
+rfid::TagReport report(double t, int ant, double rss_dbm, double phase_rad) {
   rfid::TagReport r;
   r.timestamp_s = t;
   r.antenna_id = ant;
-  r.rss_dbm = rss;
-  r.phase_rad = wrap_2pi(phase);
+  r.rss_dbm = rss_dbm;
+  r.phase_rad = wrap_2pi(phase_rad);
   return r;
 }
 

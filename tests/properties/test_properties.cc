@@ -4,6 +4,7 @@
 
 #include "common/angles.h"
 #include "common/rng.h"
+#include "common/units.h"
 #include "em/polarization.h"
 #include "em/propagation.h"
 #include "em/tag.h"
@@ -93,7 +94,7 @@ class CouplingProperty
 TEST_P(CouplingProperty, PowerAndPhaseEnvelope) {
   const auto [beta, xpd] = GetParam();
   const auto c = em::complex_field_coupling(beta, xpd);
-  const double leak = std::pow(10.0, -xpd / 10.0);
+  const double leak = db_to_ratio(-xpd);
   EXPECT_LE(std::norm(c), em::malus_factor(beta) + leak + 1e-12);
   const double phase = std::arg(c * c);
   EXPECT_GE(phase, -1e-12);
@@ -189,7 +190,7 @@ TEST_P(PenAxisProjection, MatchesExplicitProjection) {
   const double ar = em::rotation_angle_from_pen(angles);
   // The projected line angle (mod pi) must match atan2 of the X-Y parts.
   const double explicit_angle = std::atan2(axis.y, axis.x);
-  const double diff = std::fmod(std::fabs(ar - explicit_angle), kPi);
+  const double diff = fold_pi(std::fabs(ar - explicit_angle));
   EXPECT_LT(std::min(diff, kPi - diff), 1e-6)
       << "elev " << elev_deg << " az " << az_deg;
 }

@@ -74,8 +74,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(System::kPolarDraw, System::kPolarDrawNoPol,
                       System::kPolarDrawNoPolPhaseDir, System::kTagoram2,
                       System::kTagoram4, System::kRfIdraw4),
-    [](const ::testing::TestParamInfo<System>& info) {
-      std::string name = to_string(info.param);
+    [](const ::testing::TestParamInfo<System>& param_info) {
+      std::string name = to_string(param_info.param);
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

@@ -102,7 +102,7 @@ TEST(Resample, EquallySpacedByArclength) {
   const std::vector<Vec2> poly{{0, 0}, {2, 0}};
   const auto r = resample_by_arclength(poly, 5);
   for (std::size_t i = 0; i < r.size(); ++i) {
-    EXPECT_NEAR(r[i].x, 0.5 * i, 1e-9);
+    EXPECT_NEAR(r[i].x, 0.5 * static_cast<double>(i), 1e-9);
   }
 }
 

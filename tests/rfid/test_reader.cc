@@ -8,10 +8,10 @@
 namespace polardraw::rfid {
 namespace {
 
-em::ReaderAntenna down_antenna(double x, double pol_angle) {
-  em::ReaderAntenna a = em::make_linear_antenna(Vec3{x, 1.25, 0.12}, pol_angle);
+em::ReaderAntenna down_antenna(double x, double pol_angle_rad) {
+  em::ReaderAntenna a = em::make_linear_antenna(Vec3{x, 1.25, 0.12}, pol_angle_rad);
   a.boresight = Vec3{0.0, -1.0, 0.0};
-  a.polarization_axis = Vec3{std::cos(pol_angle), 0.0, std::sin(pol_angle)};
+  a.polarization_axis = Vec3{std::cos(pol_angle_rad), 0.0, std::sin(pol_angle_rad)};
   return a;
 }
 
@@ -69,8 +69,8 @@ TEST_F(ReaderTest, InventoryRateMatchesConfig) {
   // Ports round-robin evenly.
   int port0 = 0;
   for (const auto& r : stream) port0 += r.antenna_id == 0 ? 1 : 0;
-  EXPECT_NEAR(static_cast<double>(port0), stream.size() / 2.0,
-              stream.size() * 0.1);
+  EXPECT_NEAR(static_cast<double>(port0), static_cast<double>(stream.size()) / 2.0,
+              static_cast<double>(stream.size()) * 0.1);
 }
 
 TEST_F(ReaderTest, TimestampsMonotone) {

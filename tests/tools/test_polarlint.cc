@@ -1,0 +1,332 @@
+// Self-tests for tools/polarlint: each rule demonstrated both firing and
+// suppressed, plus the tokenizer / comment-stripper corner cases the rules
+// depend on. The fixture sources are deliberately tiny translation units.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "polarlint.h"
+
+namespace polarlint {
+namespace {
+
+std::vector<std::string> rules_of(const std::vector<Violation>& vs) {
+  std::vector<std::string> r;
+  for (const auto& v : vs) r.push_back(v.rule);
+  std::sort(r.begin(), r.end());
+  return r;
+}
+
+int count_rule(const std::vector<Violation>& vs, const std::string& rule) {
+  int n = 0;
+  for (const auto& v : vs)
+    if (v.rule == rule) ++n;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// R1: raw fmod on angle expressions
+// ---------------------------------------------------------------------------
+
+TEST(R1Fmod, FiresOnAngleExpression) {
+  const auto vs = lint_source("src/foo.cc",
+                              "double a = std::fmod(theta, kTwoPi);\n");
+  ASSERT_EQ(count_rule(vs, "R1"), 1);
+  EXPECT_EQ(vs[0].line, 1);
+}
+
+TEST(R1Fmod, FiresOnDegreeFold) {
+  const auto vs =
+      lint_source("src/foo.cc", "double d = fmod(heading_deg, 360.0);\n");
+  EXPECT_EQ(count_rule(vs, "R1"), 1);
+}
+
+TEST(R1Fmod, SilentOnNonAngleQuantity) {
+  // A time cycle is not an angle; the evidence scan must not fire.
+  const auto vs =
+      lint_source("src/foo.cc", "const double cycle = std::fmod(t_s, 6.0);\n");
+  EXPECT_EQ(count_rule(vs, "R1"), 0);
+}
+
+TEST(R1Fmod, ExemptInsideAnglesHeader) {
+  const std::string src = "double r = std::fmod(rad, kTwoPi);\n";
+  EXPECT_EQ(count_rule(lint_source("src/common/angles.h", src), "R1"), 0);
+  EXPECT_EQ(count_rule(lint_source("src/common/angles.cc", src), "R1"), 0);
+  EXPECT_EQ(count_rule(lint_source("src/core/other.cc", src), "R1"), 1);
+}
+
+TEST(R1Fmod, SuppressedSameLine) {
+  const auto vs = lint_source(
+      "src/foo.cc",
+      "double a = std::fmod(theta, kPi);  // polarlint-allow(R1): legacy\n");
+  EXPECT_EQ(count_rule(vs, "R1"), 0);
+}
+
+TEST(R1Fmod, SuppressedFromPrecedingLine) {
+  const auto vs = lint_source(
+      "src/foo.cc",
+      "// polarlint-allow(R1): matches the paper's literal formula\n"
+      "double a = std::fmod(theta, kPi);\n");
+  EXPECT_EQ(count_rule(vs, "R1"), 0);
+}
+
+TEST(R1Fmod, SuppressionDoesNotLeakToLaterLines) {
+  const auto vs = lint_source(
+      "src/foo.cc",
+      "// polarlint-allow(R1): only covers the next line\n"
+      "double a = std::fmod(theta, kPi);\n"
+      "double b = std::fmod(phase, kTwoPi);\n");
+  EXPECT_EQ(count_rule(vs, "R1"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// R2: raw dB math
+// ---------------------------------------------------------------------------
+
+TEST(R2Db, FiresOnLog10) {
+  const auto vs = lint_source(
+      "src/foo.cc", "const double dbm = 10.0 * std::log10(mw);\n");
+  EXPECT_EQ(count_rule(vs, "R2"), 1);
+}
+
+TEST(R2Db, FiresOnPowTen) {
+  EXPECT_EQ(count_rule(lint_source("src/foo.cc",
+                                   "double r = std::pow(10.0, db / 10.0);\n"),
+                       "R2"),
+            1);
+  EXPECT_EQ(count_rule(lint_source("src/foo.cc",
+                                   "double amp = pow(10, -xpd / 20.0);\n"),
+                       "R2"),
+            1);
+}
+
+TEST(R2Db, SilentOnOtherPow) {
+  const auto vs = lint_source(
+      "src/foo.cc", "const double pattern = std::pow(c, n);\n");
+  EXPECT_EQ(count_rule(vs, "R2"), 0);
+}
+
+TEST(R2Db, ExemptInsideUnitsHeader) {
+  const std::string src = "inline double db_to_ratio(double db) "
+                          "{ return std::pow(10.0, db / 10.0); }\n";
+  EXPECT_EQ(count_rule(lint_source("src/common/units.h", src), "R2"), 0);
+  EXPECT_EQ(count_rule(lint_source("src/em/foo.cc", src), "R2"), 1);
+}
+
+TEST(R2Db, Suppressed) {
+  const auto vs = lint_source(
+      "tests/foo.cc",
+      "// polarlint-allow(R2): pins the raw formula against units.h\n"
+      "EXPECT_NEAR(10.0 * std::log10(p), -30.0, 1e-9);\n");
+  EXPECT_EQ(count_rule(vs, "R2"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R3: unit suffixes on angle/power fields and parameters
+// ---------------------------------------------------------------------------
+
+TEST(R3Suffix, FiresOnUnsuffixedField) {
+  const auto vs = lint_source("src/foo.h",
+                              "struct Pen {\n"
+                              "  double elevation = 0.0;\n"
+                              "};\n");
+  ASSERT_EQ(count_rule(vs, "R3"), 1);
+  EXPECT_EQ(vs[0].key, "elevation");
+  EXPECT_EQ(vs[0].line, 2);
+}
+
+TEST(R3Suffix, AcceptsSuffixedField) {
+  const auto vs = lint_source("src/foo.h",
+                              "struct Pen {\n"
+                              "  double elevation_rad = 0.0;\n"
+                              "  double gain_dbi = 8.0;\n"
+                              "  double power_dbm = -18.0;\n"
+                              "  double variance_rad2 = 0.1;\n"
+                              "};\n");
+  EXPECT_EQ(count_rule(vs, "R3"), 0);
+}
+
+TEST(R3Suffix, FiresOnUnsuffixedParameter) {
+  const auto vs = lint_source(
+      "src/foo.h", "double rotation_angle(double alpha, double azimuth);\n");
+  EXPECT_EQ(count_rule(vs, "R3"), 2);
+}
+
+TEST(R3Suffix, SilentOnLocalsLoopVarsAndFunctions) {
+  const auto vs = lint_source("src/foo.cc",
+                              "double rotation_angle() {\n"
+                              "  double phase = 0.0;\n"  // local: not checked
+                              "  for (double beta = 0.0; beta < 1.0; beta += 0.1) phase += beta;\n"
+                              "  return phase;\n"
+                              "}\n");
+  EXPECT_EQ(count_rule(vs, "R3"), 0);
+}
+
+TEST(R3Suffix, SilentOnNonUnitNames) {
+  const auto vs = lint_source("src/foo.h",
+                              "struct Cfg {\n"
+                              "  double block_m = 0.004;\n"
+                              "  double hyperbola_sharpness = 6.0;\n"
+                              "};\n");
+  EXPECT_EQ(count_rule(vs, "R3"), 0);
+}
+
+TEST(R3Suffix, PrivateMemberTrailingUnderscore) {
+  EXPECT_EQ(count_rule(lint_source("src/foo.h",
+                                   "class W {\n double azimuth_;\n};\n"),
+                       "R3"),
+            1);
+  EXPECT_EQ(count_rule(lint_source("src/foo.h",
+                                   "class W {\n double azimuth_rad_;\n};\n"),
+                       "R3"),
+            0);
+}
+
+TEST(R3Suffix, Suppressed) {
+  const auto vs = lint_source(
+      "src/foo.h",
+      "struct N {\n"
+      "  // polarlint-allow(R3): dimensionless linear multiplier\n"
+      "  double modulation_snr_gain = 1.0;\n"
+      "};\n");
+  EXPECT_EQ(count_rule(vs, "R3"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R4: determinism guard
+// ---------------------------------------------------------------------------
+
+TEST(R4Rng, FiresOnRandSrandRandomDevice) {
+  EXPECT_EQ(count_rule(lint_source("src/foo.cc", "int x = std::rand();\n"),
+                       "R4"),
+            1);
+  EXPECT_EQ(count_rule(lint_source("src/foo.cc", "srand(42);\n"), "R4"), 1);
+  EXPECT_EQ(count_rule(lint_source("src/foo.cc",
+                                   "std::mt19937 g{std::random_device{}()};\n"),
+                       "R4"),
+            1);
+}
+
+TEST(R4Rng, SilentOnSeededEngines) {
+  const auto vs = lint_source(
+      "src/foo.cc", "Rng rng(splitmix64(base, index));  // seeded, fine\n");
+  EXPECT_EQ(count_rule(vs, "R4"), 0);
+}
+
+TEST(R4Rng, ExemptInRngAndSeedHeaders) {
+  const std::string src = "std::random_device rd;\n";
+  EXPECT_EQ(count_rule(lint_source("src/common/rng.h", src), "R4"), 0);
+  EXPECT_EQ(count_rule(lint_source("src/common/seed.h", src), "R4"), 0);
+  EXPECT_EQ(count_rule(lint_source("src/eval/harness.cc", src), "R4"), 1);
+}
+
+TEST(R4Rng, Suppressed) {
+  const auto vs = lint_source(
+      "src/foo.cc",
+      "int x = std::rand();  // polarlint-allow(R4): fixture needs libc rand\n");
+  EXPECT_EQ(count_rule(vs, "R4"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R5: hot-path container discipline
+// ---------------------------------------------------------------------------
+
+TEST(R5HotPath, FiresOnlyInTaggedFiles) {
+  const std::string use = "#include <unordered_map>\n"
+                          "std::unordered_map<int, double> scores;\n";
+  EXPECT_EQ(count_rule(lint_source("src/foo.cc", use), "R5"), 0);
+  const std::string tagged = "// polarlint: hot-path\n" + use;
+  EXPECT_EQ(count_rule(lint_source("src/foo.cc", tagged), "R5"), 2);
+}
+
+TEST(R5HotPath, Suppressed) {
+  const auto vs = lint_source(
+      "src/foo.cc",
+      "// polarlint: hot-path\n"
+      "// polarlint-allow(R5): cold setup path, sized once at init\n"
+      "std::unordered_map<int, double> setup;\n");
+  EXPECT_EQ(count_rule(vs, "R5"), 0);
+}
+
+TEST(R5HotPath, TagDetection) {
+  EXPECT_TRUE(is_hot_path_tagged("// polarlint: hot-path\nint x;\n"));
+  EXPECT_FALSE(is_hot_path_tagged("int x;  // not tagged\n"));
+}
+
+// ---------------------------------------------------------------------------
+// Directives
+// ---------------------------------------------------------------------------
+
+TEST(Directives, ReasonIsMandatory) {
+  const auto vs = lint_source(
+      "src/foo.cc", "double a = std::fmod(theta, kPi);  // polarlint-allow(R1)\n");
+  // The allow is malformed, so R1 still fires *and* the directive errors.
+  EXPECT_EQ(count_rule(vs, "R1"), 1);
+  EXPECT_EQ(count_rule(vs, "DIRECTIVE"), 1);
+}
+
+TEST(Directives, UnknownRuleRejected) {
+  const auto vs = lint_source(
+      "src/foo.cc", "int x = 0;  // polarlint-allow(R9): no such rule\n");
+  EXPECT_EQ(count_rule(vs, "DIRECTIVE"), 1);
+}
+
+TEST(Directives, WrongRuleDoesNotSuppress) {
+  const auto vs = lint_source(
+      "src/foo.cc",
+      "double a = std::fmod(theta, kPi);  // polarlint-allow(R2): wrong rule\n");
+  EXPECT_EQ(count_rule(vs, "R1"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer / comment stripper
+// ---------------------------------------------------------------------------
+
+TEST(Tokenizer, CommentsAndStringsDoNotTrigger) {
+  const auto vs = lint_source(
+      "src/foo.cc",
+      "// mention of std::fmod(theta) and std::rand() in a comment\n"
+      "/* std::pow(10.0, db / 10.0) in a block comment */\n"
+      "const char* s = \"std::fmod(theta, kPi)\";\n");
+  EXPECT_EQ(rules_of(vs), std::vector<std::string>{});
+}
+
+TEST(Tokenizer, BlockCommentSpansLines) {
+  const auto vs = lint_source("src/foo.cc",
+                              "/* start\n"
+                              "   std::rand() inside\n"
+                              "   end */ int x = 0;\n");
+  EXPECT_EQ(count_rule(vs, "R4"), 0);
+}
+
+TEST(Tokenizer, EscapedQuoteInString) {
+  const auto vs = lint_source(
+      "src/foo.cc", "const char* s = \"a\\\"b\"; int y = std::rand();\n");
+  EXPECT_EQ(count_rule(vs, "R4"), 1);  // the rand after the string still seen
+}
+
+TEST(Tokenizer, IdentifierWords) {
+  using detail::identifier_words;
+  EXPECT_EQ(identifier_words("kTwoPi"),
+            (std::vector<std::string>{"k", "two", "pi"}));
+  EXPECT_EQ(identifier_words("alpha_e_rad"),
+            (std::vector<std::string>{"alpha", "e", "rad"}));
+  EXPECT_EQ(identifier_words("elevation_offset_rad_"),
+            (std::vector<std::string>{"elevation", "offset", "rad"}));
+}
+
+TEST(Tokenizer, BaselineKeyStableAcrossLineMoves) {
+  const auto a = lint_source("src/foo.h",
+                             "struct P {\n  double elevation;\n};\n");
+  const auto b = lint_source("src/foo.h",
+                             "struct P {\n\n\n  double elevation;\n};\n");
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].baseline_key(), b[0].baseline_key());
+  EXPECT_NE(a[0].line, b[0].line);
+}
+
+}  // namespace
+}  // namespace polarlint

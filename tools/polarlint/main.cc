@@ -1,0 +1,166 @@
+// polarlint CLI: lints the repo's C++ sources against the domain conventions
+// documented in polarlint.h and DESIGN.md section 10.
+//
+// Usage:
+//   polarlint [--root DIR] [--baseline FILE] [--fail-stale]
+//             [--max-baseline-entries N] PATH...
+//
+// PATH arguments are files or directories (recursed for .h/.hpp/.cc/.cpp).
+// Violations are reported as `path:line: [Rn] message`, with paths relative
+// to --root (which is also how the baseline file keys them).
+//
+// Exit codes: 0 clean, 1 violations / ratchet failure, 2 usage error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "polarlint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" ||
+         ext == ".cxx" || ext == ".ipp";
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string relative_to(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(file, root, ec);
+  std::string s = (ec || rel.empty()) ? file.string() : rel.string();
+  for (char& c : s)
+    if (c == '\\') c = '/';
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  fs::path baseline_path;
+  bool fail_stale = false;
+  long max_baseline = -1;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "polarlint: " << arg << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = next();
+    } else if (arg == "--baseline") {
+      baseline_path = next();
+    } else if (arg == "--fail-stale") {
+      fail_stale = true;
+    } else if (arg == "--max-baseline-entries") {
+      max_baseline = std::stol(next());
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: polarlint [--root DIR] [--baseline FILE] "
+                   "[--fail-stale] [--max-baseline-entries N] PATH...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "polarlint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "polarlint: no paths given (try --help)\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& in : inputs) {
+    const fs::path abs = in.is_absolute() ? in : root / in;
+    if (fs::is_directory(abs)) {
+      for (const auto& e : fs::recursive_directory_iterator(abs))
+        if (e.is_regular_file() && lintable(e.path()))
+          files.push_back(e.path());
+    } else if (fs::is_regular_file(abs)) {
+      files.push_back(abs);
+    } else {
+      std::cerr << "polarlint: no such file or directory: " << in << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::cerr << "polarlint: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      while (!line.empty() && (line.back() == '\r' || line.back() == '\n'))
+        line.pop_back();
+      if (line.empty() || line[0] == '#') continue;
+      baseline.insert(line);
+    }
+  }
+
+  std::set<std::string> used_baseline;
+  std::vector<polarlint::Violation> fresh;
+  std::size_t baselined = 0;
+  for (const fs::path& f : files) {
+    const std::string rel = relative_to(f, root);
+    for (polarlint::Violation& v : polarlint::lint_source(rel, slurp(f))) {
+      if (baseline.count(v.baseline_key())) {
+        used_baseline.insert(v.baseline_key());
+        ++baselined;
+      } else {
+        fresh.push_back(std::move(v));
+      }
+    }
+  }
+
+  for (const auto& v : fresh)
+    std::cout << v.path << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+
+  std::vector<std::string> stale;
+  for (const auto& e : baseline)
+    if (!used_baseline.count(e)) stale.push_back(e);
+
+  bool fail = !fresh.empty();
+  if (fail_stale && !stale.empty()) {
+    fail = true;
+    std::cout << "polarlint: " << stale.size()
+              << " stale baseline entr" << (stale.size() == 1 ? "y" : "ies")
+              << " (violation fixed -- ratchet down by deleting the line):\n";
+    for (const auto& e : stale) std::cout << "  " << e << "\n";
+  }
+  if (max_baseline >= 0 && static_cast<long>(baseline.size()) > max_baseline) {
+    fail = true;
+    std::cout << "polarlint: baseline grew to " << baseline.size()
+              << " entries (max " << max_baseline
+              << "); fix new violations instead of baselining them\n";
+  }
+
+  std::cout << "polarlint: " << files.size() << " files, " << fresh.size()
+            << " violation" << (fresh.size() == 1 ? "" : "s") << " ("
+            << baselined << " baselined, " << stale.size() << " stale)\n";
+  return fail ? 1 : 0;
+}

@@ -1,0 +1,485 @@
+#include "polarlint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace polarlint {
+
+namespace detail {
+
+std::vector<SplitLine> split_lines(std::string_view content) {
+  enum class State { kCode, kString, kChar, kLineComment, kBlockComment };
+  std::vector<SplitLine> lines;
+  SplitLine cur;
+  State state = State::kCode;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      lines.push_back(std::move(cur));
+      cur = SplitLine{};
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          cur.code += '"';
+          state = State::kString;
+        } else if (c == '\'') {
+          cur.code += '\'';
+          state = State::kChar;
+        } else {
+          cur.code += c;
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          cur.code += ' ';
+          if (next != '\0' && next != '\n') {
+            cur.code += ' ';
+            ++i;
+          }
+        } else if (c == quote) {
+          cur.code += quote;
+          state = State::kCode;
+        } else {
+          cur.code += ' ';  // blank literal contents, keep column alignment
+        }
+        break;
+      }
+      case State::kLineComment:
+        cur.comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          cur.comment += c;
+        }
+        break;
+    }
+  }
+  lines.push_back(std::move(cur));
+  return lines;
+}
+
+std::vector<std::string> identifier_words(std::string_view name) {
+  while (!name.empty() && name.back() == '_') name.remove_suffix(1);
+  std::vector<std::string> words;
+  std::string cur;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c == '_') {
+      if (!cur.empty()) words.push_back(std::move(cur));
+      cur.clear();
+      continue;
+    }
+    // camelCase boundary: lower-or-digit followed by upper starts a new word.
+    if (std::isupper(static_cast<unsigned char>(c)) && !cur.empty() &&
+        !std::isupper(static_cast<unsigned char>(cur.back()))) {
+      words.push_back(std::move(cur));
+      cur.clear();
+    }
+    cur += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (!cur.empty()) words.push_back(std::move(cur));
+  return words;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::identifier_words;
+using detail::SplitLine;
+
+bool path_ends_with(std::string_view path, std::string_view suffix) {
+  std::string p(path);
+  for (char& c : p)
+    if (c == '\\') c = '/';
+  return p.size() >= suffix.size() &&
+         p.compare(p.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool contains_word(const std::vector<std::string>& words, std::string_view w) {
+  for (const auto& x : words)
+    if (x == w) return true;
+  return false;
+}
+
+// Identifiers whose presence on a line marks the fmod operand as angle-like.
+constexpr std::array<std::string_view, 22> kAngleEvidenceWords = {
+    "pi",      "angle",   "angles",  "theta",       "phase",   "phases",
+    "alpha",   "beta",    "gamma",   "azimuth",     "elevation", "rotation",
+    "bearing", "heading", "orientation", "rad",     "radians", "deg",
+    "degrees", "wrap",    "fold",    "polarization"};
+
+// Name stems that mark a double field/parameter as angle- or power-valued.
+constexpr std::array<std::string_view, 19> kUnitStems = {
+    "angle",   "azimuth", "elevation", "phase",       "theta",
+    "alpha",   "beta",    "gamma",     "rotation",    "mismatch",
+    "bearing", "heading", "orientation", "tilt",      "tremor",
+    "power",   "rss",     "gain",      "xpd"};
+
+// Accepted unit suffixes (the last word of the identifier). rad2 covers
+// variances of angles (rad^2).
+constexpr std::array<std::string_view, 7> kUnitSuffixes = {
+    "rad", "deg", "dbm", "db", "dbi", "mw", "rad2"};
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind;
+  std::string text;
+  int line = 0;         // 1-based
+  int paren_depth = 0;  // depth *before* this token
+  bool record_scope = false;  // directly inside a struct/class/union body
+  bool control_paren = false;  // inside a for/if/while/switch/catch (...)
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Tokenizes the stripped code text, tracking paren depth and whether each
+/// token sits at struct/class member scope (a one-pass heuristic: a brace
+/// opens a record body iff a struct/class/union keyword is pending).
+std::vector<Token> tokenize(const std::vector<SplitLine>& lines) {
+  std::vector<Token> toks;
+  enum class Scope { kRecord, kBlock };
+  std::vector<Scope> scopes;
+  bool pending_record = false;
+  int paren_depth = 0;
+  // Declarations inside a control-statement's parens (`for (double b = ..`)
+  // are locals, not parameters; track which open parens are control parens.
+  std::vector<bool> control_parens;
+  bool pending_control = false;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& s = lines[li].code;
+    for (std::size_t i = 0; i < s.size();) {
+      const char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      Token t;
+      t.line = static_cast<int>(li) + 1;
+      t.paren_depth = paren_depth;
+      t.record_scope = !scopes.empty() && scopes.back() == Scope::kRecord;
+      t.control_paren =
+          !control_parens.empty() &&
+          std::find(control_parens.begin(), control_parens.end(), true) !=
+              control_parens.end();
+      if (ident_start(c)) {
+        std::size_t j = i;
+        while (j < s.size() && ident_char(s[j])) ++j;
+        t.kind = Token::Kind::kIdent;
+        t.text = s.substr(i, j - i);
+        i = j;
+        if (t.text == "struct" || t.text == "class" || t.text == "union")
+          pending_record = true;
+        pending_control = t.text == "for" || t.text == "if" ||
+                          t.text == "while" || t.text == "switch" ||
+                          t.text == "catch";
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        // pp-number: digits, dots, letters, and exponent signs.
+        std::size_t j = i;
+        while (j < s.size()) {
+          const char d = s[j];
+          if (ident_char(d) || d == '.' || d == '\'') {
+            ++j;
+          } else if ((d == '+' || d == '-') && j > i &&
+                     (s[j - 1] == 'e' || s[j - 1] == 'E' || s[j - 1] == 'p' ||
+                      s[j - 1] == 'P')) {
+            ++j;
+          } else {
+            break;
+          }
+        }
+        t.kind = Token::Kind::kNumber;
+        t.text = s.substr(i, j - i);
+        i = j;
+      } else {
+        t.kind = Token::Kind::kPunct;
+        t.text = std::string(1, c);
+        ++i;
+        switch (c) {
+          case '{':
+            scopes.push_back(pending_record ? Scope::kRecord : Scope::kBlock);
+            pending_record = false;
+            break;
+          case '}':
+            if (!scopes.empty()) scopes.pop_back();
+            break;
+          case '(':
+            ++paren_depth;
+            control_parens.push_back(pending_control);
+            pending_control = false;
+            pending_record = false;
+            break;
+          case ')':
+            if (paren_depth > 0) --paren_depth;
+            if (!control_parens.empty()) control_parens.pop_back();
+            break;
+          case ';':
+          case '>':
+            pending_record = false;
+            break;
+          default:
+            break;
+        }
+      }
+      toks.push_back(std::move(t));
+    }
+  }
+  return toks;
+}
+
+std::string normalized_line(const std::string& code) {
+  std::string out;
+  bool space = false;
+  for (char c : code) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      space = !out.empty();
+      continue;
+    }
+    if (space) out += ' ';
+    space = false;
+    out += c;
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Parsed `polarlint-allow(Rn): reason` directives and the hot-path tag.
+struct Directives {
+  // (rule, line) pairs; a directive on line L covers lines L and L + 1.
+  std::vector<std::pair<std::string, int>> allows;
+  bool hot_path = false;
+  std::vector<Violation> errors;  // malformed directives
+};
+
+Directives parse_directives(std::string_view path,
+                            const std::vector<SplitLine>& lines) {
+  Directives d;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& c = lines[li].comment;
+    const int line = static_cast<int>(li) + 1;
+    if (c.find("polarlint: hot-path") != std::string::npos) d.hot_path = true;
+    std::size_t pos = 0;
+    while ((pos = c.find("polarlint-allow", pos)) != std::string::npos) {
+      std::size_t p = pos + std::string_view("polarlint-allow").size();
+      auto malformed = [&](const std::string& why) {
+        d.errors.push_back({"DIRECTIVE", std::string(path), line,
+                            normalized_line(c),
+                            "malformed polarlint-allow directive: " + why});
+      };
+      if (p >= c.size() || c[p] != '(') {
+        malformed("expected '(Rn)'");
+        break;
+      }
+      const std::size_t close = c.find(')', p);
+      if (close == std::string::npos) {
+        malformed("unterminated rule list");
+        break;
+      }
+      const std::string rule = trim(c.substr(p + 1, close - p - 1));
+      const bool known = rule.size() == 2 && rule[0] == 'R' && rule[1] >= '1' &&
+                         rule[1] <= '5';
+      if (!known) {
+        malformed("unknown rule '" + rule + "'");
+        pos = close;
+        continue;
+      }
+      std::size_t after = close + 1;
+      while (after < c.size() &&
+             std::isspace(static_cast<unsigned char>(c[after])))
+        ++after;
+      if (after >= c.size() || c[after] != ':' ||
+          trim(c.substr(after + 1)).empty()) {
+        malformed("suppression needs a reason: // polarlint-allow(" + rule +
+                  "): <why>");
+        pos = close;
+        continue;
+      }
+      d.allows.emplace_back(rule, line);
+      pos = close;
+    }
+  }
+  return d;
+}
+
+bool suppressed(const Directives& d, const std::string& rule, int line) {
+  for (const auto& [r, l] : d.allows)
+    if (r == rule && (l == line || l + 1 == line)) return true;
+  return false;
+}
+
+bool has_unit_stem(const std::vector<std::string>& words) {
+  for (std::string_view stem : kUnitStems)
+    if (contains_word(words, stem)) return true;
+  return false;
+}
+
+bool has_unit_suffix(const std::vector<std::string>& words) {
+  if (words.empty()) return false;
+  for (std::string_view suf : kUnitSuffixes)
+    if (words.back() == suf) return true;
+  return false;
+}
+
+bool is_ten_literal(const std::string& text) {
+  // Accept 10, 10., 10.0, 10.00, 1e1 -- the forms dB code actually writes.
+  if (text == "10" || text == "1e1" || text == "1E1") return true;
+  if (text.rfind("10.", 0) == 0) {
+    for (std::size_t i = 3; i < text.size(); ++i)
+      if (text[i] != '0') return false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_hot_path_tagged(std::string_view content) {
+  return parse_directives("", detail::split_lines(content)).hot_path;
+}
+
+std::vector<Violation> lint_source(std::string_view path,
+                                   std::string_view content) {
+  const std::vector<SplitLine> lines = detail::split_lines(content);
+  const Directives directives = parse_directives(path, lines);
+  const std::vector<Token> toks = tokenize(lines);
+
+  const bool exempt_r1 = path_ends_with(path, "common/angles.h") ||
+                         path_ends_with(path, "common/angles.cc");
+  const bool exempt_r2 = path_ends_with(path, "common/units.h");
+  const bool exempt_r4 = path_ends_with(path, "common/rng.h") ||
+                         path_ends_with(path, "common/seed.h");
+
+  std::vector<Violation> out = directives.errors;
+  auto emit = [&](const std::string& rule, int line, std::string key,
+                  std::string message) {
+    if (suppressed(directives, rule, line)) return;
+    out.push_back({rule, std::string(path), line, std::move(key),
+                   std::move(message)});
+  };
+  auto line_key = [&](int line) {
+    return normalized_line(lines[static_cast<std::size_t>(line) - 1].code);
+  };
+
+  // Per-line identifier words, for R1's angle-evidence scan.
+  auto line_has_angle_evidence = [&](int line) {
+    const std::string& code = lines[static_cast<std::size_t>(line) - 1].code;
+    for (std::size_t i = 0; i < code.size();) {
+      if (!ident_start(code[i])) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      while (j < code.size() && ident_char(code[j])) ++j;
+      const std::string_view ident(code.data() + i, j - i);
+      if (ident != "fmod") {
+        const auto words = identifier_words(ident);
+        for (std::string_view w : kAngleEvidenceWords)
+          if (contains_word(words, w)) return true;
+      }
+      i = j;
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+
+    // R1: raw fmod on an angle expression.
+    if (!exempt_r1 && t.text == "fmod" && line_has_angle_evidence(t.line)) {
+      emit("R1", t.line, line_key(t.line),
+           "raw fmod on an angle expression; use wrap_2pi / wrap_pi / "
+           "fold_pi / angle_diff from common/angles.h");
+    }
+
+    // R2: raw log10 / pow(10, ...) dB math.
+    if (!exempt_r2) {
+      if (t.text == "log10") {
+        emit("R2", t.line, line_key(t.line),
+             "raw log10 dB math; use mw_to_dbm / ratio_to_db from "
+             "common/units.h");
+      } else if (t.text == "pow" && i + 2 < toks.size() &&
+                 toks[i + 1].text == "(" &&
+                 toks[i + 2].kind == Token::Kind::kNumber &&
+                 is_ten_literal(toks[i + 2].text)) {
+        emit("R2", t.line, line_key(t.line),
+             "raw pow(10, x) dB conversion; use dbm_to_mw / db_to_ratio / "
+             "db_to_amplitude_ratio from common/units.h");
+      }
+    }
+
+    // R4: entropy / C-library randomness outside the seeded Rng.
+    if (!exempt_r4 &&
+        (t.text == "rand" || t.text == "srand" || t.text == "random_device")) {
+      emit("R4", t.line, line_key(t.line),
+           "raw " + t.text +
+               "; all randomness must flow through common/rng.h with seeds "
+               "derived via common/seed.h (determinism guard)");
+    }
+
+    // R5: node-based hash map in a hot-path file.
+    if (directives.hot_path && t.text == "unordered_map") {
+      emit("R5", t.line, line_key(t.line),
+           "std::unordered_map in a `polarlint: hot-path` file; use a dense "
+           "array / flat structure (see core/scoreboard.h)");
+    }
+
+    // R3: unit suffix on angle/power double fields and parameters.
+    if (t.text == "double") {
+      std::size_t j = i + 1;
+      while (j < toks.size() &&
+             (toks[j].text == "*" || toks[j].text == "&" ||
+              toks[j].text == "const" || toks[j].text == "volatile"))
+        ++j;
+      if (j < toks.size() && toks[j].kind == Token::Kind::kIdent &&
+          !(j + 1 < toks.size() && toks[j + 1].text == "(")) {
+        const std::string& name = toks[j].text;
+        const bool is_param = t.paren_depth > 0 && !t.control_paren;
+        const bool is_field = t.paren_depth == 0 && t.record_scope;
+        if (is_param || is_field) {
+          const auto words = identifier_words(name);
+          if (has_unit_stem(words) && !has_unit_suffix(words)) {
+            emit("R3", toks[j].line, name,
+                 std::string("double ") + (is_param ? "parameter" : "field") +
+                     " '" + name +
+                     "' holds an angle/power but lacks a _rad/_deg/_dbm/"
+                     "_db/_dbi/_mw suffix");
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace polarlint

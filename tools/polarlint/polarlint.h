@@ -1,0 +1,83 @@
+// polarlint: PolarDraw's domain-aware static-analysis pass.
+//
+// The decode chain's correctness rests on a handful of repo-wide conventions
+// that ordinary compilers cannot check: phase lives on the circle [0, 2*pi)
+// and is only ever folded through common/angles.h; power lives in dBm and is
+// only ever converted through common/units.h; randomness flows down from
+// explicitly derived seeds (common/rng.h + common/seed.h); and hot-path files
+// avoid node-based hash maps. polarlint parses translation units line-wise
+// with a small tokenizer and enforces:
+//
+//   R1  no raw std::fmod / angle folding outside common/angles.h -- callers
+//       must use wrap_2pi / wrap_pi / fold_pi / angle_diff. A bare fmod on a
+//       non-angle quantity (e.g. a time cycle) is fine; the rule fires only
+//       when the same statement mentions angle-ish identifiers.
+//   R2  no raw std::pow(10.0, x / 10|20) or log10-based dB math outside
+//       common/units.h -- use dbm_to_mw / db_to_ratio / db_to_amplitude_ratio
+//       / mw_to_dbm / ratio_to_db.
+//   R3  every double struct field or function parameter whose name says it
+//       holds an angle or a power must carry a _rad / _deg / _dbm / _db /
+//       _dbi / _mw suffix. Pre-existing names are grandfathered in the
+//       baseline file and ratcheted down.
+//   R4  no std::rand / srand / std::random_device outside common/rng.h and
+//       common/seed.h (determinism guard: seeds always derive from the
+//       harness, never from entropy or global state).
+//   R5  no std::unordered_map in files tagged `// polarlint: hot-path`
+//       (the PR-2 scoreboard lesson: node-based maps wreck the decode loop).
+//
+// Any finding can be suppressed at the site with
+//     // polarlint-allow(Rn): <reason>
+// on the same line or the line directly above; the reason is mandatory.
+// Known limitations (deliberate, it is a lexer not a frontend): only the
+// first declarator of a comma-chained declaration is checked by R3, and
+// R1's angle-evidence scan is per physical line.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace polarlint {
+
+struct Violation {
+  std::string rule;     // "R1".."R5", or "DIRECTIVE" for malformed directives
+  std::string path;     // file path as given to lint_source
+  int line = 0;         // 1-based
+  std::string key;      // rule-specific stable payload (identifier or line)
+  std::string message;  // human-readable explanation
+
+  /// Stable identity used by the baseline file: "Rn|path|key". Line numbers
+  /// are deliberately excluded so unrelated edits do not churn the baseline.
+  std::string baseline_key() const { return rule + "|" + path + "|" + key; }
+};
+
+/// Lints one translation unit. `path` is used for reporting, baseline keys
+/// and the per-file exemptions (common/angles.h may fmod, common/units.h may
+/// pow10, common/rng.h + common/seed.h may touch entropy).
+std::vector<Violation> lint_source(std::string_view path, std::string_view content);
+
+/// True if `content` carries the `// polarlint: hot-path` tag (R5 scope).
+bool is_hot_path_tagged(std::string_view content);
+
+namespace detail {
+
+/// One physical line split into executable text and comment text: string and
+/// character literal contents are blanked in `code` (delimiters kept), and
+/// comment bodies (// and /* */, including continuation lines) land in
+/// `comment`.
+struct SplitLine {
+  std::string code;
+  std::string comment;
+};
+
+/// Comment/string stripper; exposed for the self-tests.
+std::vector<SplitLine> split_lines(std::string_view content);
+
+/// Splits an identifier into lowercase words on underscores and camelCase
+/// boundaries: "kTwoPi" -> {"k", "two", "pi"}, "alpha_e_rad" ->
+/// {"alpha", "e", "rad"}. Trailing underscores (private members) ignored.
+std::vector<std::string> identifier_words(std::string_view name);
+
+}  // namespace detail
+
+}  // namespace polarlint
