@@ -94,6 +94,7 @@ static void BM_ViterbiVsGreedy(benchmark::State& state) {
 BENCHMARK(BM_ViterbiVsGreedy)->Arg(0)->Arg(1);
 
 int main(int argc, char** argv) {
+  const bench::Session session("ablation_design");
   run_experiment();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

@@ -16,11 +16,14 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/table.h"
 #include "eval/harness.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
 
 namespace polardraw::bench {
 
@@ -30,6 +33,38 @@ inline int reps_scale() {
   if (env == nullptr) return 1;
   const int v = std::atoi(env);
   return v > 0 ? v : 1;
+}
+
+/// True when the environment variable is set to anything but "0".
+inline bool env_flag(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && std::string(env) != "0";
+}
+
+/// Smoke mode (PD_BENCH_SMOKE): tiny configurations, seconds not minutes.
+inline bool smoke_mode() { return env_flag("PD_BENCH_SMOKE"); }
+
+/// JSON-only mode (PD_BENCH_JSON_ONLY): the benchjson runner wants the
+/// experiment + BENCH_<name>.json and skips the google-benchmark timings.
+inline bool json_only_mode() { return env_flag("PD_BENCH_JSON_ONLY"); }
+
+/// Headline metrics recorded by the experiment sections for the JSON
+/// export (insertion-ordered; re-recording a key overwrites its value).
+inline std::vector<std::pair<std::string, double>>& recorded_metrics() {
+  static std::vector<std::pair<std::string, double>> metrics;
+  return metrics;
+}
+
+/// Records (or overwrites) one headline metric, e.g. the experiment's
+/// aggregate accuracy. Safe to call with no Session alive.
+inline void record_metric(const std::string& key, double value) {
+  for (auto& [k, v] : recorded_metrics()) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  recorded_metrics().emplace_back(key, value);
 }
 
 /// Worker threads for the batch trial API: POLARDRAW_THREADS when set,
@@ -61,13 +96,19 @@ class TrialTimes {
   void add(const eval::TrialResult& result) { times_.push_back(result.wall_s); }
 
   /// "N trials in W s on T threads (cpu X s, mean Y ms/trial, p90 Z ms)".
+  /// Also records the batch's trial-wall summary (count, p50/p95 ms) as
+  /// headline metrics so the JSON export surfaces TrialResult::wall_s.
   void report(std::ostream& os, double elapsed_s) const {
     if (times_.empty()) return;
     double cpu = 0.0;
     for (double t : times_) cpu += t;
+    const auto n = static_cast<double>(times_.size());
+    record_metric("trials", n);
+    record_metric("trial_wall_p50_ms", 1e3 * percentile(times_, 50.0));
+    record_metric("trial_wall_p95_ms", 1e3 * percentile(times_, 95.0));
     os << times_.size() << " trials in " << fmt(elapsed_s, 2) << " s on "
        << n_threads() << " thread(s): trial cpu " << fmt(cpu, 2)
-       << " s, mean " << fmt(1e3 * cpu / static_cast<double>(times_.size()), 1)
+       << " s, mean " << fmt(1e3 * cpu / n, 1)
        << " ms/trial, p90 " << fmt(percentile(times_, 90.0) * 1e3, 1)
        << " ms.\n";
   }
@@ -95,6 +136,108 @@ inline int run_microbench(int argc, char** argv) {
   ::benchmark::Shutdown();
   return 0;
 }
+
+/// One bench binary's JSON-export session (DESIGN.md section 11).
+///
+/// Construct before the experiment, finish() after it:
+///
+///   int main(int argc, char** argv) {
+///     bench::Session session("fig13");
+///     run_experiment();                 // bench::record_metric(...) inside
+///     return session.finish(argc, argv);
+///   }
+///
+/// When PD_BENCH_JSON_DIR is set the constructor enables (and resets) the
+/// metrics registry so the pipeline's spans and counters accumulate, and
+/// finish() writes <dir>/BENCH_<name>.json: git SHA (PD_GIT_SHA), run
+/// config, the recorded headline metrics, all registry counters/gauges,
+/// and per-stage span percentiles. finish() then runs the registered
+/// google-benchmark timings unless PD_BENCH_JSON_ONLY is set.
+class Session {
+ public:
+  explicit Session(std::string name) : name_(std::move(name)) {
+    if (json_enabled()) {
+      obs::Registry::global().set_enabled(true);
+      obs::Registry::global().reset();
+    }
+  }
+
+  /// True when finish() will write BENCH_<name>.json.
+  [[nodiscard]] static bool json_enabled() {
+    return std::getenv("PD_BENCH_JSON_DIR") != nullptr;
+  }
+
+  /// Writes the JSON export (no-op without PD_BENCH_JSON_DIR). Returns
+  /// false when the file could not be written.
+  bool write_json() const {
+    const char* dir = std::getenv("PD_BENCH_JSON_DIR");
+    if (dir == nullptr) return true;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string path =
+        std::string(dir) + "/BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "benchjson: cannot write " << path << "\n";
+      return false;
+    }
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    const char* sha = std::getenv("PD_GIT_SHA");
+    obs::JsonWriter w(os);
+    w.begin_object();
+    w.kv("schema_version", 1);
+    w.kv("name", name_);
+    w.kv("git_sha", sha != nullptr ? sha : "unknown");
+    w.kv("smoke", smoke_mode());
+    w.kv("wall_s", watch_.seconds());
+    w.key("config");
+    w.begin_object();
+    w.kv("reps_scale", reps_scale());
+    w.kv("threads", n_threads());
+    w.end_object();
+    w.key("metrics");
+    w.begin_object();
+    for (const auto& [k, v] : recorded_metrics()) w.kv(k, v);
+    w.end_object();
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [k, v] : snap.counters) w.kv(k, v);
+    w.end_object();
+    w.key("gauges");
+    w.begin_object();
+    for (const auto& [k, v] : snap.gauges) w.kv(k, v);
+    w.end_object();
+    w.key("stages");
+    w.begin_object();
+    for (const auto& [k, h] : snap.histograms) {
+      w.key(k);
+      w.begin_object();
+      w.kv("count", h.count);
+      w.kv("total_s", h.sum);
+      w.kv("mean_ms", 1e3 * h.mean());
+      w.kv("p50_ms", 1e3 * h.percentile(50.0));
+      w.kv("p95_ms", 1e3 * h.percentile(95.0));
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    os << "\n";
+    return os.good();
+  }
+
+  /// Writes the JSON export, then runs the registered microbenchmarks
+  /// (skipped in JSON-only mode). Returns the process exit code.
+  int finish(int argc, char** argv) const {
+    const bool ok = write_json();
+    if (json_only_mode()) return ok ? 0 : 1;
+    const int rc = run_microbench(argc, argv);
+    return ok ? rc : 1;
+  }
+
+ private:
+  std::string name_;
+  Stopwatch watch_;
+};
 
 /// Prints a table and, when PD_BENCH_CSV_DIR is set, also writes it as
 /// <dir>/<name>.csv for downstream plotting.

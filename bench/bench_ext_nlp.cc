@@ -182,7 +182,8 @@ static void BM_BigramDecode(benchmark::State& state) {
 BENCHMARK(BM_BigramDecode);
 
 int main(int argc, char** argv) {
+  const bench::Session session("ext_nlp");
   run_experiment();
   run_dictionary_experiment();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

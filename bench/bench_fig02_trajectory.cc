@@ -47,6 +47,7 @@ static void BM_TrackLetter(benchmark::State& state) {
 BENCHMARK(BM_TrackLetter);
 
 int main(int argc, char** argv) {
+  const bench::Session session("fig02");
   run_experiment();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

@@ -112,8 +112,9 @@ static void BM_Interrogate(benchmark::State& state) {
 BENCHMARK(BM_Interrogate);
 
 int main(int argc, char** argv) {
+  const bench::Session session("fig03");
   bench::banner("Figure 3", "Feasibility study: polarization vs RSS/phase");
   rotation_experiment();
   translation_experiment();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

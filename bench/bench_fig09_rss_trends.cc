@@ -106,7 +106,8 @@ static void BM_RotationSweepDecode(benchmark::State& state) {
 BENCHMARK(BM_RotationSweepDecode);
 
 int main(int argc, char** argv) {
+  const bench::Session session("fig09");
   bench::banner("Figure 9", "Two-antenna RSS trends while writing (gamma=30)");
   run_sweep(true);
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

@@ -117,6 +117,7 @@ static void BM_TrackOneLetter(benchmark::State& state) {
 BENCHMARK(BM_TrackOneLetter);
 
 int main(int argc, char** argv) {
+  const bench::Session session("fig10");
   run_experiment();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

@@ -21,6 +21,7 @@ static void run_experiment() {
       "ABCDEFGHIJKLMNOPQRSTUVWXYZ", reps, cfg, &cm, bench::n_threads(),
       &results);
   const double elapsed = watch.seconds();
+  bench::record_metric("accuracy", overall);
   bench::TrialTimes times;
   times.add(results);
 
@@ -55,6 +56,7 @@ static void BM_LetterTrial(benchmark::State& state) {
 BENCHMARK(BM_LetterTrial);
 
 int main(int argc, char** argv) {
+  const bench::Session session("fig13");
   run_experiment();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

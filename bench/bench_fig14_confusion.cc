@@ -88,6 +88,7 @@ static void BM_ConfusionBookkeeping(benchmark::State& state) {
 BENCHMARK(BM_ConfusionBookkeeping);
 
 int main(int argc, char** argv) {
+  const bench::Session session("fig14");
   run_experiment();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

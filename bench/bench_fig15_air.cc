@@ -55,6 +55,7 @@ static void BM_InAirTrial(benchmark::State& state) {
 BENCHMARK(BM_InAirTrial);
 
 int main(int argc, char** argv) {
+  const bench::Session session("fig15");
   run_experiment();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

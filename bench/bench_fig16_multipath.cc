@@ -81,6 +81,7 @@ static void BM_BystanderChannelEval(benchmark::State& state) {
 BENCHMARK(BM_BystanderChannelEval);
 
 int main(int argc, char** argv) {
+  const bench::Session session("fig16");
   run_experiment();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

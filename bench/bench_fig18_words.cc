@@ -25,6 +25,8 @@ static void run_experiment() {
                                            bench::n_threads());
       times.add(results);
     }
+    bench::record_metric("accuracy_polardraw_len" + std::to_string(len),
+                         acc[0] / 100.0);
     t.add_row({std::to_string(len), fmt(acc[0], 1), fmt(acc[1], 1),
                fmt(acc[2], 1)});
   }
@@ -45,6 +47,7 @@ static void BM_WordTrial(benchmark::State& state) {
 BENCHMARK(BM_WordTrial);
 
 int main(int argc, char** argv) {
+  const bench::Session session("fig18");
   run_experiment();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

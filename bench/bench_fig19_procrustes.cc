@@ -69,6 +69,7 @@ static void BM_ProcrustesScoring(benchmark::State& state) {
 BENCHMARK(BM_ProcrustesScoring);
 
 int main(int argc, char** argv) {
+  const bench::Session session("fig19");
   run_experiment();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

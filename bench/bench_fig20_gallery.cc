@@ -53,6 +53,7 @@ static void BM_AsciiRender(benchmark::State& state) {
 BENCHMARK(BM_AsciiRender);
 
 int main(int argc, char** argv) {
+  const bench::Session session("fig20");
   run_experiment();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

@@ -52,6 +52,7 @@ static void BM_StiffUserTrial(benchmark::State& state) {
 BENCHMARK(BM_StiffUserTrial);
 
 int main(int argc, char** argv) {
+  const bench::Session session("fig21");
   run_experiment();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

@@ -10,6 +10,7 @@
 
 #include <cstdlib>
 
+#include "bench_common.h"
 #include "core/decode_testbed.h"
 #include "core/hmm_tracker.h"
 #include "core/kalman_tracker.h"
@@ -83,10 +84,40 @@ void BM_ParticleDecode(benchmark::State& state, bool smoke) {
   add_window_rate(state, n);
 }
 
+// Headline experiment for the JSON export: a fixed-rep decode loop on the
+// seeded testbed, independent of google-benchmark (which JSON-only mode
+// skips), recording decode throughput in windows/s.
+void run_experiment(bool smoke) {
+  const int n = smoke ? 16 : 200;
+  const int reps = (smoke ? 3 : 10) * bench::reps_scale();
+  const auto cfg = bench_config(smoke);
+  const auto tb = make_decode_testbed(cfg, n, 42);
+  const HmmTracker hmm(cfg, tb.a1, tb.a2, tb.antenna_z);
+  std::size_t sink = 0;
+  const bench::Stopwatch watch;
+  for (int r = 0; r < reps; ++r) {
+    sink += hmm.decode(tb.obs, &tb.start).size();
+  }
+  const double elapsed = watch.seconds();
+  const double windows_per_s =
+      elapsed > 0.0 ? static_cast<double>(reps) * n / elapsed : 0.0;
+  bench::record_metric("windows", static_cast<double>(n));
+  bench::record_metric("decode_reps", reps);
+  bench::record_metric("windows_per_s", windows_per_s);
+  std::cout << "HMM decode: " << reps << " x " << n << " windows ("
+            << sink << " states) in " << fmt(elapsed, 3) << " s = "
+            << fmt(windows_per_s, 0) << " windows/s.\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = std::getenv("PD_BENCH_SMOKE") != nullptr;
+  const bench::Session session("hmm_decode");
+  const bool smoke = bench::smoke_mode();
+  run_experiment(smoke);
+  if (bench::json_only_mode()) {
+    return session.write_json() ? 0 : 1;
+  }
   const std::vector<std::int64_t> lengths =
       smoke ? std::vector<std::int64_t>{16}
             : std::vector<std::int64_t>{50, 200, 800};
@@ -114,5 +145,5 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return session.write_json() ? 0 : 1;
 }

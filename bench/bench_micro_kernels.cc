@@ -5,6 +5,7 @@
 // even with an embedded mini PC", section 3.5).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "channel/multipath.h"
 #include "common/angles.h"
 #include "core/polardraw.h"
@@ -145,4 +146,7 @@ static void BM_SynthesizeLetter(benchmark::State& state) {
 }
 BENCHMARK(BM_SynthesizeLetter);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bench::Session session("micro_kernels");
+  return session.finish(argc, argv);
+}

@@ -40,6 +40,7 @@ static void BM_TableRender(benchmark::State& state) {
 BENCHMARK(BM_TableRender);
 
 int main(int argc, char** argv) {
+  const bench::Session session("tab01");
   print_table();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

@@ -44,6 +44,7 @@ static void BM_TrialAtOneMeter(benchmark::State& state) {
 BENCHMARK(BM_TrialAtOneMeter);
 
 int main(int argc, char** argv) {
+  const bench::Session session("tab05");
   run_experiment();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

@@ -54,6 +54,7 @@ static void BM_AblatedTrial(benchmark::State& state) {
 BENCHMARK(BM_AblatedTrial);
 
 int main(int argc, char** argv) {
+  const bench::Session session("tab06");
   run_experiment();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

@@ -47,6 +47,7 @@ static void BM_TrialNegativeElevation(benchmark::State& state) {
 BENCHMARK(BM_TrialNegativeElevation);
 
 int main(int argc, char** argv) {
+  const bench::Session session("tab07");
   run_experiment();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

@@ -48,6 +48,7 @@ static void BM_TrialWideGamma(benchmark::State& state) {
 BENCHMARK(BM_TrialWideGamma);
 
 int main(int argc, char** argv) {
+  const bench::Session session("tab08");
   run_experiment();
-  return bench::run_microbench(argc, argv);
+  return session.finish(argc, argv);
 }

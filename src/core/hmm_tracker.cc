@@ -9,6 +9,8 @@
 
 #include "common/angles.h"
 #include "core/scoreboard.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace polardraw::core {
 
@@ -58,8 +60,21 @@ Vec2 HmmTracker::initial_location(double dtheta21) const {
 
 std::vector<Vec2> HmmTracker::decode(const std::vector<TrackObservation>& obs,
                                      const Vec2* initial_hint) const {
+  static const obs::Histogram span_hist("core.hmm_decode");
+  const obs::ScopedSpan span(span_hist);
   std::vector<Vec2> traj;
   if (obs.empty()) return traj;
+
+  // Hot-loop counters stay in plain locals (one increment each, no atomics,
+  // no enabled() check) and flush to the registry once per decode; the
+  // registry handles drop the flush when metrics are disabled.
+  std::uint64_t n_expansions = 0;    // edges surviving the annulus tests
+  std::uint64_t n_annulus_rej = 0;   // edges rejected by the annulus tests
+  std::uint64_t n_hyper_hits = 0;    // hyperbola-term cache hits
+  std::uint64_t n_hyper_misses = 0;  // hyperbola-term cache fills
+  std::uint64_t n_starved = 0;       // windows that hit the starvation hold
+  std::uint64_t n_beam_nodes = 0;    // beam survivors summed over windows
+  std::uint64_t beam_peak = 0;       // largest per-window beam occupancy
 
   const PhaseField& field = *field_;
 
@@ -171,8 +186,15 @@ std::vector<Vec2> HmmTracker::decode(const std::vector<TrackObservation>& obs,
           // Annulus membership (Eq. 8); allow a quarter-block tolerance so
           // the discretization cannot strand the chain, while keeping the
           // lower bound binding (it is the phase-derived minimum motion).
-          if (step > out_thresh) continue;
-          if (step + quarter_block < lower) continue;
+          if (step > out_thresh) {
+            ++n_annulus_rej;
+            continue;
+          }
+          if (step + quarter_block < lower) {
+            ++n_annulus_rej;
+            continue;
+          }
+          ++n_expansions;
 
           const std::size_t ncell = static_cast<std::size_t>(row_base + nc);
           // Hyperbola term of Eq. 11: 1 - |dtheta_meas - dtheta(x,y)| /
@@ -180,8 +202,10 @@ std::vector<Vec2> HmmTracker::decode(const std::vector<TrackObservation>& obs,
           double w;
           if (use_hyper) {
             if (hyper_term.contains(ncell)) {
+              ++n_hyper_hits;
               w = hyper_term.get(ncell);
             } else {
+              ++n_hyper_misses;
               const double mismatch =
                   angle_dist(field.phase_at_cell(ncell), meas);
               const double term =
@@ -240,6 +264,7 @@ std::vector<Vec2> HmmTracker::decode(const std::vector<TrackObservation>& obs,
     }
 
     if (cand_cell.empty()) {
+      ++n_starved;
       // Chain starved (e.g. all motion rejected) -- hold the most probable
       // surviving state. (Pre-PR2 this held prev.front(), which after
       // nth_element pruning is an arbitrary survivor.)
@@ -293,6 +318,28 @@ std::vector<Vec2> HmmTracker::decode(const std::vector<TrackObservation>& obs,
     }
     prev_begin = new_begin;
     prev_end = node_cell.size();
+    const std::uint64_t occupancy = prev_end - prev_begin;
+    n_beam_nodes += occupancy;
+    if (occupancy > beam_peak) beam_peak = occupancy;
+  }
+
+  {
+    static const obs::Counter windows_counter("hmm.windows");
+    static const obs::Counter expansions_counter("hmm.beam_expansions");
+    static const obs::Counter nodes_counter("hmm.beam_nodes");
+    static const obs::Counter annulus_counter("hmm.annulus_rejected");
+    static const obs::Counter hyper_hits_counter("hmm.hyper_cache_hits");
+    static const obs::Counter hyper_misses_counter("hmm.hyper_cache_misses");
+    static const obs::Counter starved_counter("hmm.starved_windows");
+    static const obs::Gauge occupancy_gauge("hmm.beam_occupancy_peak");
+    windows_counter.add(obs.size());
+    expansions_counter.add(n_expansions);
+    nodes_counter.add(n_beam_nodes);
+    annulus_counter.add(n_annulus_rej);
+    hyper_hits_counter.add(n_hyper_hits);
+    hyper_misses_counter.add(n_hyper_misses);
+    starved_counter.add(n_starved);
+    occupancy_gauge.set_max(static_cast<double>(beam_peak));
   }
 
   // --- Backtrace -----------------------------------------------------------

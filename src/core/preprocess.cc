@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/angles.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace polardraw::core {
 
@@ -28,6 +30,8 @@ std::optional<double> circular_mean(const std::vector<double>& phases) {
 std::vector<Window> preprocess(const rfid::TagReportStream& reports,
                                const PolarDrawConfig& cfg,
                                const PhaseCalibration* calibration) {
+  static const obs::Histogram span_hist("core.preprocess");
+  const obs::ScopedSpan span(span_hist);
   std::vector<Window> out;
   if (reports.empty() || cfg.window_s <= 0.0) return out;
 
@@ -109,6 +113,7 @@ std::vector<Window> preprocess(const rfid::TagReportStream& reports,
   // window; jumps beyond the threshold are the cross-polarized reflection
   // readings -- invalidate them. Surviving samples are unwrapped into a
   // continuous series per antenna.
+  std::uint64_t rejected = 0;
   for (int a = 0; a < 2; ++a) {
     bool have_prev = false;
     double prev_wrapped = 0.0;
@@ -138,6 +143,7 @@ std::vector<Window> preprocess(const rfid::TagReportStream& reports,
           // Reject the current window's phase reading (keep RSS: the paper
           // only rejects phase -- RSS remains physical during mismatch).
           win.phase_valid[a] = false;
+          ++rejected;
           continue;
         }
       }
@@ -148,6 +154,10 @@ std::vector<Window> preprocess(const rfid::TagReportStream& reports,
       win.phase_rad[a] = unwrapper.push(wrapped);
     }
   }
+  static const obs::Counter windows_counter("preprocess.windows");
+  static const obs::Counter rejected_counter("preprocess.phase_rejected");
+  windows_counter.add(out.size());
+  rejected_counter.add(rejected);
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "em/tag.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace polardraw::core {
 
@@ -134,6 +136,10 @@ Sector RotationTracker::sector_of(double alpha_a_rad) const {
 }
 
 DirectionEstimate RotationTracker::step(double ds1, double ds2) {
+  static const obs::Histogram span_hist("core.rotation_step");
+  const obs::ScopedSpan span(span_hist);
+  static const obs::Counter steps_counter("rotation.steps");
+  steps_counter.add();
   DirectionEstimate est;
   Sector sector;
   RotationSense sense;

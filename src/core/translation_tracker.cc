@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace polardraw::core {
 
 BoardDirection TranslationTracker::decode(double dtheta1, double dtheta2,
@@ -24,6 +27,10 @@ BoardDirection TranslationTracker::decode(double dtheta1, double dtheta2,
 
 DirectionEstimate TranslationTracker::step(double dtheta1,
                                            double dtheta2) const {
+  static const obs::Histogram span_hist("core.translation_step");
+  const obs::ScopedSpan span(span_hist);
+  static const obs::Counter steps_counter("translation.steps");
+  steps_counter.add();
   DirectionEstimate est;
   const BoardDirection d = decode(dtheta1, dtheta2, cfg_.min_phase_delta_rad);
   if (d == BoardDirection::kNone) {

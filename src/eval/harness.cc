@@ -7,8 +7,10 @@
 #include "baselines/rfidraw.h"
 #include "baselines/tagoram.h"
 #include "common/seed.h"
+#include "common/stats.h"
 #include "common/thread_pool.h"
 #include "core/polardraw.h"
+#include "obs/metrics.h"
 #include "recognition/procrustes.h"
 
 namespace polardraw::eval {
@@ -52,6 +54,13 @@ void apply_system_layout(TrialConfig& cfg) {
   cfg.algo.board_height_m = cfg.scene.board_height_m;
 }
 
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
 TrialResult run_trial(const std::string& text, const TrialConfig& cfg_in) {
   const auto trial_start = std::chrono::steady_clock::now();
   TrialConfig cfg = cfg_in;
@@ -64,12 +73,17 @@ TrialResult run_trial(const std::string& text, const TrialConfig& cfg_in) {
   // --- Synthesize the writing and run the reader -------------------------
   sim::Scene scene(cfg.scene);
   Rng rng(cfg.seed * 7919 + 13);
+  auto stage_start = std::chrono::steady_clock::now();
   const auto trace = handwriting::synthesize(text, cfg.synth, rng);
+  out.stages.synth_s = seconds_since(stage_start);
+  stage_start = std::chrono::steady_clock::now();
   const auto reports = scene.run(trace);
+  out.stages.reader_s = seconds_since(stage_start);
   out.report_count = reports.size();
   out.ground_truth = handwriting::flatten_strokes(trace.ground_truth);
 
   // --- Track ---------------------------------------------------------------
+  stage_start = std::chrono::steady_clock::now();
   const core::PhaseCalibration cal{scene.reader().port_phase_offsets()};
   switch (cfg.system) {
     case System::kPolarDraw:
@@ -110,8 +124,10 @@ TrialResult run_trial(const std::string& text, const TrialConfig& cfg_in) {
       break;
     }
   }
+  out.stages.track_s = seconds_since(stage_start);
 
   // --- Score ----------------------------------------------------------------
+  stage_start = std::chrono::steady_clock::now();
   if (!out.trajectory.empty() && out.ground_truth.size() >= 2) {
     out.procrustes_m =
         recognition::procrustes_distance(out.ground_truth, out.trajectory);
@@ -142,9 +158,48 @@ TrialResult run_trial(const std::string& text, const TrialConfig& cfg_in) {
           static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
     out.all_correct = out.recognized == upper;
   }
-  out.wall_s = std::chrono::duration<double>(
-                   std::chrono::steady_clock::now() - trial_start)
-                   .count();
+  out.stages.classify_s = seconds_since(stage_start);
+  out.wall_s = seconds_since(trial_start);
+  static const obs::Histogram trial_hist("eval.trial");
+  static const obs::Counter trials_counter("eval.trials");
+  trial_hist.observe(out.wall_s);
+  trials_counter.add();
+  return out;
+}
+
+std::vector<StageSummary> summarize_stages(
+    const std::vector<TrialResult>& results) {
+  struct Series {
+    const char* name;
+    double (*get)(const TrialResult&);
+  };
+  static constexpr Series kSeries[] = {
+      {"synth", [](const TrialResult& r) { return r.stages.synth_s; }},
+      {"reader", [](const TrialResult& r) { return r.stages.reader_s; }},
+      {"track", [](const TrialResult& r) { return r.stages.track_s; }},
+      {"classify", [](const TrialResult& r) { return r.stages.classify_s; }},
+      {"trial_wall", [](const TrialResult& r) { return r.wall_s; }},
+  };
+  std::vector<StageSummary> out;
+  out.reserve(std::size(kSeries));
+  for (const Series& s : kSeries) {
+    StageSummary sum;
+    sum.name = s.name;
+    sum.count = results.size();
+    std::vector<double> values;
+    values.reserve(results.size());
+    for (const TrialResult& r : results) {
+      const double v = s.get(r);
+      values.push_back(v);
+      sum.total_s += v;
+    }
+    if (!values.empty()) {
+      sum.mean_ms = 1e3 * sum.total_s / static_cast<double>(values.size());
+      sum.p95_ms = 1e3 * percentile(values, 95.0);
+      sum.p50_ms = 1e3 * percentile(std::move(values), 50.0);
+    }
+    out.push_back(std::move(sum));
+  }
   return out;
 }
 

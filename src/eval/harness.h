@@ -36,6 +36,16 @@ struct TrialConfig {
   std::uint64_t seed = 1;
 };
 
+/// Per-stage wall-clock breakdown of one trial, in seconds. The stages
+/// partition run_trial: synthesis, scene simulation + RFID inventory,
+/// tracking, then scoring + classification.
+struct StageTimings {
+  double synth_s = 0.0;
+  double reader_s = 0.0;
+  double track_s = 0.0;
+  double classify_s = 0.0;
+};
+
 /// Outcome of one trial.
 struct TrialResult {
   std::string text;
@@ -46,7 +56,24 @@ struct TrialResult {
   bool all_correct = false;           // recognized == text
   std::size_t report_count = 0;       // raw reads delivered by the reader
   double wall_s = 0.0;                // wall-clock time of this trial
+  StageTimings stages;                // wall_s broken down by stage
 };
+
+/// Percentile summary of one timing series across a trial batch.
+struct StageSummary {
+  std::string name;
+  std::size_t count = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double mean_ms = 0.0;
+  double total_s = 0.0;
+};
+
+/// Summarizes a result batch's per-stage timings -- one entry per stage of
+/// StageTimings plus "trial_wall" for TrialResult::wall_s -- for reporting
+/// and the benchmark JSON export.
+std::vector<StageSummary> summarize_stages(
+    const std::vector<TrialResult>& results);
 
 /// Runs one trial end to end. `text` may be a single letter or a word.
 TrialResult run_trial(const std::string& text, const TrialConfig& cfg);

@@ -1,0 +1,330 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace polardraw::obs {
+
+namespace {
+
+/// Per-histogram shard data; bucket layout mirrors the registered bounds.
+/// `bounds` is a per-shard copy taken on first observe so the hot path
+/// never touches the registry mutex.
+struct HistShard {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+/// One thread's private accumulators. Only the owning thread writes; other
+/// threads read under the registry mutex after a completion handshake
+/// (see metrics.h).
+struct Shard {
+  std::vector<std::uint64_t> counters;
+  std::vector<double> gauges;  // NaN-free: valid iff gauge_set
+  std::vector<char> gauge_set;
+  std::vector<HistShard> hists;
+};
+
+void merge_into(Shard& into, const Shard& from,
+                const std::vector<std::vector<double>>& hist_bounds) {
+  if (into.counters.size() < from.counters.size()) {
+    into.counters.resize(from.counters.size(), 0);
+  }
+  for (std::size_t i = 0; i < from.counters.size(); ++i) {
+    into.counters[i] += from.counters[i];
+  }
+  if (into.gauges.size() < from.gauges.size()) {
+    into.gauges.resize(from.gauges.size(), 0.0);
+    into.gauge_set.resize(from.gauge_set.size(), 0);
+  }
+  for (std::size_t i = 0; i < from.gauges.size(); ++i) {
+    if (!from.gauge_set[i]) continue;
+    into.gauges[i] = into.gauge_set[i] ? std::max(into.gauges[i], from.gauges[i])
+                                       : from.gauges[i];
+    into.gauge_set[i] = 1;
+  }
+  if (into.hists.size() < from.hists.size()) into.hists.resize(from.hists.size());
+  for (std::size_t i = 0; i < from.hists.size(); ++i) {
+    const HistShard& src = from.hists[i];
+    if (src.count == 0) continue;
+    HistShard& dst = into.hists[i];
+    if (dst.counts.empty()) dst.counts.assign(hist_bounds[i].size() + 1, 0);
+    for (std::size_t b = 0; b < src.counts.size(); ++b) {
+      dst.counts[b] += src.counts[b];
+    }
+    dst.count += src.count;
+    dst.sum += src.sum;
+    dst.min = std::min(dst.min, src.min);
+    dst.max = std::max(dst.max, src.max);
+  }
+}
+
+}  // namespace
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  std::atomic<bool> enabled{false};
+
+  // Name -> id maps and per-id metadata (guarded by mu).
+  std::map<std::string, int> counter_ids;
+  std::map<std::string, int> gauge_ids;
+  std::map<std::string, int> hist_ids;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> hist_names;
+  std::vector<std::vector<double>> hist_bounds;
+
+  // Live per-thread shards plus the merged data of exited threads.
+  std::vector<Shard*> live;
+  Shard retired;
+
+  Shard& local_shard();
+  void retire(Shard* s) {
+    std::lock_guard<std::mutex> lock(mu);
+    merge_into(retired, *s, hist_bounds);
+    live.erase(std::remove(live.begin(), live.end(), s), live.end());
+  }
+};
+
+namespace {
+
+/// TLS holder: owns this thread's shard for the global registry and
+/// flushes it into the retired accumulator at thread exit.
+struct TlsShard {
+  Registry::Impl* owner = nullptr;
+  std::unique_ptr<Shard> shard;
+  ~TlsShard() {
+    if (owner != nullptr && shard != nullptr) owner->retire(shard.get());
+  }
+};
+
+thread_local TlsShard tls_shard;
+
+}  // namespace
+
+Shard& Registry::Impl::local_shard() {
+  if (tls_shard.shard == nullptr || tls_shard.owner != this) {
+    // A thread holds one shard at a time; if a different registry owned the
+    // slot (only possible with a non-global instance), flush there first so
+    // its live list never dangles.
+    if (tls_shard.owner != nullptr && tls_shard.shard != nullptr) {
+      tls_shard.owner->retire(tls_shard.shard.get());
+      tls_shard.shard.reset();
+    }
+    auto fresh = std::make_unique<Shard>();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      live.push_back(fresh.get());
+    }
+    tls_shard.owner = this;
+    tls_shard.shard = std::move(fresh);
+  }
+  return *tls_shard.shard;
+}
+
+Registry::Registry() : impl_(new Impl) {}
+
+// The global registry is intentionally immortal (never destroyed), so
+// worker threads exiting at process teardown can always flush their
+// shards. The destructor exists only for completeness.
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  static Registry* g = [] {
+    auto* r = new Registry();
+    if (const char* env = std::getenv("POLARDRAW_METRICS")) {
+      r->set_enabled(std::string_view(env) != "0");
+    }
+    return r;
+  }();
+  return *g;
+}
+
+int Registry::counter_id(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->counter_ids.find(name);
+  if (it != impl_->counter_ids.end()) return it->second;
+  const int id = static_cast<int>(impl_->counter_names.size());
+  impl_->counter_ids.emplace(name, id);
+  impl_->counter_names.push_back(name);
+  return id;
+}
+
+int Registry::gauge_id(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->gauge_ids.find(name);
+  if (it != impl_->gauge_ids.end()) return it->second;
+  const int id = static_cast<int>(impl_->gauge_names.size());
+  impl_->gauge_ids.emplace(name, id);
+  impl_->gauge_names.push_back(name);
+  return id;
+}
+
+int Registry::histogram_id(const std::string& name,
+                           const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->hist_ids.find(name);
+  if (it != impl_->hist_ids.end()) return it->second;
+  const int id = static_cast<int>(impl_->hist_names.size());
+  impl_->hist_ids.emplace(name, id);
+  impl_->hist_names.push_back(name);
+  std::vector<double> sorted = bounds;
+  std::sort(sorted.begin(), sorted.end());
+  impl_->hist_bounds.push_back(std::move(sorted));
+  return id;
+}
+
+void Registry::set_enabled(bool on) {
+  impl_->enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Registry::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void Registry::counter_add(int id, std::uint64_t n) {
+  Shard& s = impl_->local_shard();
+  const auto idx = static_cast<std::size_t>(id);
+  if (s.counters.size() <= idx) s.counters.resize(idx + 1, 0);
+  s.counters[idx] += n;
+}
+
+void Registry::gauge_max(int id, double v) {
+  Shard& s = impl_->local_shard();
+  const auto idx = static_cast<std::size_t>(id);
+  if (s.gauges.size() <= idx) {
+    s.gauges.resize(idx + 1, 0.0);
+    s.gauge_set.resize(idx + 1, 0);
+  }
+  s.gauges[idx] = s.gauge_set[idx] ? std::max(s.gauges[idx], v) : v;
+  s.gauge_set[idx] = 1;
+}
+
+void Registry::histogram_observe(int id, double v) {
+  Shard& s = impl_->local_shard();
+  const auto idx = static_cast<std::size_t>(id);
+  if (s.hists.size() <= idx) s.hists.resize(idx + 1);
+  HistShard& h = s.hists[idx];
+  if (h.counts.empty()) {
+    // First observe of this histogram on this thread: copy the registered
+    // bounds under the lock; afterwards the shard is self-contained.
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    h.bounds = impl_->hist_bounds[idx];
+    h.counts.assign(h.bounds.size() + 1, 0);
+  }
+  const auto it = std::lower_bound(h.bounds.begin(), h.bounds.end(), v);
+  h.counts[static_cast<std::size_t>(it - h.bounds.begin())] += 1;
+  h.count += 1;
+  h.sum += v;
+  h.min = std::min(h.min, v);
+  h.max = std::max(h.max, v);
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Shard merged;
+  merge_into(merged, impl_->retired, impl_->hist_bounds);
+  for (const Shard* s : impl_->live) {
+    merge_into(merged, *s, impl_->hist_bounds);
+  }
+
+  Snapshot out;
+  // The name tables are sorted maps, so iteration emits names in order.
+  for (const auto& [name, id] : impl_->counter_ids) {
+    const auto idx = static_cast<std::size_t>(id);
+    const std::uint64_t v = idx < merged.counters.size() ? merged.counters[idx] : 0;
+    out.counters.emplace_back(name, v);
+  }
+  for (const auto& [name, id] : impl_->gauge_ids) {
+    const auto idx = static_cast<std::size_t>(id);
+    const bool set = idx < merged.gauge_set.size() && merged.gauge_set[idx];
+    out.gauges.emplace_back(name, set ? merged.gauges[idx] : 0.0);
+  }
+  for (const auto& [name, id] : impl_->hist_ids) {
+    const auto idx = static_cast<std::size_t>(id);
+    HistogramSnapshot h;
+    h.bounds = impl_->hist_bounds[idx];
+    if (idx < merged.hists.size() && merged.hists[idx].count > 0) {
+      const HistShard& src = merged.hists[idx];
+      h.counts = src.counts;
+      h.count = src.count;
+      h.sum = src.sum;
+      h.min = src.min;
+      h.max = src.max;
+    } else {
+      h.counts.assign(h.bounds.size() + 1, 0);
+    }
+    out.histograms.emplace_back(name, std::move(h));
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->retired = Shard{};
+  for (Shard* s : impl_->live) *s = Shard{};
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const std::uint64_t next = cum + counts[b];
+    if (static_cast<double>(next) >= target && counts[b] > 0) {
+      if (b == counts.size() - 1) return max;  // overflow bucket
+      const double hi = bounds[b];
+      // Lower edge: previous bound, or the observed min for the first
+      // populated bucket (keeps tiny samples from reporting bucket edges
+      // far below any observation).
+      double lo = b > 0 ? bounds[b - 1] : std::min(min, hi);
+      lo = std::max(lo, min);
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts[b]);
+      return lo + (std::min(hi, max) - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum = next;
+  }
+  return max;
+}
+
+std::uint64_t Snapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* Snapshot::histogram(std::string_view name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+const std::vector<double>& default_time_bounds_s() {
+  static const std::vector<double> bounds = [] {
+    // 1-2-5 ladder, 1 us .. 50 s.
+    std::vector<double> b;
+    for (double decade = 1e-6; decade < 1e2; decade *= 10.0) {
+      b.push_back(decade);
+      b.push_back(2.0 * decade);
+      b.push_back(5.0 * decade);
+    }
+    while (b.back() > 50.0) b.pop_back();
+    return b;
+  }();
+  return bounds;
+}
+
+}  // namespace polardraw::obs

@@ -1,0 +1,46 @@
+// Scoped-span timers over the metrics registry.
+//
+// A span is a named duration histogram: construct a ScopedSpan over a
+// function-local static Histogram and the block's wall time lands in that
+// histogram on scope exit. When the registry is disabled the constructor
+// takes one relaxed load and no clock is read, so instrumentation can stay
+// compiled into hot paths (bench_hmm_decode guards the overhead budget).
+//
+//   void preprocess(...) {
+//     static const obs::Histogram span_h("core.preprocess");
+//     const obs::ScopedSpan span(span_h);
+//     ...
+//   }
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace polardraw::obs {
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const Histogram& hist)
+      : hist_(&hist), active_(Registry::global().enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (active_) {
+      hist_->observe(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count());
+    }
+  }
+
+ private:
+  const Histogram* hist_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace polardraw::obs

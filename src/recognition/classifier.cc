@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "handwriting/synthesizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "recognition/dtw.h"
 #include "recognition/procrustes.h"
 
@@ -41,6 +43,10 @@ LetterClassifier::LetterClassifier(std::size_t points) : points_(points) {
 
 Classification LetterClassifier::classify(
     const std::vector<Vec2>& trajectory) const {
+  static const obs::Histogram span_hist("recognition.classify");
+  const obs::ScopedSpan span(span_hist);
+  static const obs::Counter calls_counter("classifier.calls");
+  calls_counter.add();
   Classification out;
   if (trajectory.size() < 2) return out;
   const auto probe = normalize_shape(resample_by_arclength(trajectory, points_));

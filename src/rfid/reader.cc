@@ -4,6 +4,8 @@
 
 #include "common/angles.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace polardraw::rfid {
 
@@ -110,8 +112,23 @@ Modulation Reader::select_modulation(const TagStateFn& tag_at) {
   return modulation_;
 }
 
+namespace {
+// Inventory instrumentation, shared by the single-tag and population paths.
+const obs::Histogram& inventory_span_hist() {
+  static const obs::Histogram h("rfid.inventory");
+  return h;
+}
+void count_inventory(std::size_t attempts, std::size_t delivered) {
+  static const obs::Counter interrogations("rfid.interrogations");
+  static const obs::Counter reports("rfid.reports");
+  interrogations.add(attempts);
+  reports.add(delivered);
+}
+}  // namespace
+
 TagReportStream Reader::inventory_population(const std::vector<TagEntry>& tags,
                                               double t_begin, double t_end) {
+  const obs::ScopedSpan span(inventory_span_hist());
   TagReportStream out;
   if (tags.empty() || t_end <= t_begin) return out;
   const double rate =
@@ -121,6 +138,7 @@ TagReportStream Reader::inventory_population(const std::vector<TagEntry>& tags,
   out.reserve(static_cast<std::size_t>((t_end - t_begin) / dt) + 1);
 
   int port = 0;
+  std::size_t attempts = 0;
   const int num_ports = static_cast<int>(antennas_.size());
   for (double t = t_begin; t < t_end; t += dt) {
     // Gen2 slotted ALOHA: each inventory slot is won by one tag of the
@@ -129,6 +147,7 @@ TagReportStream Reader::inventory_population(const std::vector<TagEntry>& tags,
     const TagEntry& entry = tags[rng_.index(tags.size())];
     const double t_read = t + rng_.uniform(0.0, 0.2 * dt);
     em::Tag tag = entry.state(t_read);
+    ++attempts;
     if (auto rep = interrogate(port, tag, t_read)) {
       rep->epc = entry.epc;
       rep->read_rate_hz = rate / num_ports;
@@ -136,11 +155,13 @@ TagReportStream Reader::inventory_population(const std::vector<TagEntry>& tags,
     }
     port = (port + 1) % num_ports;
   }
+  count_inventory(attempts, out.size());
   return out;
 }
 
 TagReportStream Reader::inventory(const TagStateFn& tag_at, double t_begin,
                                   double t_end) {
+  const obs::ScopedSpan span(inventory_span_hist());
   TagReportStream out;
   const double rate =
       config_.aggregate_read_rate_hz * rate_factor(modulation_);
@@ -149,17 +170,20 @@ TagReportStream Reader::inventory(const TagStateFn& tag_at, double t_begin,
   out.reserve(static_cast<std::size_t>((t_end - t_begin) / dt) + 1);
 
   int port = 0;
+  std::size_t attempts = 0;
   const int num_ports = static_cast<int>(antennas_.size());
   for (double t = t_begin; t < t_end; t += dt) {
     // Small scheduling jitter: Gen2 slotted-ALOHA rounds are not metronomic.
     const double t_read = t + rng_.uniform(0.0, 0.2 * dt);
     const em::Tag tag = tag_at(t_read);
+    ++attempts;
     if (auto rep = interrogate(port, tag, t_read)) {
       rep->read_rate_hz = rate / num_ports;
       out.push_back(*rep);
     }
     port = (port + 1) % num_ports;
   }
+  count_inventory(attempts, out.size());
   return out;
 }
 

@@ -1,0 +1,175 @@
+// Degeneracy and edge cases of the continuous-state trackers: the
+// particle filter's all-weights-zero resampling fallback and the Kalman
+// filter's innovation-gating / zero-noise corner cases.
+#include "core/particle_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/config.h"
+#include "core/decode_testbed.h"
+#include "core/kalman_tracker.h"
+
+namespace polardraw::core {
+namespace {
+
+bool all_finite_in_board(const std::vector<Vec2>& traj,
+                         const PolarDrawConfig& cfg) {
+  for (const Vec2& p : traj) {
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) return false;
+    if (p.x < -1e-9 || p.x > cfg.board_width_m + 1e-9) return false;
+    if (p.y < -1e-9 || p.y > cfg.board_height_m + 1e-9) return false;
+  }
+  return true;
+}
+
+TEST(ParticleTracker, EmptyObservationsGiveEmptyTrajectory) {
+  const PolarDrawConfig cfg;
+  const DecodeTestbed tb = make_decode_testbed(cfg, 1, 7);
+  ParticleTracker tracker(cfg, ParticleFilterConfig{}, tb.a1, tb.a2,
+                          tb.antenna_z, 1);
+  EXPECT_TRUE(tracker.decode({}).empty());
+}
+
+TEST(ParticleTracker, DecodeEmitsStartPlusOnePositionPerWindow) {
+  const PolarDrawConfig cfg;
+  const DecodeTestbed tb = make_decode_testbed(cfg, 40, 3);
+  ParticleTracker tracker(cfg, ParticleFilterConfig{}, tb.a1, tb.a2,
+                          tb.antenna_z, 1);
+  const std::vector<Vec2> traj = tracker.decode(tb.obs, &tb.start);
+  ASSERT_EQ(traj.size(), tb.obs.size() + 1);
+  EXPECT_EQ(traj.front().x, tb.start.x);
+  EXPECT_EQ(traj.front().y, tb.start.y);
+  EXPECT_TRUE(all_finite_in_board(traj, cfg));
+}
+
+TEST(ParticleTracker, SameSeedIsBitDeterministic) {
+  const PolarDrawConfig cfg;
+  const DecodeTestbed tb = make_decode_testbed(cfg, 30, 11);
+  ParticleTracker t1(cfg, ParticleFilterConfig{}, tb.a1, tb.a2, tb.antenna_z,
+                     42);
+  ParticleTracker t2(cfg, ParticleFilterConfig{}, tb.a1, tb.a2, tb.antenna_z,
+                     42);
+  const std::vector<Vec2> a = t1.decode(tb.obs, &tb.start);
+  const std::vector<Vec2> b = t2.decode(tb.obs, &tb.start);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x) << "window " << i;
+    EXPECT_EQ(a[i].y, b[i].y) << "window " << i;
+  }
+}
+
+// An unsatisfiable annulus (lower bound far beyond any reachable step)
+// underflows every particle weight to zero. The filter must take the
+// uniform-reset fallback and keep emitting finite in-board estimates
+// instead of dividing by a zero weight sum.
+TEST(ParticleTracker, AllWeightsZeroTakesUniformResetFallback) {
+  const PolarDrawConfig cfg;
+  TrackObservation impossible;
+  impossible.distance.valid = true;
+  impossible.distance.lower_m = 1.0e6;
+  impossible.distance.upper_m = 2.0e6;
+  impossible.has_phase = false;
+  const std::vector<TrackObservation> obs(8, impossible);
+
+  const DecodeTestbed tb = make_decode_testbed(cfg, 1, 5);
+  ParticleTracker tracker(cfg, ParticleFilterConfig{}, tb.a1, tb.a2,
+                          tb.antenna_z, 9);
+  const Vec2 start{cfg.board_width_m / 2.0, cfg.board_height_m / 2.0};
+  const std::vector<Vec2> traj = tracker.decode(obs, &start);
+  ASSERT_EQ(traj.size(), obs.size() + 1);
+  EXPECT_TRUE(all_finite_in_board(traj, cfg));
+}
+
+// With a small particle budget and sharply peaked weights, systematic
+// resampling must fire and still return the full particle count.
+TEST(ParticleTracker, ResamplingPreservesOutputLengthUnderSharpWeights) {
+  const PolarDrawConfig cfg;
+  ParticleFilterConfig pf;
+  pf.num_particles = 50;
+  pf.init_scatter_m = 0.2;  // wide cloud -> most particles violate the annulus
+  TrackObservation tight;
+  tight.distance.valid = true;
+  tight.distance.lower_m = 0.0;
+  tight.distance.upper_m = 0.001;
+  tight.has_phase = false;
+  const std::vector<TrackObservation> obs(12, tight);
+
+  const DecodeTestbed tb = make_decode_testbed(cfg, 1, 5);
+  ParticleTracker tracker(cfg, pf, tb.a1, tb.a2, tb.antenna_z, 21);
+  const Vec2 start{cfg.board_width_m / 2.0, cfg.board_height_m / 2.0};
+  const std::vector<Vec2> traj = tracker.decode(obs, &start);
+  ASSERT_EQ(traj.size(), obs.size() + 1);
+  EXPECT_TRUE(all_finite_in_board(traj, cfg));
+  // Near-zero displacement bounds should keep the estimate near the start.
+  EXPECT_LT(traj.back().dist(start), 0.1);
+}
+
+TEST(KalmanTracker, DecodeStaysFiniteAndClampedToBoard) {
+  const PolarDrawConfig cfg;
+  const DecodeTestbed tb = make_decode_testbed(cfg, 60, 17);
+  const KalmanTracker tracker(cfg, KalmanConfig{}, tb.a1, tb.a2,
+                              tb.antenna_z);
+  const std::vector<Vec2> traj = tracker.decode(tb.obs, &tb.start);
+  ASSERT_EQ(traj.size(), tb.obs.size() + 1);
+  EXPECT_TRUE(all_finite_in_board(traj, cfg));
+}
+
+// All-zero measurement and process noise drives the innovation covariance
+// to (numerically) zero; the scalar update must gate those degenerate
+// updates out rather than divide by ~0 and emit NaNs.
+TEST(KalmanTracker, ZeroNoiseConfigGatesDegenerateUpdates) {
+  const PolarDrawConfig cfg;
+  KalmanConfig kf;
+  kf.accel_noise = 0.0;
+  kf.speed_noise_m = 0.0;
+  kf.heading_noise_mps = 0.0;
+  kf.hyperbola_noise_rad = 0.0;
+  kf.init_pos_sigma = 0.0;
+  kf.init_vel_sigma = 0.0;
+  const DecodeTestbed tb = make_decode_testbed(cfg, 25, 13);
+  const KalmanTracker tracker(cfg, kf, tb.a1, tb.a2, tb.antenna_z);
+  const std::vector<Vec2> traj = tracker.decode(tb.obs, &tb.start);
+  ASSERT_EQ(traj.size(), tb.obs.size() + 1);
+  EXPECT_TRUE(all_finite_in_board(traj, cfg));
+}
+
+// A stream of idle windows must not make the state drift: velocity
+// damping should hold the estimate near the hint.
+TEST(KalmanTracker, IdleStreamHoldsPosition) {
+  const PolarDrawConfig cfg;
+  TrackObservation idle;
+  idle.direction.type = MotionType::kIdle;
+  idle.distance.valid = true;
+  idle.distance.lower_m = 0.0;
+  idle.distance.upper_m = cfg.vmax_mps * cfg.window_s;
+  idle.has_phase = false;
+  const std::vector<TrackObservation> obs(50, idle);
+
+  const DecodeTestbed tb = make_decode_testbed(cfg, 1, 5);
+  const KalmanTracker tracker(cfg, KalmanConfig{}, tb.a1, tb.a2,
+                              tb.antenna_z);
+  const Vec2 start{cfg.board_width_m / 2.0, cfg.board_height_m / 2.0};
+  const std::vector<Vec2> traj = tracker.decode(obs, &start);
+  ASSERT_EQ(traj.size(), obs.size() + 1);
+  EXPECT_LT(traj.back().dist(start), 0.05);
+}
+
+TEST(KalmanTracker, DecodeIsDeterministic) {
+  const PolarDrawConfig cfg;
+  const DecodeTestbed tb = make_decode_testbed(cfg, 30, 23);
+  const KalmanTracker tracker(cfg, KalmanConfig{}, tb.a1, tb.a2,
+                              tb.antenna_z);
+  const std::vector<Vec2> a = tracker.decode(tb.obs, &tb.start);
+  const std::vector<Vec2> b = tracker.decode(tb.obs, &tb.start);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].y, b[i].y);
+  }
+}
+
+}  // namespace
+}  // namespace polardraw::core

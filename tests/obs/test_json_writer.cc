@@ -1,0 +1,83 @@
+// Pins the JSON writer's deterministic output: structure, escaping, and
+// the shortest-round-trip double formatting the BENCH_*.json schema and
+// its downstream consumers rely on.
+#include "obs/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace polardraw::obs {
+namespace {
+
+TEST(JsonWriter, EmptyObject) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.end_object();
+  EXPECT_EQ(os.str(), "{}");
+}
+
+TEST(JsonWriter, FlatObjectPinned) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("a", 1);
+  w.kv("b", "two");
+  w.kv("c", true);
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            "{\n  \"a\": 1,\n  \"b\": \"two\",\n  \"c\": true\n}");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("arr");
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.end_array();
+  w.key("obj");
+  w.begin_object();
+  w.kv("x", 0.5);
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            "{\n  \"arr\": [\n    1,\n    2\n  ],\n"
+            "  \"obj\": {\n    \"x\": 0.5\n  }\n}");
+}
+
+TEST(JsonWriter, StringEscaping) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.value("quote\" slash\\ nl\n tab\t bell\x07");
+  EXPECT_EQ(os.str(), "\"quote\\\" slash\\\\ nl\\n tab\\t bell\\u0007\"");
+}
+
+TEST(JsonWriter, FormatDoubleShortestRoundTrip) {
+  EXPECT_EQ(JsonWriter::format_double(0.0), "0");
+  EXPECT_EQ(JsonWriter::format_double(150.0), "150");
+  EXPECT_EQ(JsonWriter::format_double(-3.0), "-3");
+  EXPECT_EQ(JsonWriter::format_double(0.5), "0.5");
+  EXPECT_EQ(JsonWriter::format_double(0.1), "0.1");
+  // Non-finite values have no JSON representation.
+  EXPECT_EQ(JsonWriter::format_double(std::nan("")), "null");
+  EXPECT_EQ(JsonWriter::format_double(
+                std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+TEST(JsonWriter, FormatDoubleRoundTripsExactly) {
+  for (const double d : {1.0 / 3.0, 6.764936363000001, 1e-9, 12345.6789,
+                         9.007199254740992e15, 2.2250738585072014e-308}) {
+    const std::string s = JsonWriter::format_double(d);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), d) << s;
+  }
+}
+
+}  // namespace
+}  // namespace polardraw::obs

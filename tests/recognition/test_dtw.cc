@@ -1,0 +1,123 @@
+// Property tests for the DTW distance: identity, symmetry, monotonicity
+// under appended outliers, and the Sakoe-Chiba band auto-widening that
+// keeps mismatched-length alignments feasible.
+#include "recognition/dtw.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec.h"
+
+namespace polardraw::recognition {
+namespace {
+
+std::vector<Vec2> random_path(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> out;
+  out.reserve(n);
+  Vec2 p{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+  for (std::size_t i = 0; i < n; ++i) {
+    p += Vec2{rng.gaussian(0.0, 0.01), rng.gaussian(0.0, 0.01)};
+    out.push_back(p);
+  }
+  return out;
+}
+
+TEST(Dtw, SelfDistanceIsZero) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const std::vector<Vec2> a = random_path(40, seed);
+    EXPECT_DOUBLE_EQ(dtw_distance(a, a), 0.0) << "seed " << seed;
+  }
+}
+
+TEST(Dtw, IsSymmetric) {
+  for (const std::uint64_t seed : {7u, 8u, 9u}) {
+    const std::vector<Vec2> a = random_path(35, seed);
+    const std::vector<Vec2> b = random_path(28, seed + 100);
+    EXPECT_DOUBLE_EQ(dtw_distance(a, b), dtw_distance(b, a))
+        << "seed " << seed;
+  }
+}
+
+TEST(Dtw, IsNonNegative) {
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    const std::vector<Vec2> a = random_path(20, seed);
+    const std::vector<Vec2> b = random_path(25, seed + 50);
+    EXPECT_GE(dtw_distance(a, b), 0.0);
+  }
+}
+
+// Appending a far-away outlier to one sequence must raise the mean
+// per-step cost: the new point aligns somewhere at a large distance that
+// the longer normalization cannot absorb.
+TEST(Dtw, AppendedOutlierIncreasesDistance) {
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    const std::vector<Vec2> a = random_path(30, seed);
+    const std::vector<Vec2> b = random_path(30, seed + 500);
+    const double base = dtw_distance(a, b);
+    std::vector<Vec2> b_outlier = b;
+    b_outlier.push_back(b.back() + Vec2{10.0, 10.0});
+    EXPECT_GT(dtw_distance(a, b_outlier), base) << "seed " << seed;
+  }
+}
+
+// Identical curves sampled at different rates align almost perfectly, and
+// time distortion must cost far less than a genuinely different shape.
+TEST(Dtw, ResampledCurveBeatsDifferentShape) {
+  std::vector<Vec2> dense, sparse, line;
+  for (int i = 0; i <= 60; ++i) {
+    const double t = static_cast<double>(i) / 60.0;
+    dense.push_back(Vec2{t, std::sin(6.28 * t)});
+  }
+  for (int i = 0; i <= 20; ++i) {
+    const double t = static_cast<double>(i) / 20.0;
+    sparse.push_back(Vec2{t, std::sin(6.28 * t)});
+    line.push_back(Vec2{t, 0.0});
+  }
+  const double warped = dtw_distance(dense, sparse);
+  const double different = dtw_distance(dense, line);
+  EXPECT_LT(warped, 0.05);
+  EXPECT_GT(different, 4.0 * warped);
+}
+
+// The band is widened to at least the length difference, so strongly
+// mismatched lengths still have a feasible alignment (not the 1e9
+// degenerate sentinel).
+TEST(Dtw, BandAutoWidensForMismatchedLengths) {
+  const std::vector<Vec2> a = random_path(100, 31);
+  const std::vector<Vec2> b = random_path(8, 32);
+  const double d = dtw_distance(a, b, 2);  // band far below |n - m|
+  EXPECT_LT(d, 1e9);
+  EXPECT_GE(d, 0.0);
+}
+
+TEST(Dtw, UnconstrainedBandMatchesWideBand) {
+  const std::vector<Vec2> a = random_path(40, 41);
+  const std::vector<Vec2> b = random_path(33, 42);
+  EXPECT_DOUBLE_EQ(dtw_distance(a, b, 0), dtw_distance(a, b, 1000));
+}
+
+TEST(Dtw, WiderBandNeverIncreasesCost) {
+  const std::vector<Vec2> a = random_path(45, 51);
+  const std::vector<Vec2> b = random_path(45, 52);
+  double last = dtw_distance(a, b, 1);
+  for (const std::size_t band : {2u, 4u, 8u, 16u, 32u}) {
+    const double d = dtw_distance(a, b, band);
+    EXPECT_LE(d, last + 1e-12) << "band " << band;
+    last = d;
+  }
+}
+
+TEST(Dtw, EmptyInputReturnsSentinel) {
+  const std::vector<Vec2> a = random_path(5, 61);
+  EXPECT_DOUBLE_EQ(dtw_distance({}, a), 1e9);
+  EXPECT_DOUBLE_EQ(dtw_distance(a, {}), 1e9);
+  EXPECT_DOUBLE_EQ(dtw_distance({}, {}), 1e9);
+}
+
+}  // namespace
+}  // namespace polardraw::recognition

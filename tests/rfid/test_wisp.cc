@@ -1,0 +1,64 @@
+// WISP power-harvesting duty-cycle model against its documented harvest
+// thresholds: dead below the -11 dBm sensitivity, continuous at the
+// -4 dBm saturation point, linear in dB between.
+#include "rfid/wisp.h"
+
+#include <gtest/gtest.h>
+
+namespace polardraw::rfid {
+namespace {
+
+TEST(WispPower, DeadBelowHarvestSensitivity) {
+  const WispPowerConfig cfg;
+  EXPECT_DOUBLE_EQ(harvest_duty_cycle(-30.0, cfg), 0.0);
+  EXPECT_DOUBLE_EQ(harvest_duty_cycle(-11.001, cfg), 0.0);
+  EXPECT_DOUBLE_EQ(effective_sample_rate_hz(-30.0, cfg), 0.0);
+}
+
+TEST(WispPower, ContinuousAtAndAboveSaturation) {
+  const WispPowerConfig cfg;
+  EXPECT_DOUBLE_EQ(harvest_duty_cycle(-4.0, cfg), 1.0);
+  EXPECT_DOUBLE_EQ(harvest_duty_cycle(0.0, cfg), 1.0);
+  EXPECT_DOUBLE_EQ(effective_sample_rate_hz(0.0, cfg), cfg.full_rate_hz);
+}
+
+TEST(WispPower, LinearBetweenThresholds) {
+  const WispPowerConfig cfg;  // sensitivity -11 dBm, saturation -4 dBm
+  EXPECT_DOUBLE_EQ(harvest_duty_cycle(-11.0, cfg), 0.0);
+  EXPECT_DOUBLE_EQ(harvest_duty_cycle(-7.5, cfg), 0.5);   // midpoint
+  EXPECT_DOUBLE_EQ(harvest_duty_cycle(-5.75, cfg), 0.75);
+  // Half duty cycle halves the achievable accelerometer rate.
+  EXPECT_DOUBLE_EQ(effective_sample_rate_hz(-7.5, cfg), 50.0);
+}
+
+TEST(WispPower, DutyCycleIsMonotoneInIncidentPower) {
+  const WispPowerConfig cfg;
+  double last = -1.0;
+  for (double dbm = -20.0; dbm <= 2.0; dbm += 0.25) {
+    const double duty = harvest_duty_cycle(dbm, cfg);
+    EXPECT_GE(duty, 0.0);
+    EXPECT_LE(duty, 1.0);
+    EXPECT_GE(duty, last) << "at " << dbm << " dBm";
+    last = duty;
+  }
+}
+
+TEST(WispPower, DegenerateConfigDegradesToStepFunction) {
+  WispPowerConfig cfg;
+  cfg.saturation_dbm = cfg.harvest_sensitivity_dbm;  // zero-width ramp
+  EXPECT_DOUBLE_EQ(harvest_duty_cycle(cfg.harvest_sensitivity_dbm - 0.01, cfg),
+                   0.0);
+  EXPECT_DOUBLE_EQ(harvest_duty_cycle(cfg.harvest_sensitivity_dbm, cfg), 1.0);
+  EXPECT_DOUBLE_EQ(harvest_duty_cycle(cfg.harvest_sensitivity_dbm + 0.01, cfg),
+                   1.0);
+}
+
+TEST(WispPower, CustomRateScalesWithDuty) {
+  WispPowerConfig cfg;
+  cfg.full_rate_hz = 200.0;
+  EXPECT_DOUBLE_EQ(effective_sample_rate_hz(-7.5, cfg), 100.0);
+  EXPECT_DOUBLE_EQ(effective_sample_rate_hz(-4.0, cfg), 200.0);
+}
+
+}  // namespace
+}  // namespace polardraw::rfid

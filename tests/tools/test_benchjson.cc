@@ -1,0 +1,221 @@
+// Tests for the benchjson JSON parser and the BENCH_*.json schema
+// validator, including a round trip through the obs::JsonWriter that the
+// bench binaries actually use to emit these files.
+#include "json.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/json_writer.h"
+
+namespace polardraw::benchjson {
+namespace {
+
+Value parse_ok(const std::string& text) {
+  const ParseResult r = parse(text);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.root;
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_EQ(parse_ok("null").type, Value::Type::kNull);
+  EXPECT_TRUE(parse_ok("true").boolean);
+  EXPECT_FALSE(parse_ok("false").boolean);
+  EXPECT_DOUBLE_EQ(parse_ok("42").number, 42.0);
+  EXPECT_DOUBLE_EQ(parse_ok("-3.25").number, -3.25);
+  EXPECT_DOUBLE_EQ(parse_ok("1.5e3").number, 1500.0);
+  EXPECT_DOUBLE_EQ(parse_ok("6.02E-2").number, 0.0602);
+  EXPECT_EQ(parse_ok("\"hi\"").string, "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_ok(R"("a\"b\\c\/d\n\t")").string, "a\"b\\c/d\n\t");
+  EXPECT_EQ(parse_ok(R"("A")").string, "A");
+  // é encodes as the 2-byte UTF-8 sequence for e-acute.
+  EXPECT_EQ(parse_ok(R"("é")").string, "\xc3\xa9");
+}
+
+TEST(JsonParse, ArraysAndNesting) {
+  const Value v = parse_ok("[1, [2, 3], {\"k\": [4]}]");
+  ASSERT_EQ(v.array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.array[0].number, 1.0);
+  ASSERT_EQ(v.array[1].array.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.array[1].array[1].number, 3.0);
+  const Value* k = v.array[2].find("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_DOUBLE_EQ(k->array[0].number, 4.0);
+}
+
+TEST(JsonParse, ObjectKeepsFileOrderAndFindsMembers) {
+  const Value v = parse_ok(R"({"zeta": 1, "alpha": 2})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.object.size(), 2u);
+  EXPECT_EQ(v.object[0].first, "zeta");
+  EXPECT_EQ(v.object[1].first, "alpha");
+  ASSERT_NE(v.find("alpha"), nullptr);
+  EXPECT_DOUBLE_EQ(v.find("alpha")->number, 2.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  // find() on a non-object is a graceful nullptr, not UB.
+  EXPECT_EQ(parse_ok("3").find("k"), nullptr);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_FALSE(parse("").ok);
+  EXPECT_FALSE(parse("{").ok);
+  EXPECT_FALSE(parse("[1, 2").ok);
+  EXPECT_FALSE(parse("\"unterminated").ok);
+  EXPECT_FALSE(parse("{\"a\" 1}").ok);
+  EXPECT_FALSE(parse("[1,]").ok);
+  EXPECT_FALSE(parse("nul").ok);
+  EXPECT_FALSE(parse("{} trailing").ok);
+}
+
+TEST(JsonParse, ErrorsCarryLineNumbers) {
+  const ParseResult r = parse("{\n  \"a\": 1,\n  oops\n}");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 3"), std::string::npos) << r.error;
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(parse(deep).ok);
+}
+
+std::string valid_bench_doc() {
+  return R"({
+  "schema_version": 1,
+  "name": "fig13",
+  "git_sha": "0123abcd",
+  "smoke": true,
+  "wall_s": 1.25,
+  "config": {"reps_scale": 1, "threads": 8},
+  "metrics": {"accuracy": 0.846},
+  "counters": {"hmm.windows": 1200, "rfid.reports": 80961},
+  "gauges": {"hmm.beam_occupancy_peak": 600},
+  "stages": {
+    "core.hmm_decode": {"count": 10, "total_s": 0.7, "mean_ms": 70,
+                        "p50_ms": 68.6, "p95_ms": 126.5}
+  }
+})";
+}
+
+TEST(BenchSchema, ValidDocumentPasses) {
+  const Value v = parse_ok(valid_bench_doc());
+  EXPECT_TRUE(validate_bench_json(v).empty());
+}
+
+TEST(BenchSchema, MissingRequiredKeyFails) {
+  for (const char* key :
+       {"schema_version", "name", "git_sha", "smoke", "wall_s", "config",
+        "metrics", "counters", "gauges", "stages"}) {
+    Value v = parse_ok(valid_bench_doc());
+    std::erase_if(v.object,
+                  [&](const auto& member) { return member.first == key; });
+    EXPECT_FALSE(validate_bench_json(v).empty()) << "dropped " << key;
+  }
+}
+
+TEST(BenchSchema, WrongTypesFail) {
+  {
+    Value v = parse_ok(valid_bench_doc());
+    for (auto& member : v.object) {
+      if (member.first == "name") member.second = parse_ok("123");
+    }
+    EXPECT_FALSE(validate_bench_json(v).empty());
+  }
+  {
+    Value v = parse_ok(valid_bench_doc());
+    for (auto& member : v.object) {
+      if (member.first == "schema_version") member.second = parse_ok("2");
+    }
+    EXPECT_FALSE(validate_bench_json(v).empty());
+  }
+  {
+    Value v = parse_ok(valid_bench_doc());
+    for (auto& member : v.object) {
+      // A non-number value inside counters breaks the all-number contract.
+      if (member.first == "counters") {
+        member.second = parse_ok(R"({"hmm.windows": "many"})");
+      }
+    }
+    EXPECT_FALSE(validate_bench_json(v).empty());
+  }
+  {
+    Value v = parse_ok(valid_bench_doc());
+    for (auto& member : v.object) {
+      // A stage entry missing p95_ms breaks the stage contract.
+      if (member.first == "stages") {
+        member.second = parse_ok(
+            R"({"core.hmm_decode": {"count": 1, "total_s": 0.1,
+                "mean_ms": 100, "p50_ms": 100}})");
+      }
+    }
+    EXPECT_FALSE(validate_bench_json(v).empty());
+  }
+}
+
+TEST(BenchSchema, NegativeWallClockFails) {
+  Value v = parse_ok(valid_bench_doc());
+  for (auto& member : v.object) {
+    if (member.first == "wall_s") member.second = parse_ok("-1");
+  }
+  EXPECT_FALSE(validate_bench_json(v).empty());
+}
+
+// The writer the bench binaries use and the parser the runner uses must
+// agree end to end: emit a schema-complete document with obs::JsonWriter,
+// parse it back here, and validate it.
+TEST(BenchSchema, RoundTripsThroughObsJsonWriter) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("name", "roundtrip");
+  w.kv("git_sha", "deadbeef");
+  w.kv("smoke", false);
+  w.kv("wall_s", 0.125);
+  w.key("config");
+  w.begin_object();
+  w.kv("reps_scale", 2);
+  w.kv("threads", 4);
+  w.end_object();
+  w.key("metrics");
+  w.begin_object();
+  w.kv("accuracy", 0.875);
+  w.end_object();
+  w.key("counters");
+  w.begin_object();
+  w.kv("hmm.windows", std::uint64_t{42});
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  w.kv("hmm.beam_occupancy_peak", 600.0);
+  w.end_object();
+  w.key("stages");
+  w.begin_object();
+  w.key("core.hmm_decode");
+  w.begin_object();
+  w.kv("count", std::uint64_t{7});
+  w.kv("total_s", 0.5);
+  w.kv("mean_ms", 71.4);
+  w.kv("p50_ms", 68.6);
+  w.kv("p95_ms", 126.5);
+  w.end_object();
+  w.end_object();
+  w.end_object();
+
+  const ParseResult r = parse(os.str());
+  ASSERT_TRUE(r.ok) << r.error << "\n" << os.str();
+  EXPECT_TRUE(validate_bench_json(r.root).empty()) << os.str();
+  EXPECT_EQ(r.root.find("name")->string, "roundtrip");
+  EXPECT_DOUBLE_EQ(r.root.find("counters")->find("hmm.windows")->number, 42.0);
+  EXPECT_DOUBLE_EQ(
+      r.root.find("stages")->find("core.hmm_decode")->find("p50_ms")->number,
+      68.6);
+}
+
+}  // namespace
+}  // namespace polardraw::benchjson

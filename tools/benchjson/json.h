@@ -1,0 +1,55 @@
+// Minimal recursive-descent JSON parser and BENCH_*.json schema checker
+// (no third-party dependencies) for the benchjson runner and its tests.
+//
+// The parser accepts RFC 8259 JSON (objects, arrays, strings with escape
+// sequences, numbers, booleans, null) into a simple tree of Values; the
+// validator pins the schema contract of the BENCH_<name>.json files that
+// bench::Session emits, so a schema drift fails CI instead of silently
+// breaking downstream dashboards.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace polardraw::benchjson {
+
+/// One parsed JSON value. Object members keep file order.
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_bool() const { return type == Type::kBool; }
+
+  /// Member lookup on objects; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+};
+
+/// Outcome of a parse: `ok` plus either the root value or an error message
+/// with a 1-based line number.
+struct ParseResult {
+  bool ok = false;
+  Value root;
+  std::string error;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// rejected).
+[[nodiscard]] ParseResult parse(std::string_view text);
+
+/// Checks a parsed BENCH_*.json document against the schema contract
+/// (schema_version 1). Returns human-readable problems; empty means valid.
+[[nodiscard]] std::vector<std::string> validate_bench_json(const Value& root);
+
+}  // namespace polardraw::benchjson

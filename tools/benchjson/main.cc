@@ -1,0 +1,199 @@
+// benchjson: runs every bench binary in JSON-export mode and validates the
+// emitted BENCH_<name>.json files against the schema contract.
+//
+// Usage:
+//   benchjson [--smoke] [--bench-dir <dir>] [--out-dir <dir>]
+//             [--filter <substr>] [--check]
+//
+//   --smoke      set PD_BENCH_SMOKE=1 (tiny configurations, CI-speed)
+//   --bench-dir  directory holding the bench_* executables
+//                (default: build/bench)
+//   --out-dir    directory receiving BENCH_*.json + per-binary logs
+//                (default: bench-json)
+//   --filter     only run binaries whose file name contains the substring
+//   --check      skip running; only validate the JSON already in --out-dir
+//
+// Exit code 0 iff every selected binary ran successfully and every JSON
+// file in the output directory passes validate_bench_json(). Each binary
+// runs with PD_BENCH_JSON_ONLY=1 (experiment + JSON, no google-benchmark
+// timings) and PD_GIT_SHA set from `git rev-parse` when available.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json.h"
+
+namespace fs = std::filesystem;
+using polardraw::benchjson::parse;
+using polardraw::benchjson::validate_bench_json;
+
+namespace {
+
+struct Options {
+  bool smoke = false;
+  bool check_only = false;
+  std::string bench_dir = "build/bench";
+  std::string out_dir = "bench-json";
+  std::string filter;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--smoke] [--bench-dir <dir>] [--out-dir <dir>]"
+               " [--filter <substr>] [--check]\n";
+  return 2;
+}
+
+/// `git rev-parse HEAD` of the current directory, or "" when unavailable.
+std::string git_head_sha() {
+  FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "";
+  char buf[128];
+  std::string out;
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+std::vector<fs::path> discover_benches(const Options& opt) {
+  std::vector<fs::path> benches;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(opt.bench_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("bench_", 0) != 0) continue;
+    if (name.find('.') != std::string::npos) continue;  // logs, not binaries
+    if (!opt.filter.empty() && name.find(opt.filter) == std::string::npos) {
+      continue;
+    }
+    benches.push_back(entry.path());
+  }
+  std::sort(benches.begin(), benches.end());
+  return benches;
+}
+
+bool run_benches(const Options& opt, const std::vector<fs::path>& benches) {
+  ::setenv("PD_BENCH_JSON_DIR", opt.out_dir.c_str(), 1);
+  ::setenv("PD_BENCH_JSON_ONLY", "1", 1);
+  if (opt.smoke) {
+    ::setenv("PD_BENCH_SMOKE", "1", 1);
+  }
+  if (std::getenv("PD_GIT_SHA") == nullptr) {
+    const std::string sha = git_head_sha();
+    ::setenv("PD_GIT_SHA", sha.empty() ? "unknown" : sha.c_str(), 1);
+  }
+
+  bool all_ok = true;
+  for (const fs::path& bin : benches) {
+    const std::string name = bin.filename().string();
+    const std::string log = opt.out_dir + "/" + name + ".log";
+    std::string cmd = "\"";
+    cmd += bin.string();
+    cmd += "\" > \"";
+    cmd += log;
+    cmd += "\" 2>&1";
+    std::cout << "run  " << name << " ... " << std::flush;
+    const int rc = std::system(cmd.c_str());
+    if (rc == 0) {
+      std::cout << "ok\n";
+    } else {
+      std::cout << "FAILED (exit " << rc << ", see " << log << ")\n";
+      all_ok = false;
+    }
+  }
+  return all_ok;
+}
+
+bool validate_outputs(const Options& opt, std::size_t n_benches_run) {
+  std::vector<fs::path> jsons;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(opt.out_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json") {
+      jsons.push_back(entry.path());
+    }
+  }
+  std::sort(jsons.begin(), jsons.end());
+
+  bool all_ok = true;
+  for (const fs::path& path : jsons) {
+    std::ifstream is(path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const auto parsed = parse(buf.str());
+    if (!parsed.ok) {
+      std::cout << "json " << path.filename().string() << " ... PARSE ERROR ("
+                << parsed.error << ")\n";
+      all_ok = false;
+      continue;
+    }
+    const auto problems = validate_bench_json(parsed.root);
+    if (problems.empty()) {
+      std::cout << "json " << path.filename().string() << " ... valid\n";
+    } else {
+      std::cout << "json " << path.filename().string() << " ... INVALID\n";
+      for (const auto& p : problems) std::cout << "     " << p << "\n";
+      all_ok = false;
+    }
+  }
+
+  if (jsons.empty()) {
+    std::cout << "no BENCH_*.json files in " << opt.out_dir << "\n";
+    all_ok = false;
+  }
+  if (n_benches_run > 0 && jsons.size() < n_benches_run) {
+    std::cout << "only " << jsons.size() << " of " << n_benches_run
+              << " bench binaries produced JSON\n";
+    all_ok = false;
+  }
+  return all_ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--check") {
+      opt.check_only = true;
+    } else if (arg == "--bench-dir" && i + 1 < argc) {
+      opt.bench_dir = argv[++i];
+    } else if (arg == "--out-dir" && i + 1 < argc) {
+      opt.out_dir = argv[++i];
+    } else if (arg == "--filter" && i + 1 < argc) {
+      opt.filter = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::size_t n_run = 0;
+  bool ok = true;
+  if (!opt.check_only) {
+    const auto benches = discover_benches(opt);
+    if (benches.empty()) {
+      std::cerr << "no bench_* binaries found in " << opt.bench_dir << "\n";
+      return 1;
+    }
+    std::error_code ec;
+    fs::create_directories(opt.out_dir, ec);
+    n_run = benches.size();
+    ok = run_benches(opt, benches);
+  }
+  ok = validate_outputs(opt, n_run) && ok;
+  std::cout << (ok ? "benchjson: all checks passed\n"
+                   : "benchjson: FAILURES\n");
+  return ok ? 0 : 1;
+}
