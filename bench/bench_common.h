@@ -24,6 +24,7 @@
 #include "eval/harness.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace polardraw::bench {
 
@@ -160,6 +161,13 @@ class Session {
       obs::Registry::global().set_enabled(true);
       obs::Registry::global().reset();
     }
+    if (trace_enabled()) {
+      // The tracer also self-enables at startup from PD_TRACE_DIR; reset
+      // here so the trace covers exactly this session's experiment.
+      obs::Tracer::global().set_enabled(true);
+      obs::Tracer::global().reset();
+      obs::Tracer::global().set_current_thread_name("main");
+    }
   }
 
   /// True when finish() will write BENCH_<name>.json.
@@ -167,18 +175,50 @@ class Session {
     return std::getenv("PD_BENCH_JSON_DIR") != nullptr;
   }
 
-  /// Writes the JSON export (no-op without PD_BENCH_JSON_DIR). Returns
-  /// false when the file could not be written.
-  bool write_json() const {
-    const char* dir = std::getenv("PD_BENCH_JSON_DIR");
+  /// True when finish() will write TRACE_<name>.json (DESIGN.md sec. 12).
+  [[nodiscard]] static bool trace_enabled() {
+    return std::getenv("PD_TRACE_DIR") != nullptr;
+  }
+
+  /// Writes the Chrome trace-event export (no-op without PD_TRACE_DIR).
+  /// Returns false when the file could not be written.
+  bool write_trace() const {
+    const char* dir = std::getenv("PD_TRACE_DIR");
     if (dir == nullptr) return true;
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     const std::string path =
+        std::string(dir) + "/TRACE_" + name_ + ".json";
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "bench: PD_TRACE_DIR is not writable, cannot write "
+                << path << "\n";
+      return false;
+    }
+    obs::Tracer::global().write_chrome_trace(os);
+    return os.good();
+  }
+
+  /// Writes the JSON export (no-op without PD_BENCH_JSON_DIR) and, when
+  /// tracing, the TRACE_<name>.json timeline. Returns false when either
+  /// file could not be written.
+  bool write_json() const {
+    const bool trace_ok = write_trace();
+    const char* dir = std::getenv("PD_BENCH_JSON_DIR");
+    if (dir == nullptr) return trace_ok;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (!std::filesystem::exists(dir)) {
+      std::cerr << "benchjson: PD_BENCH_JSON_DIR (" << dir
+                << ") does not exist and could not be created\n";
+      return false;
+    }
+    const std::string path =
         std::string(dir) + "/BENCH_" + name_ + ".json";
     std::ofstream os(path);
     if (!os) {
-      std::cerr << "benchjson: cannot write " << path << "\n";
+      std::cerr << "benchjson: PD_BENCH_JSON_DIR is not writable, cannot "
+                << "write " << path << "\n";
       return false;
     }
     const obs::Snapshot snap = obs::Registry::global().snapshot();
@@ -222,7 +262,7 @@ class Session {
     w.end_object();
     w.end_object();
     os << "\n";
-    return os.good();
+    return os.good() && trace_ok;
   }
 
   /// Writes the JSON export, then runs the registered microbenchmarks

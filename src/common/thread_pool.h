@@ -13,13 +13,17 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/trace.h"
 
 namespace polardraw {
 
@@ -29,7 +33,15 @@ class ThreadPool {
   /// size 1 runs every batch inline on the calling thread (no workers).
   explicit ThreadPool(int n_threads) : size_(n_threads < 1 ? 1 : n_threads) {
     for (int i = 1; i < size_; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] {
+        // Name this worker's trace track before any batch runs; a no-op
+        // (beyond the one relaxed load) when tracing is disabled.
+        obs::Tracer& tracer = obs::Tracer::global();
+        if (tracer.enabled()) {
+          tracer.set_current_thread_name("pool.worker-" + std::to_string(i));
+        }
+        worker_loop();
+      });
     }
   }
 
@@ -54,6 +66,12 @@ class ThreadPool {
   /// batch drains.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
     if (n == 0) return;
+    static const obs::SpanSite batch_site("pool.parallel_for");
+    static const obs::TraceName arg_n("n");
+    static const obs::TraceName arg_workers("workers");
+    obs::ScopedSpan batch_span(batch_site);
+    batch_span.arg(arg_n, static_cast<double>(n));
+    batch_span.arg(arg_workers, static_cast<double>(size_));
     if (size_ == 1 || n == 1) {
       for (std::size_t i = 0; i < n; ++i) body(i);
       return;
@@ -66,6 +84,11 @@ class ThreadPool {
       workers_active_ = static_cast<int>(workers_.size());
       error_ = nullptr;
       ++generation_;
+      // Publish the enqueue timestamp so each worker can trace its
+      // enqueue -> first-claim latency. The clock is read only when a
+      // trace will consume it.
+      trace_batch_ = obs::Tracer::global().enabled();
+      if (trace_batch_) batch_publish_ = obs::Tracer::Clock::now();
     }
     work_ready_.notify_all();
     run_batch();  // the calling thread works too
@@ -105,6 +128,8 @@ class ThreadPool {
   void worker_loop() {
     std::uint64_t seen_generation = 0;
     for (;;) {
+      bool trace_batch = false;
+      obs::Tracer::Clock::time_point publish{};
       {
         std::unique_lock<std::mutex> lock(mu_);
         work_ready_.wait(lock, [this, seen_generation] {
@@ -112,8 +137,24 @@ class ThreadPool {
         });
         if (stop_) return;
         seen_generation = generation_;
+        trace_batch = trace_batch_;
+        publish = batch_publish_;
       }
-      run_batch();
+      if (trace_batch) {
+        // Enqueue -> start latency for this worker, as an instant event;
+        // the single clock read stamps the event and yields the latency.
+        static const obs::TraceName start_name("pool.task_start");
+        static const obs::TraceName arg_latency("enqueue_to_start_us");
+        const auto now = obs::Tracer::Clock::now();
+        obs::Tracer::global().instant_at(
+            start_name.id(), now, arg_latency.id(),
+            std::chrono::duration<double, std::micro>(now - publish).count());
+      }
+      {
+        static const obs::SpanSite run_site("pool.worker_batch");
+        const obs::ScopedSpan run_span(run_site);
+        run_batch();
+      }
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (--workers_active_ == 0) batch_done_.notify_all();
@@ -135,6 +176,8 @@ class ThreadPool {
   const std::function<void(std::size_t)>* body_ = nullptr;
   std::size_t batch_end_ = 0;
   std::atomic<std::size_t> next_{0};
+  bool trace_batch_ = false;  // guarded by mu_, per batch
+  obs::Tracer::Clock::time_point batch_publish_{};
 };
 
 }  // namespace polardraw

@@ -12,8 +12,8 @@ namespace polardraw::core {
 DistanceEstimate DistanceEstimator::estimate(double dtheta1, double dtheta2,
                                              double theta1_now,
                                              double theta2_now) const {
-  static const obs::Histogram span_hist("core.distance_estimate");
-  const obs::ScopedSpan span(span_hist);
+  static const obs::SpanSite span_site("core.distance_estimate");
+  const obs::ScopedSpan span(span_site);
   DistanceEstimate e;
   e.dl1_m = link_delta(dtheta1);
   e.dl2_m = link_delta(dtheta2);

@@ -60,8 +60,15 @@ Vec2 HmmTracker::initial_location(double dtheta21) const {
 
 std::vector<Vec2> HmmTracker::decode(const std::vector<TrackObservation>& obs,
                                      const Vec2* initial_hint) const {
-  static const obs::Histogram span_hist("core.hmm_decode");
-  const obs::ScopedSpan span(span_hist);
+  static const obs::SpanSite span_site("core.hmm_decode");
+  static const obs::TraceName arg_windows("windows");
+  static const obs::TraceName window_name("hmm.window");
+  static const obs::TraceName arg_window("window");
+  static const obs::TraceName arg_occupancy("beam_occupancy");
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool tracing = tracer.enabled();
+  obs::ScopedSpan span(span_site);
+  span.arg(arg_windows, static_cast<double>(obs.size()));
   std::vector<Vec2> traj;
   if (obs.empty()) return traj;
 
@@ -119,6 +126,7 @@ std::vector<Vec2> HmmTracker::decode(const std::vector<TrackObservation>& obs,
   std::vector<int> dc_lim;  // per-|dr| column reach inside the outer radius
 
   // --- Forward pass --------------------------------------------------------
+  std::uint64_t window_index = 0;  // trace arg only, never decode state
   for (const auto& o : obs) {
     // Feasible annulus in blocks. An invalid (inconsistent) distance
     // estimate degrades to "anywhere within the speed limit".
@@ -321,6 +329,14 @@ std::vector<Vec2> HmmTracker::decode(const std::vector<TrackObservation>& obs,
     const std::uint64_t occupancy = prev_end - prev_begin;
     n_beam_nodes += occupancy;
     if (occupancy > beam_peak) beam_peak = occupancy;
+    if (tracing) {
+      // One instant per decoded window: where the beam stands on the
+      // timeline. Recording only -- the decode state never reads it.
+      tracer.instant(window_name.id(), arg_window.id(),
+                     static_cast<double>(window_index), arg_occupancy.id(),
+                     static_cast<double>(occupancy));
+    }
+    ++window_index;
   }
 
   {

@@ -30,8 +30,8 @@ std::optional<double> circular_mean(const std::vector<double>& phases) {
 std::vector<Window> preprocess(const rfid::TagReportStream& reports,
                                const PolarDrawConfig& cfg,
                                const PhaseCalibration* calibration) {
-  static const obs::Histogram span_hist("core.preprocess");
-  const obs::ScopedSpan span(span_hist);
+  static const obs::SpanSite span_site("core.preprocess");
+  const obs::ScopedSpan span(span_site);
   std::vector<Window> out;
   if (reports.empty() || cfg.window_s <= 0.0) return out;
 

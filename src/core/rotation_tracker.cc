@@ -136,8 +136,8 @@ Sector RotationTracker::sector_of(double alpha_a_rad) const {
 }
 
 DirectionEstimate RotationTracker::step(double ds1, double ds2) {
-  static const obs::Histogram span_hist("core.rotation_step");
-  const obs::ScopedSpan span(span_hist);
+  static const obs::SpanSite span_site("core.rotation_step");
+  const obs::ScopedSpan span(span_site);
   static const obs::Counter steps_counter("rotation.steps");
   steps_counter.add();
   DirectionEstimate est;

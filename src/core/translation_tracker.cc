@@ -27,8 +27,8 @@ BoardDirection TranslationTracker::decode(double dtheta1, double dtheta2,
 
 DirectionEstimate TranslationTracker::step(double dtheta1,
                                            double dtheta2) const {
-  static const obs::Histogram span_hist("core.translation_step");
-  const obs::ScopedSpan span(span_hist);
+  static const obs::SpanSite span_site("core.translation_step");
+  const obs::ScopedSpan span(span_site);
   static const obs::Counter steps_counter("translation.steps");
   steps_counter.add();
   DirectionEstimate est;

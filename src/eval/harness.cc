@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "core/polardraw.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "recognition/procrustes.h"
 
 namespace polardraw::eval {
@@ -55,13 +56,22 @@ void apply_system_layout(TrialConfig& cfg) {
 }
 
 namespace {
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
+double seconds_between(std::chrono::steady_clock::time_point t0,
+                       std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
 }
 }  // namespace
 
 TrialResult run_trial(const std::string& text, const TrialConfig& cfg_in) {
+  // Stage boundaries are read once and shared between StageTimings and the
+  // tracer's per-stage 'X' events, so tracing adds no clock reads here.
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool tracing = tracer.enabled();
+  static const obs::TraceName synth_name("eval.stage.synth");
+  static const obs::TraceName reader_name("eval.stage.reader");
+  static const obs::TraceName track_name("eval.stage.track");
+  static const obs::TraceName classify_name("eval.stage.classify");
+
   const auto trial_start = std::chrono::steady_clock::now();
   TrialConfig cfg = cfg_in;
   apply_system_layout(cfg);
@@ -75,10 +85,14 @@ TrialResult run_trial(const std::string& text, const TrialConfig& cfg_in) {
   Rng rng(cfg.seed * 7919 + 13);
   auto stage_start = std::chrono::steady_clock::now();
   const auto trace = handwriting::synthesize(text, cfg.synth, rng);
-  out.stages.synth_s = seconds_since(stage_start);
-  stage_start = std::chrono::steady_clock::now();
+  auto stage_end = std::chrono::steady_clock::now();
+  out.stages.synth_s = seconds_between(stage_start, stage_end);
+  if (tracing) tracer.complete(synth_name.id(), stage_start, stage_end);
+  stage_start = stage_end;
   const auto reports = scene.run(trace);
-  out.stages.reader_s = seconds_since(stage_start);
+  stage_end = std::chrono::steady_clock::now();
+  out.stages.reader_s = seconds_between(stage_start, stage_end);
+  if (tracing) tracer.complete(reader_name.id(), stage_start, stage_end);
   out.report_count = reports.size();
   out.ground_truth = handwriting::flatten_strokes(trace.ground_truth);
 
@@ -124,10 +138,12 @@ TrialResult run_trial(const std::string& text, const TrialConfig& cfg_in) {
       break;
     }
   }
-  out.stages.track_s = seconds_since(stage_start);
+  stage_end = std::chrono::steady_clock::now();
+  out.stages.track_s = seconds_between(stage_start, stage_end);
+  if (tracing) tracer.complete(track_name.id(), stage_start, stage_end);
 
   // --- Score ----------------------------------------------------------------
-  stage_start = std::chrono::steady_clock::now();
+  stage_start = stage_end;
   if (!out.trajectory.empty() && out.ground_truth.size() >= 2) {
     out.procrustes_m =
         recognition::procrustes_distance(out.ground_truth, out.trajectory);
@@ -158,8 +174,10 @@ TrialResult run_trial(const std::string& text, const TrialConfig& cfg_in) {
           static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
     out.all_correct = out.recognized == upper;
   }
-  out.stages.classify_s = seconds_since(stage_start);
-  out.wall_s = seconds_since(trial_start);
+  stage_end = std::chrono::steady_clock::now();
+  out.stages.classify_s = seconds_between(stage_start, stage_end);
+  if (tracing) tracer.complete(classify_name.id(), stage_start, stage_end);
+  out.wall_s = seconds_between(trial_start, stage_end);
   static const obs::Histogram trial_hist("eval.trial");
   static const obs::Counter trials_counter("eval.trials");
   trial_hist.observe(out.wall_s);
@@ -215,6 +233,10 @@ std::vector<TrialResult> run_trials(const std::vector<TrialSpec>& specs,
   std::vector<TrialResult> results(specs.size());
   ThreadPool pool(n_threads);
   pool.parallel_for(specs.size(), [&](std::size_t i) {
+    static const obs::SpanSite trial_site("eval.run_trial");
+    static const obs::TraceName arg_trial("trial");
+    obs::ScopedSpan span(trial_site);
+    span.arg(arg_trial, static_cast<double>(i));
     results[i] = run_trial(specs[i].text, specs[i].cfg);
   });
   return results;

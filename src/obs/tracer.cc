@@ -1,0 +1,351 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+namespace polardraw::obs {
+
+namespace {
+
+/// Every ring eviction also ticks this registry counter, so a truncated
+/// timeline shows up in the BENCH_*.json export next to the trace file.
+const Counter& dropped_counter() {
+  static const Counter c("trace.dropped_events");
+  return c;
+}
+
+/// Compact on-ring event record; names and arg names are interned ids.
+struct EventRec {
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = -1;  // -1 => instant
+  std::int32_t name = -1;
+  std::int32_t a0_name = -1;
+  std::int32_t a1_name = -1;
+  double a0 = 0.0;
+  double a1 = 0.0;
+};
+
+/// One thread's fixed-capacity ring. Only the owning thread writes;
+/// readers hold the tracer mutex after a quiescence handshake.
+struct Ring {
+  explicit Ring(std::size_t cap) : capacity(cap) { buf.reserve(cap); }
+
+  void reset(std::size_t cap) {
+    buf.clear();
+    buf.shrink_to_fit();
+    buf.reserve(cap);
+    capacity = cap;
+    next = 0;
+    recorded = 0;
+    dropped = 0;
+  }
+
+  void push(const EventRec& e) {
+    ++recorded;
+    if (buf.size() < capacity) {
+      buf.push_back(e);
+      return;
+    }
+    // Full: overwrite the oldest retained event. `next` is both the write
+    // cursor and the start of the retained window, so steady state never
+    // reallocates.
+    buf[next] = e;
+    next = next + 1 == capacity ? 0 : next + 1;
+    ++dropped;
+    dropped_counter().add();
+  }
+
+  std::vector<EventRec> buf;
+  std::size_t capacity;
+  std::size_t next = 0;  // oldest retained event once the ring is full
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  int tid = 0;
+  std::string thread_name;
+};
+
+std::size_t clamp_capacity(std::size_t cap) {
+  return std::clamp<std::size_t>(cap, 16, std::size_t{1} << 22);
+}
+
+std::size_t capacity_from_env() {
+  if (const char* env = std::getenv("PD_TRACE_BUFFER_EVENTS")) {
+    const long v = std::atol(env);
+    if (v > 0) return clamp_capacity(static_cast<std::size_t>(v));
+  }
+  return 65536;
+}
+
+}  // namespace
+
+struct Tracer::Impl {
+  mutable std::mutex mu;
+  std::atomic<bool> enabled{false};
+  Clock::time_point epoch = Clock::now();
+  std::size_t ring_capacity = 65536;
+
+  // Name interning (guarded by mu; each site interns once).
+  std::map<std::string, int> name_ids;
+  std::vector<std::string> names;
+
+  // Live per-thread rings plus the retained rings of exited threads.
+  std::vector<Ring*> live;
+  std::vector<std::unique_ptr<Ring>> retired;
+  int next_tid = 0;
+
+  Ring& local_ring();
+  void retire(std::unique_ptr<Ring> r) {
+    std::lock_guard<std::mutex> lock(mu);
+    live.erase(std::remove(live.begin(), live.end(), r.get()), live.end());
+    retired.push_back(std::move(r));
+  }
+};
+
+namespace {
+
+/// TLS holder: owns this thread's ring for the global tracer and moves it
+/// into the retired list at thread exit so events outlive pool workers.
+struct TlsRing {
+  Tracer::Impl* owner = nullptr;
+  std::unique_ptr<Ring> ring;
+  ~TlsRing() {
+    if (owner != nullptr && ring != nullptr) owner->retire(std::move(ring));
+  }
+};
+
+thread_local TlsRing tls_ring;
+
+}  // namespace
+
+Ring& Tracer::Impl::local_ring() {
+  if (tls_ring.ring == nullptr || tls_ring.owner != this) {
+    if (tls_ring.owner != nullptr && tls_ring.ring != nullptr) {
+      tls_ring.owner->retire(std::move(tls_ring.ring));
+    }
+    std::unique_ptr<Ring> fresh;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      fresh = std::make_unique<Ring>(ring_capacity);
+      fresh->tid = ++next_tid;
+      fresh->thread_name = "thread-" + std::to_string(fresh->tid);
+      live.push_back(fresh.get());
+    }
+    tls_ring.owner = this;
+    tls_ring.ring = std::move(fresh);
+  }
+  return *tls_ring.ring;
+}
+
+Tracer::Tracer() : impl_(new Impl) {}
+
+// Like the metrics registry, the global tracer is immortal so worker
+// threads exiting at process teardown can always retire their rings.
+Tracer::~Tracer() { delete impl_; }
+
+Tracer& Tracer::global() {
+  static Tracer* g = [] {
+    auto* t = new Tracer();
+    t->impl_->ring_capacity = capacity_from_env();
+    if (std::getenv("PD_TRACE_DIR") != nullptr) t->set_enabled(true);
+    return t;
+  }();
+  return *g;
+}
+
+void Tracer::set_enabled(bool on) {
+  impl_->enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Tracer::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+int Tracer::name_id(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->name_ids.find(name);
+  if (it != impl_->name_ids.end()) return it->second;
+  const int id = static_cast<int>(impl_->names.size());
+  impl_->name_ids.emplace(name, id);
+  impl_->names.push_back(name);
+  return id;
+}
+
+void Tracer::set_current_thread_name(const std::string& name) {
+  Ring& r = impl_->local_ring();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  r.thread_name = name;
+}
+
+void Tracer::complete(int name, Clock::time_point begin, Clock::time_point end,
+                      int a0_name, double a0, int a1_name, double a1) {
+  if (!enabled() || name < 0) return;
+  EventRec e;
+  e.ts_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                begin - impl_->epoch)
+                .count();
+  e.dur_ns = std::max<std::int64_t>(
+      0, std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+             .count());
+  e.name = name;
+  e.a0_name = a0_name;
+  e.a0 = a0;
+  e.a1_name = a1_name;
+  e.a1 = a1;
+  impl_->local_ring().push(e);
+}
+
+void Tracer::instant(int name, int a0_name, double a0, int a1_name,
+                     double a1) {
+  if (!enabled()) return;  // skip the clock read entirely when disabled
+  instant_at(name, Clock::now(), a0_name, a0, a1_name, a1);
+}
+
+void Tracer::instant_at(int name, Clock::time_point ts, int a0_name, double a0,
+                        int a1_name, double a1) {
+  if (!enabled() || name < 0) return;
+  EventRec e;
+  e.ts_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(ts - impl_->epoch)
+          .count();
+  e.dur_ns = -1;
+  e.name = name;
+  e.a0_name = a0_name;
+  e.a0 = a0;
+  e.a1_name = a1_name;
+  e.a1 = a1;
+  impl_->local_ring().push(e);
+}
+
+void Tracer::set_ring_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->ring_capacity = clamp_capacity(capacity);
+}
+
+std::size_t Tracer::ring_capacity() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->ring_capacity;
+}
+
+std::vector<TraceThreadSnapshot> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<const Ring*> rings;
+  for (const auto& r : impl_->retired) rings.push_back(r.get());
+  for (const Ring* r : impl_->live) rings.push_back(r);
+  std::sort(rings.begin(), rings.end(),
+            [](const Ring* a, const Ring* b) { return a->tid < b->tid; });
+
+  const auto resolve = [&](std::int32_t id) -> std::string {
+    return id >= 0 && static_cast<std::size_t>(id) < impl_->names.size()
+               ? impl_->names[static_cast<std::size_t>(id)]
+               : std::string();
+  };
+
+  std::vector<TraceThreadSnapshot> out;
+  out.reserve(rings.size());
+  for (const Ring* r : rings) {
+    TraceThreadSnapshot ts;
+    ts.tid = r->tid;
+    ts.thread_name = r->thread_name;
+    ts.capacity = r->capacity;
+    ts.recorded = r->recorded;
+    ts.dropped = r->dropped;
+    ts.events.reserve(r->buf.size());
+    const std::size_t n = r->buf.size();
+    const std::size_t start = n < r->capacity ? 0 : r->next;
+    for (std::size_t i = 0; i < n; ++i) {
+      const EventRec& e = r->buf[(start + i) % n];
+      TraceEventView v;
+      v.name = resolve(e.name);
+      v.ph = e.dur_ns < 0 ? 'i' : 'X';
+      v.ts_us = static_cast<double>(e.ts_ns) / 1e3;
+      v.dur_us = e.dur_ns < 0 ? 0.0 : static_cast<double>(e.dur_ns) / 1e3;
+      if (e.a0_name >= 0) v.args.push_back({resolve(e.a0_name), e.a0});
+      if (e.a1_name >= 0) v.args.push_back({resolve(e.a1_name), e.a1});
+      ts.events.push_back(std::move(v));
+    }
+    out.push_back(std::move(ts));
+  }
+  return out;
+}
+
+std::uint64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::uint64_t total = 0;
+  for (const auto& r : impl_->retired) total += r->dropped;
+  for (const Ring* r : impl_->live) total += r->dropped;
+  return total;
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->retired.clear();
+  for (Ring* r : impl_->live) r->reset(impl_->ring_capacity);
+  impl_->epoch = Clock::now();
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  const auto threads = snapshot();
+  std::uint64_t total_dropped = 0;
+  std::uint64_t total_recorded = 0;
+  for (const auto& t : threads) {
+    total_dropped += t.dropped;
+    total_recorded += t.recorded;
+  }
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.kv("recorded_events", total_recorded);
+  w.kv("dropped_events", total_dropped);
+  w.kv("ring_capacity",
+       static_cast<std::uint64_t>(threads.empty() ? ring_capacity()
+                                                  : threads[0].capacity));
+  w.end_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto& t : threads) {
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("ts", 0.0);
+    w.kv("pid", 1);
+    w.kv("tid", t.tid);
+    w.key("args");
+    w.begin_object();
+    w.kv("name", t.thread_name);
+    w.end_object();
+    w.end_object();
+    for (const auto& e : t.events) {
+      w.begin_object();
+      w.kv("name", e.name);
+      w.kv("ph", std::string_view(&e.ph, 1));
+      w.kv("ts", e.ts_us);
+      if (e.ph == 'X') w.kv("dur", e.dur_us);
+      if (e.ph == 'i') w.kv("s", "t");  // thread-scoped instant
+      w.kv("pid", 1);
+      w.kv("tid", t.tid);
+      if (!e.args.empty()) {
+        w.key("args");
+        w.begin_object();
+        for (const auto& a : e.args) w.kv(a.name, a.value);
+        w.end_object();
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace polardraw::obs

@@ -43,8 +43,8 @@ LetterClassifier::LetterClassifier(std::size_t points) : points_(points) {
 
 Classification LetterClassifier::classify(
     const std::vector<Vec2>& trajectory) const {
-  static const obs::Histogram span_hist("recognition.classify");
-  const obs::ScopedSpan span(span_hist);
+  static const obs::SpanSite span_site("recognition.classify");
+  const obs::ScopedSpan span(span_site);
   static const obs::Counter calls_counter("classifier.calls");
   calls_counter.add();
   Classification out;

@@ -114,9 +114,9 @@ Modulation Reader::select_modulation(const TagStateFn& tag_at) {
 
 namespace {
 // Inventory instrumentation, shared by the single-tag and population paths.
-const obs::Histogram& inventory_span_hist() {
-  static const obs::Histogram h("rfid.inventory");
-  return h;
+const obs::SpanSite& inventory_span_site() {
+  static const obs::SpanSite s("rfid.inventory");
+  return s;
 }
 void count_inventory(std::size_t attempts, std::size_t delivered) {
   static const obs::Counter interrogations("rfid.interrogations");
@@ -128,7 +128,7 @@ void count_inventory(std::size_t attempts, std::size_t delivered) {
 
 TagReportStream Reader::inventory_population(const std::vector<TagEntry>& tags,
                                               double t_begin, double t_end) {
-  const obs::ScopedSpan span(inventory_span_hist());
+  const obs::ScopedSpan span(inventory_span_site());
   TagReportStream out;
   if (tags.empty() || t_end <= t_begin) return out;
   const double rate =
@@ -161,7 +161,7 @@ TagReportStream Reader::inventory_population(const std::vector<TagEntry>& tags,
 
 TagReportStream Reader::inventory(const TagStateFn& tag_at, double t_begin,
                                   double t_end) {
-  const obs::ScopedSpan span(inventory_span_hist());
+  const obs::ScopedSpan span(inventory_span_site());
   TagReportStream out;
   const double rate =
       config_.aggregate_read_rate_hz * rate_factor(modulation_);

@@ -1,0 +1,86 @@
+// Edge-case tests of eval::summarize_stages: the percentile math on
+// 0-, 1- and 2-sample batches is pinned here because the BENCH_*.json
+// export (and therefore the benchdiff sentinel) consumes these numbers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/harness.h"
+
+namespace polardraw::eval {
+namespace {
+
+TrialResult trial_with(double synth_s, double wall_s) {
+  TrialResult r;
+  r.stages.synth_s = synth_s;
+  r.stages.reader_s = 2.0 * synth_s;
+  r.stages.track_s = 3.0 * synth_s;
+  r.stages.classify_s = 4.0 * synth_s;
+  r.wall_s = wall_s;
+  return r;
+}
+
+const StageSummary* find(const std::vector<StageSummary>& summaries,
+                         const std::string& name) {
+  for (const auto& s : summaries) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(SummarizeStages, EmptyBatchYieldsZeroedSummaries) {
+  const auto summaries = summarize_stages({});
+  // One entry per StageTimings member plus the trial wall clock.
+  ASSERT_EQ(summaries.size(), 5u);
+  for (const auto& s : summaries) {
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.p50_ms, 0.0);
+    EXPECT_DOUBLE_EQ(s.p95_ms, 0.0);
+    EXPECT_DOUBLE_EQ(s.mean_ms, 0.0);
+    EXPECT_DOUBLE_EQ(s.total_s, 0.0);
+  }
+}
+
+TEST(SummarizeStages, SingleSampleIsItsOwnPercentile) {
+  const auto summaries = summarize_stages({trial_with(0.010, 0.100)});
+  const StageSummary* synth = find(summaries, "synth");
+  ASSERT_NE(synth, nullptr);
+  EXPECT_EQ(synth->count, 1u);
+  EXPECT_DOUBLE_EQ(synth->p50_ms, 10.0);
+  EXPECT_DOUBLE_EQ(synth->p95_ms, 10.0);
+  EXPECT_DOUBLE_EQ(synth->mean_ms, 10.0);
+  EXPECT_DOUBLE_EQ(synth->total_s, 0.010);
+  const StageSummary* wall = find(summaries, "trial_wall");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_DOUBLE_EQ(wall->p50_ms, 100.0);
+  EXPECT_DOUBLE_EQ(wall->p95_ms, 100.0);
+}
+
+TEST(SummarizeStages, TwoSamplesInterpolateLinearly) {
+  // percentile() interpolates at rank p/100 * (n-1); with two samples
+  // sorted to (lo, hi) that is lo + p/100 * (hi - lo).
+  const auto summaries =
+      summarize_stages({trial_with(0.010, 0.100), trial_with(0.030, 0.200)});
+  const StageSummary* synth = find(summaries, "synth");
+  ASSERT_NE(synth, nullptr);
+  EXPECT_EQ(synth->count, 2u);
+  EXPECT_DOUBLE_EQ(synth->p50_ms, 20.0);                       // midpoint
+  EXPECT_DOUBLE_EQ(synth->p95_ms, 0.05 * 10.0 + 0.95 * 30.0);  // 29.0
+  EXPECT_DOUBLE_EQ(synth->mean_ms, 20.0);
+  EXPECT_DOUBLE_EQ(synth->total_s, 0.040);
+}
+
+TEST(SummarizeStages, OrderOfTrialsDoesNotMatter) {
+  const auto a =
+      summarize_stages({trial_with(0.010, 0.100), trial_with(0.030, 0.200)});
+  const auto b =
+      summarize_stages({trial_with(0.030, 0.200), trial_with(0.010, 0.100)});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].p50_ms, b[i].p50_ms) << a[i].name;
+    EXPECT_DOUBLE_EQ(a[i].p95_ms, b[i].p95_ms) << a[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace polardraw::eval

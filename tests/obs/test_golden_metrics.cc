@@ -13,6 +13,7 @@
 
 #include "eval/harness.h"
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace polardraw {
 namespace {
@@ -92,6 +93,33 @@ TEST_F(GoldenMetricsTest, TrialOutputsBitIdenticalWithMetricsOnAndOff) {
   const eval::TrialResult off = eval::run_trial("W", golden_config());
   obs::Registry::global().set_enabled(true);
 
+  EXPECT_EQ(on.recognized, off.recognized);
+  EXPECT_EQ(on.all_correct, off.all_correct);
+  EXPECT_EQ(on.report_count, off.report_count);
+  EXPECT_EQ(on.procrustes_m, off.procrustes_m);  // exact, not approximate
+  ASSERT_EQ(on.trajectory.size(), off.trajectory.size());
+  for (std::size_t i = 0; i < on.trajectory.size(); ++i) {
+    EXPECT_EQ(on.trajectory[i].x, off.trajectory[i].x) << "window " << i;
+    EXPECT_EQ(on.trajectory[i].y, off.trajectory[i].y) << "window " << i;
+  }
+}
+
+// The tracer holds the same zero-feedback contract as the registry:
+// recording a timeline must not perturb the pipeline by a single bit.
+TEST_F(GoldenMetricsTest, TrialOutputsBitIdenticalWithTracingOnAndOff) {
+  obs::Tracer::global().set_enabled(true);
+  obs::Tracer::global().reset();
+  const eval::TrialResult on = eval::run_trial("W", golden_config());
+  const auto threads = obs::Tracer::global().snapshot();
+  obs::Tracer::global().reset();
+  obs::Tracer::global().set_enabled(false);
+  const eval::TrialResult off = eval::run_trial("W", golden_config());
+
+  // The traced run actually recorded the decode timeline...
+  std::size_t events = 0;
+  for (const auto& t : threads) events += t.events.size();
+  EXPECT_GT(events, 0u);
+  // ...and changed nothing about the trial.
   EXPECT_EQ(on.recognized, off.recognized);
   EXPECT_EQ(on.all_correct, off.all_correct);
   EXPECT_EQ(on.report_count, off.report_count);

@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <sstream>
 #include <string>
 
 #include "obs/json_writer.h"
+#include "obs/tracer.h"
 
 namespace polardraw::benchjson {
 namespace {
@@ -215,6 +217,117 @@ TEST(BenchSchema, RoundTripsThroughObsJsonWriter) {
   EXPECT_DOUBLE_EQ(
       r.root.find("stages")->find("core.hmm_decode")->find("p50_ms")->number,
       68.6);
+}
+
+// ---- Chrome trace-event validation (TRACE_*.json) -----------------------
+
+Value trace_doc(const std::string& events_json) {
+  return parse_ok(R"({"displayTimeUnit": "ms", "traceEvents": )" +
+                  events_json + "}");
+}
+
+TEST(ValidateChromeTrace, AcceptsWellFormedEvents) {
+  const Value v = trace_doc(
+      R"([{"name": "thread_name", "ph": "M", "ts": 0, "pid": 1, "tid": 1,
+           "args": {"name": "main"}},
+          {"name": "core.hmm_decode", "ph": "X", "ts": 12.5, "dur": 830.0,
+           "pid": 1, "tid": 1, "args": {"windows": 600}},
+          {"name": "hmm.window", "ph": "i", "ts": 20.0, "s": "t",
+           "pid": 1, "tid": 1}])");
+  EXPECT_TRUE(validate_chrome_trace(v).empty());
+}
+
+TEST(ValidateChromeTrace, AcceptsBareEventArray) {
+  const Value v = parse_ok(
+      R"([{"name": "a", "ph": "i", "ts": 1, "pid": 1, "tid": 1}])");
+  EXPECT_TRUE(validate_chrome_trace(v).empty());
+}
+
+TEST(ValidateChromeTrace, RejectsEmptyAndMalformedDocuments) {
+  EXPECT_FALSE(validate_chrome_trace(parse_ok("{}")).empty());
+  EXPECT_FALSE(validate_chrome_trace(parse_ok("3")).empty());
+  EXPECT_FALSE(validate_chrome_trace(trace_doc("[]")).empty());
+}
+
+TEST(ValidateChromeTrace, RejectsBadEvents) {
+  // Missing name.
+  EXPECT_FALSE(validate_chrome_trace(trace_doc(
+                   R"([{"ph": "i", "ts": 1, "pid": 1, "tid": 1}])"))
+                   .empty());
+  // Unknown phase.
+  EXPECT_FALSE(validate_chrome_trace(trace_doc(
+                   R"([{"name": "a", "ph": "Z", "ts": 1,
+                        "pid": 1, "tid": 1}])"))
+                   .empty());
+  // Negative timestamp.
+  EXPECT_FALSE(validate_chrome_trace(trace_doc(
+                   R"([{"name": "a", "ph": "i", "ts": -1,
+                        "pid": 1, "tid": 1}])"))
+                   .empty());
+  // 'X' span without a duration.
+  EXPECT_FALSE(validate_chrome_trace(trace_doc(
+                   R"([{"name": "a", "ph": "X", "ts": 1,
+                        "pid": 1, "tid": 1}])"))
+                   .empty());
+  // Missing tid; args not an object.
+  EXPECT_FALSE(validate_chrome_trace(trace_doc(
+                   R"([{"name": "a", "ph": "i", "ts": 1, "pid": 1}])"))
+                   .empty());
+  EXPECT_FALSE(validate_chrome_trace(trace_doc(
+                   R"([{"name": "a", "ph": "i", "ts": 1, "pid": 1,
+                        "tid": 1, "args": [1]}])"))
+                   .empty());
+}
+
+TEST(ValidateChromeTrace, ProblemsNameTheOffendingField) {
+  const auto problems = validate_chrome_trace(trace_doc(
+      R"([{"name": "a", "ph": "X", "ts": 1, "pid": 1, "tid": 1}])"));
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("dur"), std::string::npos);
+}
+
+TEST(ValidateChromeTrace, TracerExportRoundTrips) {
+  // The real writer -> parser -> validator path the CI trace step runs:
+  // record a few events through the global tracer, export, re-parse.
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.set_enabled(true);
+  tracer.set_ring_capacity(64);
+  tracer.reset();
+  tracer.set_current_thread_name("benchjson-test");
+  const int span = tracer.name_id("test.roundtrip_span");
+  const int inst = tracer.name_id("test.roundtrip_instant");
+  const int arg = tracer.name_id("window");
+  const auto begin = obs::Tracer::Clock::now();
+  tracer.complete(span, begin, begin + std::chrono::microseconds(100), arg,
+                  1.0);
+  tracer.instant(inst, arg, 2.0);
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  tracer.reset();
+  tracer.set_enabled(false);
+
+  const ParseResult r = parse(os.str());
+  ASSERT_TRUE(r.ok) << r.error << "\n" << os.str();
+  EXPECT_TRUE(validate_chrome_trace(r.root).empty()) << os.str();
+
+  // Schema self-test on the exported fields: one 'M' metadata event for
+  // the named thread plus the two recorded events, with ph/ts/pid/tid.
+  const Value* events = r.root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 3u);
+  const Value& meta = events->array[0];
+  EXPECT_EQ(meta.find("ph")->string, "M");
+  EXPECT_EQ(meta.find("args")->find("name")->string, "benchjson-test");
+  const Value& x = events->array[1];
+  EXPECT_EQ(x.find("name")->string, "test.roundtrip_span");
+  EXPECT_EQ(x.find("ph")->string, "X");
+  EXPECT_NEAR(x.find("dur")->number, 100.0, 1.0);
+  EXPECT_DOUBLE_EQ(x.find("args")->find("window")->number, 1.0);
+  const Value& i = events->array[2];
+  EXPECT_EQ(i.find("ph")->string, "i");
+  EXPECT_EQ(i.find("s")->string, "t");
+  EXPECT_DOUBLE_EQ(i.find("pid")->number, 1.0);
+  EXPECT_GT(i.find("tid")->number, 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,332 @@
+#include "diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace polardraw::benchdiff {
+namespace fs = std::filesystem;
+using benchjson::Value;
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Last dotted segment, e.g. "p95_ms" from "stages.core.hmm_decode.p95_ms".
+std::string last_segment(const std::string& key) {
+  const std::size_t dot = key.rfind('.');
+  return dot == std::string::npos ? key : key.substr(dot + 1);
+}
+
+/// Flattens the numeric leaves we sentinel: headline metrics, registry
+/// counters, per-stage percentiles, and the top-level wall clock. Config
+/// and gauges are environment descriptions, not trajectories, so they are
+/// deliberately not compared.
+void flatten(const Value& doc,
+             std::vector<std::pair<std::string, double>>& out) {
+  if (const Value* wall = doc.find("wall_s"); wall && wall->is_number()) {
+    out.emplace_back("wall_s", wall->number);
+  }
+  for (const char* section : {"metrics", "counters"}) {
+    const Value* obj = doc.find(section);
+    if (obj == nullptr || !obj->is_object()) continue;
+    for (const auto& [k, v] : obj->object) {
+      if (v.is_number()) {
+        out.emplace_back(std::string(section) + "." + k, v.number);
+      }
+    }
+  }
+  if (const Value* stages = doc.find("stages"); stages && stages->is_object()) {
+    for (const auto& [stage, entry] : stages->object) {
+      if (!entry.is_object()) continue;
+      for (const auto& [k, v] : entry.object) {
+        if (v.is_number()) {
+          out.emplace_back("stages." + stage + "." + k, v.number);
+        }
+      }
+    }
+  }
+}
+
+double find_value(const std::vector<std::pair<std::string, double>>& kv,
+                  const std::string& key, bool& found) {
+  for (const auto& [k, v] : kv) {
+    if (k == key) {
+      found = true;
+      return v;
+    }
+  }
+  found = false;
+  return 0.0;
+}
+
+Verdict judge(MetricClass cls, double old_v, double new_v,
+              const Thresholds& th) {
+  switch (cls) {
+    case MetricClass::kAccuracy: {
+      // Deterministic under pinned seeds; any drop beyond the absolute
+      // floor is a real behavior change, not noise.
+      const double diff = new_v - old_v;
+      if (std::fabs(diff) <= th.accuracy_abs_tol) return Verdict::kUnchanged;
+      return diff < 0.0 ? Verdict::kRegressed : Verdict::kImproved;
+    }
+    case MetricClass::kThroughput:
+    case MetricClass::kTime: {
+      if (old_v <= 0.0 || new_v < 0.0) {
+        return old_v == new_v ? Verdict::kUnchanged : Verdict::kInfo;
+      }
+      if (new_v == 0.0) {
+        // Throughput collapsed to zero / time collapsed to zero.
+        return cls == MetricClass::kThroughput ? Verdict::kRegressed
+                                               : Verdict::kImproved;
+      }
+      // Judge by the degradation *factor*, symmetric in log space: with
+      // tol t, up to (1+t)x worse passes in either unit (time growing or
+      // throughput shrinking). A plain relative delta cannot express
+      // "allow a 5x-slower machine" for time without disabling the
+      // throughput gate entirely, since a throughput drop is capped at
+      // -100% while a slowdown is unbounded.
+      const double worse_factor =
+          cls == MetricClass::kThroughput ? old_v / new_v : new_v / old_v;
+      if (worse_factor > 1.0 + th.perf_rel_tol) return Verdict::kRegressed;
+      if (1.0 / worse_factor > 1.0 + th.perf_rel_tol) {
+        return Verdict::kImproved;
+      }
+      return Verdict::kUnchanged;
+    }
+    case MetricClass::kCount:
+      // A count change means the experiment shape changed (config drift,
+      // trial-count edit); that wants eyes, not a hard failure.
+      return old_v == new_v ? Verdict::kUnchanged : Verdict::kWarning;
+    case MetricClass::kUnknown:
+      return old_v == new_v ? Verdict::kUnchanged : Verdict::kInfo;
+  }
+  return Verdict::kInfo;
+}
+
+std::string fmt_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+const char* verdict_word(Verdict v) {
+  switch (v) {
+    case Verdict::kUnchanged: return "unchanged";
+    case Verdict::kImproved: return "improved";
+    case Verdict::kRegressed: return "**REGRESSED**";
+    case Verdict::kWarning: return "warning";
+    case Verdict::kInfo: return "info";
+  }
+  return "info";
+}
+
+const char* class_word(MetricClass c) {
+  switch (c) {
+    case MetricClass::kAccuracy: return "accuracy";
+    case MetricClass::kThroughput: return "throughput";
+    case MetricClass::kTime: return "time";
+    case MetricClass::kCount: return "count";
+    case MetricClass::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+bool Report::has_regression() const {
+  if (!missing_files.empty() || !errors.empty()) return true;
+  return std::any_of(deltas.begin(), deltas.end(), [](const MetricDelta& d) {
+    return d.verdict == Verdict::kRegressed;
+  });
+}
+
+std::size_t Report::count(Verdict v) const {
+  return static_cast<std::size_t>(
+      std::count_if(deltas.begin(), deltas.end(),
+                    [v](const MetricDelta& d) { return d.verdict == v; }));
+}
+
+MetricClass classify_metric(const std::string& key) {
+  const std::string leaf = last_segment(key);
+  if (leaf.find("accuracy") != std::string::npos) return MetricClass::kAccuracy;
+  if (ends_with(leaf, "_per_s")) return MetricClass::kThroughput;
+  if (leaf == "count" || leaf == "trials" || leaf == "windows" ||
+      leaf == "decode_reps" || key.rfind("counters.", 0) == 0) {
+    return MetricClass::kCount;
+  }
+  if (ends_with(leaf, "_ms") || ends_with(leaf, "_s") || leaf == "wall_s") {
+    return MetricClass::kTime;
+  }
+  return MetricClass::kUnknown;
+}
+
+void compare_docs(const std::string& file, const Value& old_doc,
+                  const Value& new_doc, const Thresholds& th, Report& out) {
+  std::vector<std::pair<std::string, double>> old_kv;
+  std::vector<std::pair<std::string, double>> new_kv;
+  flatten(old_doc, old_kv);
+  flatten(new_doc, new_kv);
+
+  // Every baseline metric must still exist: a metric that vanished from
+  // the candidate is a regression of the export itself.
+  for (const auto& [key, old_v] : old_kv) {
+    MetricDelta d;
+    d.file = file;
+    d.key = key;
+    d.cls = classify_metric(key);
+    d.old_value = old_v;
+    bool found = false;
+    d.new_value = find_value(new_kv, key, found);
+    if (!found) {
+      d.missing_new = true;
+      d.verdict = d.cls == MetricClass::kCount || d.cls == MetricClass::kUnknown
+                      ? Verdict::kWarning
+                      : Verdict::kRegressed;
+    } else {
+      d.verdict = judge(d.cls, old_v, d.new_value, th);
+    }
+    out.deltas.push_back(std::move(d));
+  }
+  // New metrics are informational.
+  for (const auto& [key, new_v] : new_kv) {
+    bool found = false;
+    find_value(old_kv, key, found);
+    if (found) continue;
+    MetricDelta d;
+    d.file = file;
+    d.key = key;
+    d.cls = classify_metric(key);
+    d.missing_old = true;
+    d.new_value = new_v;
+    d.verdict = Verdict::kInfo;
+    out.deltas.push_back(std::move(d));
+  }
+}
+
+namespace {
+
+benchjson::ParseResult parse_file(const fs::path& path, Report& report) {
+  std::ifstream is(path);
+  benchjson::ParseResult out;
+  if (!is) {
+    report.errors.push_back("cannot read " + path.string());
+    return out;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  out = benchjson::parse(buf.str());
+  if (!out.ok) {
+    report.errors.push_back(path.string() + ": " + out.error);
+  }
+  return out;
+}
+
+std::vector<std::string> bench_files(const std::string& dir, Report& report) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json") {
+      names.push_back(name);
+    }
+  }
+  if (ec) report.errors.push_back("cannot list " + dir + ": " + ec.message());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+Report compare_dirs(const std::string& old_dir, const std::string& new_dir,
+                    const Thresholds& th) {
+  Report report;
+  const auto old_names = bench_files(old_dir, report);
+  const auto new_names = bench_files(new_dir, report);
+  if (old_names.empty() && report.errors.empty()) {
+    report.errors.push_back("no BENCH_*.json files in " + old_dir);
+  }
+
+  for (const std::string& name : old_names) {
+    if (std::find(new_names.begin(), new_names.end(), name) ==
+        new_names.end()) {
+      report.missing_files.push_back(name);
+      continue;
+    }
+    const auto old_doc = parse_file(fs::path(old_dir) / name, report);
+    const auto new_doc = parse_file(fs::path(new_dir) / name, report);
+    if (!old_doc.ok || !new_doc.ok) continue;
+    compare_docs(name, old_doc.root, new_doc.root, th, report);
+  }
+  for (const std::string& name : new_names) {
+    if (std::find(old_names.begin(), old_names.end(), name) ==
+        old_names.end()) {
+      report.new_files.push_back(name);
+    }
+  }
+  return report;
+}
+
+std::string to_markdown(const Report& report, const Thresholds& th) {
+  std::ostringstream os;
+  os << "# benchdiff report\n\n";
+  os << "Thresholds: accuracy abs tol " << fmt_num(th.accuracy_abs_tol)
+     << ", perf rel tol " << fmt_num(th.perf_rel_tol) << ".\n\n";
+
+  for (const auto& e : report.errors) os << "- ERROR: " << e << "\n";
+  for (const auto& f : report.missing_files) {
+    os << "- **REGRESSED**: " << f << " missing from the new directory\n";
+  }
+  for (const auto& f : report.new_files) {
+    os << "- info: " << f << " only in the new directory\n";
+  }
+  if (!report.errors.empty() || !report.missing_files.empty() ||
+      !report.new_files.empty()) {
+    os << "\n";
+  }
+
+  os << "| file | metric | class | old | new | delta | verdict |\n"
+     << "|---|---|---|---:|---:|---:|---|\n";
+  // Regressions first, then warnings, so a failing CI log leads with the
+  // offending metric.
+  const Verdict order[] = {Verdict::kRegressed, Verdict::kWarning,
+                           Verdict::kImproved, Verdict::kInfo,
+                           Verdict::kUnchanged};
+  for (Verdict want : order) {
+    for (const auto& d : report.deltas) {
+      if (d.verdict != want) continue;
+      os << "| " << d.file << " | " << d.key << " | " << class_word(d.cls)
+         << " | " << (d.missing_old ? "-" : fmt_num(d.old_value)) << " | "
+         << (d.missing_new ? "missing" : fmt_num(d.new_value)) << " | ";
+      if (d.missing_old || d.missing_new) {
+        os << "-";
+      } else if (d.old_value != 0.0 && (d.cls == MetricClass::kThroughput ||
+                                        d.cls == MetricClass::kTime)) {
+        os << fmt_num(100.0 * (d.new_value - d.old_value) /
+                      std::fabs(d.old_value))
+           << "%";
+      } else {
+        os << fmt_num(d.new_value - d.old_value);
+      }
+      os << " | " << verdict_word(d.verdict) << " |\n";
+    }
+  }
+
+  os << "\nSummary: " << report.count(Verdict::kRegressed) << " regressed, "
+     << report.count(Verdict::kWarning) << " warnings, "
+     << report.count(Verdict::kImproved) << " improved, "
+     << report.count(Verdict::kUnchanged) << " unchanged, "
+     << report.count(Verdict::kInfo) << " informational.\n";
+  os << "Result: "
+     << (report.has_regression() ? "**REGRESSION DETECTED**" : "clean")
+     << "\n";
+  return os.str();
+}
+
+}  // namespace polardraw::benchdiff

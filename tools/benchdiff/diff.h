@@ -1,0 +1,90 @@
+// benchdiff: the bench-trajectory regression sentinel (DESIGN.md sec. 12).
+//
+// Compares two directories of BENCH_*.json exports (an "old" baseline and
+// a "new" candidate) metric by metric and classifies each delta as
+// improved / unchanged / regressed under direction-aware, per-class noise
+// thresholds. Accuracy metrics are deterministic under pinned seeds, so
+// they get a tight absolute tolerance; throughput and time metrics are
+// machine-dependent, so they get a generous relative tolerance; count
+// metrics (trial/window totals) only warn, since a count change usually
+// means the configs differ rather than the code got slower.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json.h"
+
+namespace polardraw::benchdiff {
+
+/// How a metric is judged. Direction encodes which way "worse" points.
+enum class MetricClass {
+  kAccuracy,    // higher is better, absolute tolerance (deterministic)
+  kThroughput,  // higher is better, relative tolerance (*_per_s)
+  kTime,        // lower is better, relative tolerance (*_ms, *_s, wall_s)
+  kCount,       // informational; a change warns but never fails
+  kUnknown,     // informational only
+};
+
+/// Verdict for a single metric delta.
+enum class Verdict { kUnchanged, kImproved, kRegressed, kWarning, kInfo };
+
+/// Noise thresholds. A delta within tolerance is kUnchanged; beyond it,
+/// the direction decides improved vs regressed.
+struct Thresholds {
+  /// Absolute tolerance for accuracy-class metrics (fractions in [0,1]).
+  double accuracy_abs_tol = 0.01;
+  /// Degradation-factor tolerance for throughput- and time-class metrics:
+  /// a metric may be up to (1 + tol)x worse (slower, or lower-throughput)
+  /// before it regresses, and (1 + tol)x better before it counts as
+  /// improved. The default absorbs scheduler noise on one machine;
+  /// cross-machine CI gates pass a larger value (see ci.yml).
+  double perf_rel_tol = 0.5;
+};
+
+/// One compared metric.
+struct MetricDelta {
+  std::string file;    // e.g. "BENCH_hmm_decode.json"
+  std::string key;     // dotted path, e.g. "metrics.windows_per_s"
+  MetricClass cls = MetricClass::kUnknown;
+  Verdict verdict = Verdict::kInfo;
+  bool missing_old = false;
+  bool missing_new = false;
+  double old_value = 0.0;
+  double new_value = 0.0;
+};
+
+/// Full comparison outcome.
+struct Report {
+  std::vector<MetricDelta> deltas;
+  /// Files present in the old dir but absent from the new one (always a
+  /// regression: the candidate stopped producing an export).
+  std::vector<std::string> missing_files;
+  /// Files only in the new dir (informational).
+  std::vector<std::string> new_files;
+  std::vector<std::string> errors;  // parse/IO problems (fail the run)
+
+  [[nodiscard]] bool has_regression() const;
+  [[nodiscard]] std::size_t count(Verdict v) const;
+};
+
+/// Classifies a dotted metric path (e.g. "metrics.accuracy",
+/// "stages.core.hmm_decode.p95_ms") by suffix convention.
+[[nodiscard]] MetricClass classify_metric(const std::string& key);
+
+/// Compares two parsed BENCH_*.json documents; appends deltas to `out`.
+void compare_docs(const std::string& file, const benchjson::Value& old_doc,
+                  const benchjson::Value& new_doc, const Thresholds& th,
+                  Report& out);
+
+/// Compares every BENCH_*.json in `old_dir` against its namesake in
+/// `new_dir`.
+[[nodiscard]] Report compare_dirs(const std::string& old_dir,
+                                  const std::string& new_dir,
+                                  const Thresholds& th);
+
+/// Renders the report as a markdown delta table (regressions first).
+[[nodiscard]] std::string to_markdown(const Report& report,
+                                      const Thresholds& th);
+
+}  // namespace polardraw::benchdiff

@@ -329,4 +329,75 @@ std::vector<std::string> validate_bench_json(const Value& root) {
   return problems;
 }
 
+std::vector<std::string> validate_chrome_trace(const Value& root) {
+  std::vector<std::string> problems;
+
+  const std::vector<Value>* events = nullptr;
+  if (root.type == Value::Type::kArray) {
+    events = &root.array;
+  } else if (root.is_object()) {
+    const Value* te = root.find("traceEvents");
+    if (te == nullptr || te->type != Value::Type::kArray) {
+      problems.emplace_back("traceEvents: missing or not an array");
+      return problems;
+    }
+    events = &te->array;
+  } else {
+    problems.emplace_back("root: not an object or array");
+    return problems;
+  }
+
+  if (events->empty()) {
+    problems.emplace_back("traceEvents: empty (no events recorded)");
+    return problems;
+  }
+
+  const std::string kPhases = "XiIMBEC";
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    // Stop after a few bad events; one structural break tends to cascade.
+    if (problems.size() >= 10) {
+      problems.emplace_back("... further problems suppressed");
+      break;
+    }
+    const Value& e = (*events)[i];
+    const std::string at = "traceEvents[" + std::to_string(i) + "]";
+    if (!e.is_object()) {
+      problems.push_back(at + ": not an object");
+      continue;
+    }
+    const Value* name = e.find("name");
+    if (name == nullptr || !name->is_string() || name->string.empty()) {
+      problems.push_back(at + ".name: missing or empty");
+    }
+    const Value* ph = e.find("ph");
+    const bool ph_ok = ph != nullptr && ph->is_string() &&
+                       ph->string.size() == 1 &&
+                       kPhases.find(ph->string[0]) != std::string::npos;
+    if (!ph_ok) {
+      problems.push_back(at + ".ph: missing or not one of X i I M B E C");
+    }
+    const Value* ts = e.find("ts");
+    if (ts == nullptr || !ts->is_number() || ts->number < 0.0) {
+      problems.push_back(at + ".ts: missing or negative");
+    }
+    for (const char* k : {"pid", "tid"}) {
+      const Value* v = e.find(k);
+      if (v == nullptr || !v->is_number()) {
+        problems.push_back(at + "." + k + ": missing or not a number");
+      }
+    }
+    if (ph_ok && ph->string[0] == 'X') {
+      const Value* dur = e.find("dur");
+      if (dur == nullptr || !dur->is_number() || dur->number < 0.0) {
+        problems.push_back(at + ".dur: missing or negative ('X' event)");
+      }
+    }
+    const Value* args = e.find("args");
+    if (args != nullptr && !args->is_object()) {
+      problems.push_back(at + ".args: present but not an object");
+    }
+  }
+  return problems;
+}
+
 }  // namespace polardraw::benchjson

@@ -4,6 +4,7 @@
 // Usage:
 //   benchjson [--smoke] [--bench-dir <dir>] [--out-dir <dir>]
 //             [--filter <substr>] [--check]
+//   benchjson --validate-trace <file.json>
 //
 //   --smoke      set PD_BENCH_SMOKE=1 (tiny configurations, CI-speed)
 //   --bench-dir  directory holding the bench_* executables
@@ -12,11 +13,15 @@
 //                (default: bench-json)
 //   --filter     only run binaries whose file name contains the substring
 //   --check      skip running; only validate the JSON already in --out-dir
+//   --validate-trace  parse one Chrome trace-event file (TRACE_*.json) and
+//                check it against validate_chrome_trace(); exit 0 iff valid
 //
 // Exit code 0 iff every selected binary ran successfully and every JSON
 // file in the output directory passes validate_bench_json(). Each binary
 // runs with PD_BENCH_JSON_ONLY=1 (experiment + JSON, no google-benchmark
 // timings) and PD_GIT_SHA set from `git rev-parse` when available.
+#include <sys/wait.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +37,7 @@
 namespace fs = std::filesystem;
 using polardraw::benchjson::parse;
 using polardraw::benchjson::validate_bench_json;
+using polardraw::benchjson::validate_chrome_trace;
 
 namespace {
 
@@ -46,8 +52,25 @@ struct Options {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--smoke] [--bench-dir <dir>] [--out-dir <dir>]"
-               " [--filter <substr>] [--check]\n";
+               " [--filter <substr>] [--check]\n"
+               "       "
+            << argv0 << " --validate-trace <file.json>\n";
   return 2;
+}
+
+/// Decodes a std::system() status into a human-readable verdict: the exit
+/// status when the child exited, or the terminating signal. A bench binary
+/// that returns nonzero (e.g. a failed JSON write) must fail the runner,
+/// not silently pass, so the raw wait status is never shown to the user.
+std::string describe_status(int status) {
+  if (status == -1) return "could not launch (system() failed)";
+  if (WIFEXITED(status)) {
+    return "exit " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  return "unknown wait status " + std::to_string(status);
 }
 
 /// `git rev-parse HEAD` of the current directory, or "" when unavailable.
@@ -102,15 +125,43 @@ bool run_benches(const Options& opt, const std::vector<fs::path>& benches) {
     cmd += log;
     cmd += "\" 2>&1";
     std::cout << "run  " << name << " ... " << std::flush;
-    const int rc = std::system(cmd.c_str());
-    if (rc == 0) {
+    const int status = std::system(cmd.c_str());
+    const bool exited_zero = status != -1 && WIFEXITED(status) &&
+                             WEXITSTATUS(status) == 0;
+    if (exited_zero) {
       std::cout << "ok\n";
     } else {
-      std::cout << "FAILED (exit " << rc << ", see " << log << ")\n";
+      std::cout << "FAILED (" << describe_status(status) << ", see " << log
+                << ")\n";
       all_ok = false;
     }
   }
   return all_ok;
+}
+
+/// --validate-trace: parse + schema-check one Chrome trace-event file.
+int validate_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "benchjson: cannot read " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const auto parsed = parse(buf.str());
+  if (!parsed.ok) {
+    std::cout << "trace " << path << " ... PARSE ERROR (" << parsed.error
+              << ")\n";
+    return 1;
+  }
+  const auto problems = validate_chrome_trace(parsed.root);
+  if (problems.empty()) {
+    std::cout << "trace " << path << " ... valid\n";
+    return 0;
+  }
+  std::cout << "trace " << path << " ... INVALID\n";
+  for (const auto& p : problems) std::cout << "     " << p << "\n";
+  return 1;
 }
 
 bool validate_outputs(const Options& opt, std::size_t n_benches_run) {
@@ -174,6 +225,8 @@ int main(int argc, char** argv) {
       opt.out_dir = argv[++i];
     } else if (arg == "--filter" && i + 1 < argc) {
       opt.filter = argv[++i];
+    } else if (arg == "--validate-trace" && i + 1 < argc) {
+      return validate_trace_file(argv[++i]);
     } else {
       return usage(argv[0]);
     }
@@ -189,6 +242,21 @@ int main(int argc, char** argv) {
     }
     std::error_code ec;
     fs::create_directories(opt.out_dir, ec);
+    // Probe writability up front: a read-only or uncreatable out-dir would
+    // otherwise surface as N cryptic per-binary failures. The bench
+    // binaries see the same directory via PD_BENCH_JSON_DIR.
+    {
+      const std::string probe_path = opt.out_dir + "/.benchjson-probe";
+      std::ofstream probe(probe_path);
+      if (!probe) {
+        std::cerr << "benchjson: output directory " << opt.out_dir
+                  << " is not writable (bench binaries would fail to write "
+                     "PD_BENCH_JSON_DIR)\n";
+        return 1;
+      }
+      probe.close();
+      fs::remove(probe_path, ec);
+    }
     n_run = benches.size();
     ok = run_benches(opt, benches);
   }
