@@ -1,0 +1,242 @@
+// Streaming decode service benchmark: push-to-commit latency and session
+// throughput for the fixed-lag decoder behind server/session_server.h, on
+// a deterministic seeded load (N synthetic pens from core/decode_testbed.h
+// submitted round-robin, pump() once per round), plus the accuracy-vs-lag
+// ladder for the fixed-lag commit rule.
+//
+// PD_BENCH_SMOKE=1 shrinks the board and the load for sanitizer CI; the
+// TSan streaming-soak step additionally raises the session count via
+// PD_STREAM_SESSIONS to stress the worker pool (POLARDRAW_THREADS sets the
+// pump worker count). Latency percentiles come from the
+// server.push_to_commit_s histogram, so the JSON export carries the same
+// numbers a production registry would.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/decode_testbed.h"
+#include "core/hmm_tracker.h"
+#include "core/phase_field.h"
+#include "core/streaming_decoder.h"
+#include "server/session_server.h"
+
+using namespace polardraw;
+using namespace polardraw::core;
+using polardraw::server::SessionId;
+using polardraw::server::SessionServer;
+using polardraw::server::SessionServerConfig;
+
+namespace {
+
+PolarDrawConfig bench_config(bool smoke) {
+  PolarDrawConfig cfg;  // default board/config is the headline number
+  if (smoke) {
+    cfg.board_width_m = 0.3;
+    cfg.board_height_m = 0.2;
+    cfg.block_m = 0.005;
+    cfg.beam_width = 150;
+  }
+  return cfg;
+}
+
+int session_count(bool smoke) {
+  if (const char* env = std::getenv("PD_STREAM_SESSIONS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return smoke ? 16 : 32;
+}
+
+/// The server load: `n_pens` seeded pens, reports interleaved round-robin,
+/// pump() after every round. Returns total observations submitted.
+std::size_t run_server_load(const PolarDrawConfig& cfg, int n_pens,
+                            int n_windows, std::size_t lag) {
+  std::vector<DecodeTestbed> pens;
+  pens.reserve(static_cast<std::size_t>(n_pens));
+  for (int p = 0; p < n_pens; ++p) {
+    pens.push_back(
+        make_decode_testbed(cfg, n_windows, static_cast<std::uint64_t>(p) + 1));
+  }
+  SessionServerConfig scfg;
+  scfg.stream.lag_windows = lag;
+  SessionServer server(cfg, pens[0].a1, pens[0].a2, pens[0].antenna_z, scfg);
+  for (int p = 0; p < n_pens; ++p) {
+    server.open(static_cast<SessionId>(p), &pens[static_cast<std::size_t>(p)].start);
+  }
+  for (int w = 0; w < n_windows; ++w) {
+    for (int p = 0; p < n_pens; ++p) {
+      server.submit(static_cast<SessionId>(p),
+                    pens[static_cast<std::size_t>(p)].obs[static_cast<std::size_t>(w)]);
+    }
+    server.pump();
+  }
+  std::size_t sink = 0;
+  for (int p = 0; p < n_pens; ++p) {
+    sink += server.close(static_cast<SessionId>(p)).size();
+  }
+  benchmark::DoNotOptimize(sink);
+  return static_cast<std::size_t>(n_pens) * static_cast<std::size_t>(n_windows);
+}
+
+/// Mean committed-position deviation from the batch decode at a given lag,
+/// on the seed-42 testbed pen.
+double accuracy_at_lag(const PolarDrawConfig& cfg, int n_windows,
+                       std::size_t lag) {
+  const auto tb = make_decode_testbed(cfg, n_windows, 42);
+  const HmmTracker hmm(cfg, tb.a1, tb.a2, tb.antenna_z);
+  const auto batch = hmm.decode(tb.obs, &tb.start);
+
+  StreamingConfig scfg;
+  scfg.lag_windows = lag;
+  StreamingDecoder dec(cfg, tb.a1, tb.a2, tb.antenna_z, scfg, nullptr,
+                       &tb.start);
+  std::vector<Vec2> streamed;
+  for (const auto& o : tb.obs) {
+    dec.push(o);
+    dec.poll(streamed);
+  }
+  dec.finish(streamed);
+
+  if (streamed.size() != batch.size() || batch.empty()) return -1.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    sum += streamed[i].dist(batch[i]);
+  }
+  return sum / static_cast<double>(batch.size());
+}
+
+void run_experiment(bool smoke) {
+  const auto cfg = bench_config(smoke);
+  const int n_pens = session_count(smoke);
+  const int n_windows = smoke ? 24 : 120;
+  const std::size_t lag = 8;
+  const int reps = bench::reps_scale();
+
+  std::size_t total_obs = 0;
+  const bench::Stopwatch watch;
+  for (int r = 0; r < reps; ++r) {
+    total_obs += run_server_load(cfg, n_pens, n_windows, lag);
+  }
+  const double elapsed = watch.seconds();
+  const double obs_per_s =
+      elapsed > 0.0 ? static_cast<double>(total_obs) / elapsed : 0.0;
+
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  const obs::HistogramSnapshot* lat = snap.histogram("server.push_to_commit_s");
+  const double p50_ms = lat != nullptr ? 1e3 * lat->percentile(50.0) : 0.0;
+  const double p99_ms = lat != nullptr ? 1e3 * lat->percentile(99.0) : 0.0;
+
+  bench::record_metric("pens", n_pens);
+  bench::record_metric("windows", n_windows);
+  bench::record_metric("lag_windows", static_cast<double>(lag));
+  bench::record_metric("observations_per_s", obs_per_s);
+  bench::record_metric("push_to_commit_p50_ms", p50_ms);
+  bench::record_metric("push_to_commit_p99_ms", p99_ms);
+  std::cout << "Streaming load: " << n_pens << " pens x " << n_windows
+            << " windows (lag " << lag << ") in " << fmt(elapsed, 3)
+            << " s = " << fmt(obs_per_s, 0)
+            << " obs/s; push-to-commit p50 " << fmt(p50_ms, 3)
+            << " ms, p99 " << fmt(p99_ms, 3) << " ms.\n";
+
+  // Accuracy-vs-lag ladder: how far fixed-lag commits drift from the batch
+  // decode of the same trace. Full lag pins the bit-identity contract (0).
+  const std::vector<std::size_t> lags = {4, 8, 16};
+  for (const std::size_t l : lags) {
+    const double acc = accuracy_at_lag(cfg, n_windows, l);
+    bench::record_metric("accuracy_lag" + std::to_string(l) + "_m", acc);
+    std::cout << "Accuracy vs batch at lag " << l << ": mean deviation "
+              << fmt(acc, 4) << " m.\n";
+  }
+  const double acc_full =
+      accuracy_at_lag(cfg, n_windows, static_cast<std::size_t>(n_windows) + 1);
+  bench::record_metric("accuracy_full_lag_m", acc_full);
+  std::cout << "Accuracy vs batch at full lag: mean deviation "
+            << fmt(acc_full, 4) << " m (bit-identity contract).\n";
+}
+
+void BM_StreamingPushPoll(benchmark::State& state, bool smoke) {
+  const int n = static_cast<int>(state.range(0));
+  const auto lag = static_cast<std::size_t>(state.range(1));
+  const auto cfg = bench_config(smoke);
+  const auto tb = make_decode_testbed(cfg, n, 42);
+  const auto field =
+      std::make_shared<const PhaseField>(cfg, tb.a1, tb.a2, tb.antenna_z);
+  for (auto _ : state) {
+    StreamingConfig scfg;
+    scfg.lag_windows = lag;
+    StreamingDecoder dec(cfg, tb.a1, tb.a2, tb.antenna_z, scfg, field,
+                         &tb.start);
+    std::vector<Vec2> out;
+    for (const auto& o : tb.obs) {
+      dec.push(o);
+      dec.poll(out);
+    }
+    dec.finish(out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.counters["windows/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_ServerRound(benchmark::State& state, bool smoke) {
+  // One round-robin submit + pump across 8 live sessions; the decoders
+  // keep absorbing the same windows, which is fine for timing the pump
+  // path (arena compaction keeps per-session memory bounded).
+  const auto cfg = bench_config(smoke);
+  const int n_windows = smoke ? 16 : 64;
+  std::vector<DecodeTestbed> pens;
+  for (int p = 0; p < 8; ++p) {
+    pens.push_back(
+        make_decode_testbed(cfg, n_windows, static_cast<std::uint64_t>(p) + 1));
+  }
+  SessionServerConfig scfg;
+  scfg.stream.lag_windows = 8;
+  SessionServer server(cfg, pens[0].a1, pens[0].a2, pens[0].antenna_z, scfg);
+  for (int p = 0; p < 8; ++p) {
+    server.open(static_cast<SessionId>(p), &pens[static_cast<std::size_t>(p)].start);
+  }
+  std::size_t w = 0;
+  for (auto _ : state) {
+    for (int p = 0; p < 8; ++p) {
+      server.submit(static_cast<SessionId>(p),
+                    pens[static_cast<std::size_t>(p)].obs[w]);
+    }
+    benchmark::DoNotOptimize(server.pump());
+    w = (w + 1) % static_cast<std::size_t>(n_windows);
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Session session("streaming");
+  // The latency percentiles come from the metrics registry; enable it even
+  // outside JSON mode so the console report has real numbers (metrics are
+  // observation-only and never change decode results).
+  obs::Registry::global().set_enabled(true);
+  const bool smoke = bench::smoke_mode();
+  run_experiment(smoke);
+  if (bench::json_only_mode()) {
+    return session.write_json() ? 0 : 1;
+  }
+  const std::int64_t len = smoke ? 16 : 200;
+  for (const std::int64_t lag : {std::int64_t{4}, std::int64_t{16}}) {
+    benchmark::RegisterBenchmark(
+        "BM_StreamingPushPoll",
+        [smoke](benchmark::State& s) { BM_StreamingPushPoll(s, smoke); })
+        ->Args({len, lag})
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark(
+      "BM_ServerRound",
+      [smoke](benchmark::State& s) { BM_ServerRound(s, smoke); })
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return session.write_json() ? 0 : 1;
+}

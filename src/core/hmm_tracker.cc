@@ -1,22 +1,16 @@
 #include "core/hmm_tracker.h"
 
-// polarlint: hot-path -- no node-based hash maps in the decode loop.
+// The Viterbi hot loop lives in core/streaming_decoder.cc; the batch
+// decode below is a thin full-lag wrapper around it.
 
-#include <algorithm>
-#include <cmath>
 #include <limits>
-#include <numeric>
+#include <utility>
 
 #include "common/angles.h"
-#include "core/scoreboard.h"
-#include "obs/metrics.h"
+#include "core/streaming_decoder.h"
 #include "obs/trace.h"
 
 namespace polardraw::core {
-
-namespace {
-constexpr double kWeightFloor = 1e-6;  // keeps log-probabilities finite
-}  // namespace
 
 HmmTracker::HmmTracker(const PolarDrawConfig& cfg, Vec2 a1, Vec2 a2,
                        double antenna_z,
@@ -31,23 +25,24 @@ HmmTracker::HmmTracker(const PolarDrawConfig& cfg, Vec2 a1, Vec2 a2,
       cols_(field_->cols()),
       rows_(field_->rows()) {}
 
-Vec2 HmmTracker::initial_location(double dtheta21) const {
+Vec2 initial_location_on_field(const PolarDrawConfig& cfg,
+                               const PhaseField& field, double dtheta21) {
   // Scan the cached field for blocks whose expected inter-antenna phase
   // difference matches the measurement; among matches prefer the one
   // nearest the board center (the paper picks a point on a candidate
   // hyperbola arbitrarily -- absolute position is unobservable; only
   // trajectory shape matters).
-  const Vec2 center{cfg_.board_width_m / 2.0, cfg_.board_height_m / 2.0};
+  const Vec2 center{cfg.board_width_m / 2.0, cfg.board_height_m / 2.0};
   const double target = wrap_2pi(dtheta21);
   double best_score = std::numeric_limits<double>::infinity();
   Vec2 best = center;
-  for (int r = 0; r < rows_; ++r) {
-    for (int c = 0; c < cols_; ++c) {
-      const double mismatch = angle_dist(field_->phase_at(c, r), target);
+  for (int r = 0; r < field.rows(); ++r) {
+    for (int c = 0; c < field.cols(); ++c) {
+      const double mismatch = angle_dist(field.phase_at(c, r), target);
       // The center-distance term only adds; skip the sqrt when the phase
       // mismatch alone already loses.
       if (mismatch * 2.0 >= best_score) continue;
-      const Vec2 p = field_->block_center(c, r);
+      const Vec2 p = field.block_center(c, r);
       const double score = mismatch * 2.0 + p.dist(center);
       if (score < best_score) {
         best_score = score;
@@ -58,319 +53,31 @@ Vec2 HmmTracker::initial_location(double dtheta21) const {
   return best;
 }
 
+Vec2 HmmTracker::initial_location(double dtheta21) const {
+  return initial_location_on_field(cfg_, *field_, dtheta21);
+}
+
 std::vector<Vec2> HmmTracker::decode(const std::vector<TrackObservation>& obs,
                                      const Vec2* initial_hint) const {
   static const obs::SpanSite span_site("core.hmm_decode");
   static const obs::TraceName arg_windows("windows");
-  static const obs::TraceName window_name("hmm.window");
-  static const obs::TraceName arg_window("window");
-  static const obs::TraceName arg_occupancy("beam_occupancy");
-  obs::Tracer& tracer = obs::Tracer::global();
-  const bool tracing = tracer.enabled();
   obs::ScopedSpan span(span_site);
   span.arg(arg_windows, static_cast<double>(obs.size()));
   std::vector<Vec2> traj;
   if (obs.empty()) return traj;
 
-  // Hot-loop counters stay in plain locals (one increment each, no atomics,
-  // no enabled() check) and flush to the registry once per decode; the
-  // registry handles drop the flush when metrics are disabled.
-  std::uint64_t n_expansions = 0;    // edges surviving the annulus tests
-  std::uint64_t n_annulus_rej = 0;   // edges rejected by the annulus tests
-  std::uint64_t n_hyper_hits = 0;    // hyperbola-term cache hits
-  std::uint64_t n_hyper_misses = 0;  // hyperbola-term cache fills
-  std::uint64_t n_starved = 0;       // windows that hit the starvation hold
-  std::uint64_t n_beam_nodes = 0;    // beam survivors summed over windows
-  std::uint64_t beam_peak = 0;       // largest per-window beam occupancy
-
-  const PhaseField& field = *field_;
-
-  // --- Initial state -------------------------------------------------------
-  Vec2 start{cfg_.board_width_m / 2.0, cfg_.board_height_m / 2.0};
-  if (initial_hint != nullptr) {
-    start = *initial_hint;
-  } else {
-    for (const auto& o : obs) {
-      if (o.has_phase) {
-        start = initial_location(o.distance.dtheta21);
-        break;
-      }
-    }
-  }
-  const int c0 = std::clamp(static_cast<int>(start.x / cfg_.block_m), 0,
-                            cols_ - 1);
-  const int r0 = std::clamp(static_cast<int>(start.y / cfg_.block_m), 0,
-                            rows_ - 1);
-
-  // --- Beam arena ----------------------------------------------------------
-  // All surviving nodes of all steps, flat SoA; `parent` is an absolute
-  // arena index so the backtrace never touches per-step containers.
-  std::vector<std::int32_t> node_cell;
-  std::vector<float> node_logp;
-  std::vector<std::int32_t> node_parent;
-  node_cell.push_back(r0 * cols_ + c0);
-  node_logp.push_back(0.0f);
-  node_parent.push_back(-1);
-  std::size_t prev_begin = 0, prev_end = 1;
-
-  // Scratch reused across windows: candidate SoA for the step being built,
-  // the best-candidate-per-cell scoreboard, the per-window hyperbola-term
-  // cache (the term depends only on the destination cell, so it is shared
-  // by every incoming edge), and the pruning index buffer.
-  const std::size_t n_cells = field.cells();
-  GenerationScoreboard<std::int32_t> best_slot(n_cells);
-  GenerationScoreboard<double> hyper_term(n_cells);
-  std::vector<std::int32_t> cand_cell, cand_parent;
-  std::vector<float> cand_logp;
-  std::vector<std::int32_t> order;
-  std::vector<int> dc_lim;  // per-|dr| column reach inside the outer radius
-
-  // --- Forward pass --------------------------------------------------------
-  std::uint64_t window_index = 0;  // trace arg only, never decode state
-  for (const auto& o : obs) {
-    // Feasible annulus in blocks. An invalid (inconsistent) distance
-    // estimate degrades to "anywhere within the speed limit".
-    const double lower = o.distance.valid ? o.distance.lower_m : 0.0;
-    const double upper = std::max(
-        {o.distance.upper_m, lower, cfg_.block_m * 0.5});
-    const int reach = std::max(1, static_cast<int>(std::ceil(
-                                   upper / cfg_.block_m)));
-
-    // Per-window hoists of everything the old per-edge emission recomputed.
-    const double out_thresh = upper + 0.5 * cfg_.block_m;
-    const double quarter_block = 0.25 * cfg_.block_m;
-    const bool use_hyper =
-        cfg_.use_hyperbola_constraint && o.has_phase && o.distance.valid;
-    const double meas = use_hyper ? wrap_2pi(o.distance.dtheta21) : 0.0;
-    const bool use_dir = o.direction.type != MotionType::kIdle &&
-                         o.direction.direction.norm_sq() > 0.0;
-    const Vec2 dir = o.direction.direction;
-    const double dmax = std::max(o.distance.upper_m, cfg_.block_m);
-    const double back_thresh = -0.25 * cfg_.block_m;
-    const bool idle_step_penalty =
-        o.direction.type == MotionType::kIdle && upper > 0.0;
-
-    // Integer annulus bound: a candidate |dc| blocks away horizontally and
-    // |dr| vertically is at least ~sqrt(dc^2+dr^2) blocks out, so columns
-    // beyond this limit cannot pass the exact outer-radius test below (the
-    // +1 absorbs block-center rounding). Rows stay within [-reach, reach].
-    const double r_blocks = out_thresh / cfg_.block_m;
-    dc_lim.assign(static_cast<std::size_t>(reach) + 1, 0);
-    for (int dr = 0; dr <= reach; ++dr) {
-      const double rem = r_blocks * r_blocks - static_cast<double>(dr) * dr;
-      dc_lim[static_cast<std::size_t>(dr)] =
-          rem <= 0.0 ? 0
-                     : std::min(reach, static_cast<int>(std::sqrt(rem)) + 1);
-    }
-
-    best_slot.clear();
-    hyper_term.clear();
-    cand_cell.clear();
-    cand_logp.clear();
-    cand_parent.clear();
-
-    for (std::size_t a = prev_begin; a < prev_end; ++a) {
-      const std::int32_t pcell = node_cell[a];
-      const int pr = pcell / cols_;
-      const int pc = pcell % cols_;
-      const float plp = node_logp[a];
-      const double fx = field.center_x(pc);
-      const double fy = field.center_y(pr);
-      const int dr_lo = std::max(-reach, -pr);
-      const int dr_hi = std::min(reach, rows_ - 1 - pr);
-      for (int dr = dr_lo; dr <= dr_hi; ++dr) {
-        const int nr = pr + dr;
-        const double ty = field.center_y(nr);
-        const double ddy = fy - ty;
-        const int lim = dc_lim[static_cast<std::size_t>(dr < 0 ? -dr : dr)];
-        const int dc_lo = std::max(-lim, -pc);
-        const int dc_hi = std::min(lim, cols_ - 1 - pc);
-        const std::int32_t row_base = nr * cols_;
-        for (int dc = dc_lo; dc <= dc_hi; ++dc) {
-          const int nc = pc + dc;
-          const double tx = field.center_x(nc);
-          const double ddx = fx - tx;
-          const double step = std::sqrt(ddx * ddx + ddy * ddy);
-          // Annulus membership (Eq. 8); allow a quarter-block tolerance so
-          // the discretization cannot strand the chain, while keeping the
-          // lower bound binding (it is the phase-derived minimum motion).
-          if (step > out_thresh) {
-            ++n_annulus_rej;
-            continue;
-          }
-          if (step + quarter_block < lower) {
-            ++n_annulus_rej;
-            continue;
-          }
-          ++n_expansions;
-
-          const std::size_t ncell = static_cast<std::size_t>(row_base + nc);
-          // Hyperbola term of Eq. 11: 1 - |dtheta_meas - dtheta(x,y)| /
-          // (4*pi), compared circularly against the cached field.
-          double w;
-          if (use_hyper) {
-            if (hyper_term.contains(ncell)) {
-              ++n_hyper_hits;
-              w = hyper_term.get(ncell);
-            } else {
-              ++n_hyper_misses;
-              const double mismatch =
-                  angle_dist(field.phase_at_cell(ncell), meas);
-              const double term =
-                  std::max(1.0 - mismatch / (4.0 * kPi), kWeightFloor);
-              w = cfg_.hyperbola_sharpness == 1.0
-                      ? term
-                      : std::pow(term, cfg_.hyperbola_sharpness);
-              hyper_term.put(ncell, w);
-            }
-          } else {
-            w = 1.0;
-          }
-
-          // Direction-line term of Eq. 11: perpendicular distance from the
-          // candidate to the line through the previous location along the
-          // estimated moving direction, normalized by the max displacement.
-          if (use_dir) {
-            const double rx = tx - fx;
-            const double ry = ty - fy;
-            const double perp = std::fabs(rx * dir.y - ry * dir.x);
-            double term = std::max(1.0 - perp / dmax, kWeightFloor);
-            // Half-plane preference: candidates behind the motion direction
-            // are inconsistent with the estimated heading.
-            if (rx * dir.x + ry * dir.y < back_thresh) term *= 0.25;
-            w *= term;
-          }
-
-          if (idle_step_penalty) {
-            // No direction estimate this window: tie-break toward small
-            // steps (an undetected motion is a small motion), otherwise
-            // the annulus blocks tie -- exactly along the hyperbola when
-            // phase is present, everywhere when it is not -- and the
-            // argmax drifts.
-            const double frac = step / upper;
-            w *= std::exp(-cfg_.unobserved_step_penalty * frac * frac);
-          }
-
-          const float lp = plp + static_cast<float>(
-                                     std::log(std::max(w, kWeightFloor)));
-          if (!best_slot.contains(ncell)) {
-            best_slot.put(ncell,
-                          static_cast<std::int32_t>(cand_cell.size()));
-            cand_cell.push_back(static_cast<std::int32_t>(ncell));
-            cand_logp.push_back(lp);
-            cand_parent.push_back(static_cast<std::int32_t>(a));
-          } else {
-            const std::int32_t slot = best_slot.get(ncell);
-            if (lp > cand_logp[static_cast<std::size_t>(slot)]) {
-              cand_logp[static_cast<std::size_t>(slot)] = lp;
-              cand_parent[static_cast<std::size_t>(slot)] =
-                  static_cast<std::int32_t>(a);
-            }
-          }
-        }
-      }
-    }
-
-    if (cand_cell.empty()) {
-      ++n_starved;
-      // Chain starved (e.g. all motion rejected) -- hold the most probable
-      // surviving state. (Pre-PR2 this held prev.front(), which after
-      // nth_element pruning is an arbitrary survivor.)
-      std::size_t best = prev_begin;
-      for (std::size_t a = prev_begin + 1; a < prev_end; ++a) {
-        if (node_logp[a] > node_logp[best]) best = a;
-      }
-      cand_cell.push_back(node_cell[best]);
-      cand_logp.push_back(node_logp[best]);
-      cand_parent.push_back(static_cast<std::int32_t>(best));
-    }
-
-    // Beam pruning: keep the most probable states. Selection runs on an
-    // index buffer so the SoA candidate arrays are gathered once.
-    const std::size_t n_cand = cand_cell.size();
-    const std::size_t new_begin = node_cell.size();
-    if (n_cand > cfg_.beam_width) {
-      order.resize(n_cand);
-      std::iota(order.begin(), order.end(), 0);
-      std::nth_element(
-          order.begin(),
-          order.begin() + static_cast<std::ptrdiff_t>(cfg_.beam_width),
-          order.end(), [&](std::int32_t x, std::int32_t y) {
-            return cand_logp[static_cast<std::size_t>(x)] >
-                   cand_logp[static_cast<std::size_t>(y)];
-          });
-      for (std::size_t i = 0; i < cfg_.beam_width; ++i) {
-        const auto s = static_cast<std::size_t>(order[i]);
-        node_cell.push_back(cand_cell[s]);
-        node_logp.push_back(cand_logp[s]);
-        node_parent.push_back(cand_parent[s]);
-      }
-    } else {
-      node_cell.insert(node_cell.end(), cand_cell.begin(), cand_cell.end());
-      node_logp.insert(node_logp.end(), cand_logp.begin(), cand_logp.end());
-      node_parent.insert(node_parent.end(), cand_parent.begin(),
-                         cand_parent.end());
-    }
-    if (!cfg_.use_viterbi && node_cell.size() - new_begin > 1) {
-      // Greedy ablation: collapse the beam to the single best state.
-      std::size_t best = new_begin;
-      for (std::size_t a = new_begin + 1; a < node_cell.size(); ++a) {
-        if (node_logp[a] > node_logp[best]) best = a;
-      }
-      node_cell[new_begin] = node_cell[best];
-      node_logp[new_begin] = node_logp[best];
-      node_parent[new_begin] = node_parent[best];
-      node_cell.resize(new_begin + 1);
-      node_logp.resize(new_begin + 1);
-      node_parent.resize(new_begin + 1);
-    }
-    prev_begin = new_begin;
-    prev_end = node_cell.size();
-    const std::uint64_t occupancy = prev_end - prev_begin;
-    n_beam_nodes += occupancy;
-    if (occupancy > beam_peak) beam_peak = occupancy;
-    if (tracing) {
-      // One instant per decoded window: where the beam stands on the
-      // timeline. Recording only -- the decode state never reads it.
-      tracer.instant(window_name.id(), arg_window.id(),
-                     static_cast<double>(window_index), arg_occupancy.id(),
-                     static_cast<double>(occupancy));
-    }
-    ++window_index;
-  }
-
-  {
-    static const obs::Counter windows_counter("hmm.windows");
-    static const obs::Counter expansions_counter("hmm.beam_expansions");
-    static const obs::Counter nodes_counter("hmm.beam_nodes");
-    static const obs::Counter annulus_counter("hmm.annulus_rejected");
-    static const obs::Counter hyper_hits_counter("hmm.hyper_cache_hits");
-    static const obs::Counter hyper_misses_counter("hmm.hyper_cache_misses");
-    static const obs::Counter starved_counter("hmm.starved_windows");
-    static const obs::Gauge occupancy_gauge("hmm.beam_occupancy_peak");
-    windows_counter.add(obs.size());
-    expansions_counter.add(n_expansions);
-    nodes_counter.add(n_beam_nodes);
-    annulus_counter.add(n_annulus_rej);
-    hyper_hits_counter.add(n_hyper_hits);
-    hyper_misses_counter.add(n_hyper_misses);
-    starved_counter.add(n_starved);
-    occupancy_gauge.set_max(static_cast<double>(beam_peak));
-  }
-
-  // --- Backtrace -----------------------------------------------------------
-  std::size_t best = prev_begin;
-  for (std::size_t a = prev_begin + 1; a < prev_end; ++a) {
-    if (node_logp[a] > node_logp[best]) best = a;
-  }
-  std::vector<Vec2> reversed;
-  reversed.reserve(obs.size() + 1);
-  for (std::int32_t a = static_cast<std::int32_t>(best); a >= 0;
-       a = node_parent[static_cast<std::size_t>(a)]) {
-    const std::int32_t cell = node_cell[static_cast<std::size_t>(a)];
-    reversed.push_back(field.block_center(cell % cols_, cell / cols_));
-  }
-  traj.assign(reversed.rbegin(), reversed.rend());
+  // The batch decode is the streaming decoder run with a lag longer than
+  // the sequence: nothing commits until finish(), whose final backtrace is
+  // exactly the classic Viterbi backtrace. Keeping a single forward-pass
+  // implementation is what makes the fixed-lag equivalence contract
+  // (tests/core/test_streaming_decoder.cc) hold bit for bit.
+  StreamingConfig scfg;
+  scfg.lag_windows = obs.size() + 1;
+  StreamingDecoder decoder(cfg_, a1_, a2_, antenna_z_, scfg, field_,
+                           initial_hint);
+  for (const TrackObservation& o : obs) decoder.push(o);
+  traj.reserve(obs.size() + 1);
+  decoder.finish(traj);
   return traj;
 }
 

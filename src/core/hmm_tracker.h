@@ -44,6 +44,14 @@ struct TrackObservation {
   bool has_phase = false;  // both antennas had valid phase this window
 };
 
+/// Hyperbolic bootstrap shared by the batch and streaming decoders
+/// (section 3.5 "Initial location estimation"): picks a board point whose
+/// expected inter-antenna phase difference matches `dtheta21`, preferring
+/// points near the board center. Deterministic; absolute position is
+/// unobservable from two antennas, so any consistent point serves.
+Vec2 initial_location_on_field(const PolarDrawConfig& cfg,
+                               const PhaseField& field, double dtheta21);
+
 class HmmTracker {
  public:
   /// `a1`, `a2`: antenna positions projected on the board plane;

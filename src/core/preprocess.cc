@@ -114,6 +114,7 @@ std::vector<Window> preprocess(const rfid::TagReportStream& reports,
   // readings -- invalidate them. Surviving samples are unwrapped into a
   // continuous series per antenna.
   std::uint64_t rejected = 0;
+  std::uint64_t nonmonotone = 0;
   for (int a = 0; a < 2; ++a) {
     bool have_prev = false;
     double prev_wrapped = 0.0;
@@ -151,13 +152,16 @@ std::vector<Window> preprocess(const rfid::TagReportStream& reports,
       prev_wrapped = wrapped;
       prev_index = win.index;
       prev_channel = win.channel[a];
-      win.phase_rad[a] = unwrapper.push(wrapped);
+      win.phase_rad[a] = unwrapper.push_at(wrapped, win.t_s);
     }
+    nonmonotone += unwrapper.nonmonotone_rejected();
   }
   static const obs::Counter windows_counter("preprocess.windows");
   static const obs::Counter rejected_counter("preprocess.phase_rejected");
+  static const obs::Counter nonmonotone_counter("preprocess.nonmonotone_reports");
   windows_counter.add(out.size());
   rejected_counter.add(rejected);
+  nonmonotone_counter.add(nonmonotone);
   return out;
 }
 

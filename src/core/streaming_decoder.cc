@@ -1,0 +1,419 @@
+#include "core/streaming_decoder.h"
+
+// polarlint: hot-path -- no node-based hash maps in the decode loop.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/angles.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace polardraw::core {
+
+namespace {
+constexpr double kWeightFloor = 1e-6;  // keeps log-probabilities finite
+}  // namespace
+
+StreamingDecoder::StreamingDecoder(const PolarDrawConfig& cfg, Vec2 a1,
+                                   Vec2 a2, double antenna_z,
+                                   StreamingConfig stream_cfg,
+                                   std::shared_ptr<const PhaseField> field,
+                                   const Vec2* initial_hint)
+    : cfg_(cfg),
+      stream_cfg_(stream_cfg),
+      field_(field != nullptr
+                 ? std::move(field)
+                 : std::make_shared<const PhaseField>(cfg, a1, a2, antenna_z)),
+      cols_(field_->cols()),
+      rows_(field_->rows()),
+      best_slot_(field_->cells()),
+      hyper_term_(field_->cells()) {
+  stream_cfg_.lag_windows = std::max<std::size_t>(stream_cfg_.lag_windows, 1);
+  if (initial_hint != nullptr) {
+    seed_at(*initial_hint, 0);
+  }
+}
+
+StreamingDecoder::~StreamingDecoder() { flush_metrics(); }
+
+void StreamingDecoder::seed_at(Vec2 start, std::size_t prefix_windows) {
+  const int c0 = std::clamp(static_cast<int>(start.x / cfg_.block_m), 0,
+                            cols_ - 1);
+  const int r0 = std::clamp(static_cast<int>(start.y / cfg_.block_m), 0,
+                            rows_ - 1);
+  seed_center_ = field_->block_center(c0, r0);
+  node_cell_.push_back(r0 * cols_ + c0);
+  node_logp_.push_back(0.0f);
+  node_parent_.push_back(-1);
+  prev_begin_ = 0;
+  prev_end_ = 1;
+  step_begin_.push_back(0);
+  arena_base_out_ = prefix_windows;
+  seeded_ = true;
+}
+
+void StreamingDecoder::push(const TrackObservation& obs) {
+  if (finished_) return;
+  ++n_pushed_;
+  if (!seeded_) {
+    if (!obs.has_phase) {
+      // No anchor yet: buffer the window. If a phase window arrives later
+      // the prefix is backfilled with the seed position (the seed describes
+      // the pen *at* that window); finish() replays the buffer from the
+      // board center only when the whole stream stays phaseless.
+      unseeded_prefix_.push_back(obs);
+      return;
+    }
+    seed_at(initial_location_on_field(cfg_, *field_, obs.distance.dtheta21),
+            unseeded_prefix_.size());
+  }
+  step(obs, n_pushed_ - 1);
+  // Eager fixed-lag commit: freezing values at push time (rather than at
+  // poll time) makes them independent of the caller's drain cadence, which
+  // is what lets the session server stay bit-identical across worker
+  // counts.
+  const std::size_t total = n_pushed_ + 1;
+  if (total > stream_cfg_.lag_windows) {
+    commit_upto(total - stream_cfg_.lag_windows, committed_buf_);
+    maybe_compact();
+  }
+}
+
+std::size_t StreamingDecoder::poll(std::vector<Vec2>& out) {
+  const std::size_t n = committed_buf_.size();
+  out.insert(out.end(), committed_buf_.begin(), committed_buf_.end());
+  committed_buf_.clear();
+  return n;
+}
+
+std::size_t StreamingDecoder::finish(std::vector<Vec2>& out) {
+  if (!finished_) {
+    finished_ = true;
+    if (!seeded_) {
+      if (n_pushed_ == 0) {
+        flush_metrics();
+        return poll(out);
+      }
+      // Legacy fallback: the stream ended without a single phase window,
+      // so there is no hyperbola to seed from. Seed the board center and
+      // decode the buffered windows normally (this is exactly what the
+      // batch decode always did for all-phaseless sequences).
+      seed_at(Vec2{cfg_.board_width_m / 2.0, cfg_.board_height_m / 2.0}, 0);
+      for (std::size_t i = 0; i < unseeded_prefix_.size(); ++i) {
+        step(unseeded_prefix_[i], i);
+      }
+      unseeded_prefix_.clear();
+    }
+    commit_upto(n_pushed_ + 1, committed_buf_);
+    flush_metrics();
+  }
+  return poll(out);
+}
+
+std::size_t StreamingDecoder::commit_upto(std::size_t target,
+                                          std::vector<Vec2>& out) {
+  if (target <= n_committed_) return 0;
+  // Positions at or past the arena root need a backtrace from the current
+  // most probable front node; everything before the root is the backfilled
+  // seed prefix.
+  if (target > arena_base_out_) {
+    std::size_t best = prev_begin_;
+    for (std::size_t a = prev_begin_ + 1; a < prev_end_; ++a) {
+      if (node_logp_[a] > node_logp_[best]) best = a;
+    }
+    backtrace_scratch_.clear();
+    for (std::int32_t a = static_cast<std::int32_t>(best); a >= 0;
+         a = node_parent_[static_cast<std::size_t>(a)]) {
+      const std::int32_t cell = node_cell_[static_cast<std::size_t>(a)];
+      backtrace_scratch_.push_back(
+          field_->block_center(cell % cols_, cell / cols_));
+    }
+    std::reverse(backtrace_scratch_.begin(), backtrace_scratch_.end());
+  }
+  const std::size_t from = n_committed_;
+  for (std::size_t i = from; i < target; ++i) {
+    out.push_back(i < arena_base_out_
+                      ? seed_center_
+                      : backtrace_scratch_[i - arena_base_out_]);
+  }
+  n_committed_ = target;
+  return target - from;
+}
+
+void StreamingDecoder::maybe_compact() {
+  // Steps whose output position is already committed can never be read
+  // again (future commits backtrace only down to the commit frontier), so
+  // once enough of them pile up the arena prefix is dropped and parent
+  // indices rebased. The retained nodes keep their cells, log-probs, and
+  // relative order, so the forward recursion and every future commit are
+  // unchanged -- pinned by the compaction-invariance test.
+  if (n_committed_ <= arena_base_out_) return;
+  const std::size_t k = n_committed_ - arena_base_out_;
+  if (k == 0 || k >= step_begin_.size()) return;
+  const std::size_t offset = step_begin_[k];
+  if (offset <= stream_cfg_.compact_node_threshold) return;
+
+  node_cell_.erase(node_cell_.begin(),
+                   node_cell_.begin() + static_cast<std::ptrdiff_t>(offset));
+  node_logp_.erase(node_logp_.begin(),
+                   node_logp_.begin() + static_cast<std::ptrdiff_t>(offset));
+  node_parent_.erase(
+      node_parent_.begin(),
+      node_parent_.begin() + static_cast<std::ptrdiff_t>(offset));
+  const std::size_t new_root_end = step_begin_[k + 1] - offset;
+  for (std::size_t a = 0; a < node_parent_.size(); ++a) {
+    node_parent_[a] = a < new_root_end
+                          ? -1
+                          : node_parent_[a] - static_cast<std::int32_t>(offset);
+  }
+  step_begin_.erase(step_begin_.begin(),
+                    step_begin_.begin() + static_cast<std::ptrdiff_t>(k));
+  for (std::size_t& b : step_begin_) b -= offset;
+  prev_begin_ -= offset;
+  prev_end_ -= offset;
+  arena_base_out_ += k;
+}
+
+void StreamingDecoder::step(const TrackObservation& o,
+                            std::size_t window_index) {
+  static const obs::TraceName window_name("hmm.window");
+  static const obs::TraceName arg_window("window");
+  static const obs::TraceName arg_occupancy("beam_occupancy");
+  const PhaseField& field = *field_;
+
+  // Feasible annulus in blocks. An invalid (inconsistent) distance
+  // estimate degrades to "anywhere within the speed limit".
+  const double lower = o.distance.valid ? o.distance.lower_m : 0.0;
+  const double upper =
+      std::max({o.distance.upper_m, lower, cfg_.block_m * 0.5});
+  const int reach =
+      std::max(1, static_cast<int>(std::ceil(upper / cfg_.block_m)));
+
+  // Per-window hoists of everything the old per-edge emission recomputed.
+  const double out_thresh = upper + 0.5 * cfg_.block_m;
+  const double quarter_block = 0.25 * cfg_.block_m;
+  const bool use_hyper =
+      cfg_.use_hyperbola_constraint && o.has_phase && o.distance.valid;
+  const double meas = use_hyper ? wrap_2pi(o.distance.dtheta21) : 0.0;
+  const bool use_dir = o.direction.type != MotionType::kIdle &&
+                       o.direction.direction.norm_sq() > 0.0;
+  const Vec2 dir = o.direction.direction;
+  const double dmax = std::max(o.distance.upper_m, cfg_.block_m);
+  const double back_thresh = -0.25 * cfg_.block_m;
+  const bool idle_step_penalty =
+      o.direction.type == MotionType::kIdle && upper > 0.0;
+
+  // Integer annulus bound: a candidate |dc| blocks away horizontally and
+  // |dr| vertically is at least ~sqrt(dc^2+dr^2) blocks out, so columns
+  // beyond this limit cannot pass the exact outer-radius test below (the
+  // +1 absorbs block-center rounding). Rows stay within [-reach, reach].
+  const double r_blocks = out_thresh / cfg_.block_m;
+  dc_lim_.assign(static_cast<std::size_t>(reach) + 1, 0);
+  for (int dr = 0; dr <= reach; ++dr) {
+    const double rem = r_blocks * r_blocks - static_cast<double>(dr) * dr;
+    dc_lim_[static_cast<std::size_t>(dr)] =
+        rem <= 0.0 ? 0
+                   : std::min(reach, static_cast<int>(std::sqrt(rem)) + 1);
+  }
+
+  best_slot_.clear();
+  hyper_term_.clear();
+  cand_cell_.clear();
+  cand_logp_.clear();
+  cand_parent_.clear();
+
+  for (std::size_t a = prev_begin_; a < prev_end_; ++a) {
+    const std::int32_t pcell = node_cell_[a];
+    const int pr = pcell / cols_;
+    const int pc = pcell % cols_;
+    const float plp = node_logp_[a];
+    const double fx = field.center_x(pc);
+    const double fy = field.center_y(pr);
+    const int dr_lo = std::max(-reach, -pr);
+    const int dr_hi = std::min(reach, rows_ - 1 - pr);
+    for (int dr = dr_lo; dr <= dr_hi; ++dr) {
+      const int nr = pr + dr;
+      const double ty = field.center_y(nr);
+      const double ddy = fy - ty;
+      const int lim = dc_lim_[static_cast<std::size_t>(dr < 0 ? -dr : dr)];
+      const int dc_lo = std::max(-lim, -pc);
+      const int dc_hi = std::min(lim, cols_ - 1 - pc);
+      const std::int32_t row_base = nr * cols_;
+      for (int dc = dc_lo; dc <= dc_hi; ++dc) {
+        const int nc = pc + dc;
+        const double tx = field.center_x(nc);
+        const double ddx = fx - tx;
+        const double step_m = std::sqrt(ddx * ddx + ddy * ddy);
+        // Annulus membership (Eq. 8); allow a quarter-block tolerance so
+        // the discretization cannot strand the chain, while keeping the
+        // lower bound binding (it is the phase-derived minimum motion).
+        if (step_m > out_thresh) {
+          ++n_annulus_rej_;
+          continue;
+        }
+        if (step_m + quarter_block < lower) {
+          ++n_annulus_rej_;
+          continue;
+        }
+        ++n_expansions_;
+
+        const std::size_t ncell = static_cast<std::size_t>(row_base + nc);
+        // Hyperbola term of Eq. 11: 1 - |dtheta_meas - dtheta(x,y)| /
+        // (4*pi), compared circularly against the cached field.
+        double w;
+        if (use_hyper) {
+          if (hyper_term_.contains(ncell)) {
+            ++n_hyper_hits_;
+            w = hyper_term_.get(ncell);
+          } else {
+            ++n_hyper_misses_;
+            const double mismatch =
+                angle_dist(field.phase_at_cell(ncell), meas);
+            const double term =
+                std::max(1.0 - mismatch / (4.0 * kPi), kWeightFloor);
+            w = cfg_.hyperbola_sharpness == 1.0
+                    ? term
+                    : std::pow(term, cfg_.hyperbola_sharpness);
+            hyper_term_.put(ncell, w);
+          }
+        } else {
+          w = 1.0;
+        }
+
+        // Direction-line term of Eq. 11: perpendicular distance from the
+        // candidate to the line through the previous location along the
+        // estimated moving direction, normalized by the max displacement.
+        if (use_dir) {
+          const double rx = tx - fx;
+          const double ry = ty - fy;
+          const double perp = std::fabs(rx * dir.y - ry * dir.x);
+          double term = std::max(1.0 - perp / dmax, kWeightFloor);
+          // Half-plane preference: candidates behind the motion direction
+          // are inconsistent with the estimated heading.
+          if (rx * dir.x + ry * dir.y < back_thresh) term *= 0.25;
+          w *= term;
+        }
+
+        if (idle_step_penalty) {
+          // No direction estimate this window: tie-break toward small
+          // steps (an undetected motion is a small motion), otherwise
+          // the annulus blocks tie -- exactly along the hyperbola when
+          // phase is present, everywhere when it is not -- and the
+          // argmax drifts.
+          const double frac = step_m / upper;
+          w *= std::exp(-cfg_.unobserved_step_penalty * frac * frac);
+        }
+
+        const float lp =
+            plp + static_cast<float>(std::log(std::max(w, kWeightFloor)));
+        if (!best_slot_.contains(ncell)) {
+          best_slot_.put(ncell, static_cast<std::int32_t>(cand_cell_.size()));
+          cand_cell_.push_back(static_cast<std::int32_t>(ncell));
+          cand_logp_.push_back(lp);
+          cand_parent_.push_back(static_cast<std::int32_t>(a));
+        } else {
+          const std::int32_t slot = best_slot_.get(ncell);
+          if (lp > cand_logp_[static_cast<std::size_t>(slot)]) {
+            cand_logp_[static_cast<std::size_t>(slot)] = lp;
+            cand_parent_[static_cast<std::size_t>(slot)] =
+                static_cast<std::int32_t>(a);
+          }
+        }
+      }
+    }
+  }
+
+  if (cand_cell_.empty()) {
+    ++n_starved_;
+    // Chain starved (e.g. all motion rejected) -- hold the most probable
+    // surviving state. (Pre-PR2 this held prev.front(), which after
+    // nth_element pruning is an arbitrary survivor.)
+    std::size_t best = prev_begin_;
+    for (std::size_t a = prev_begin_ + 1; a < prev_end_; ++a) {
+      if (node_logp_[a] > node_logp_[best]) best = a;
+    }
+    cand_cell_.push_back(node_cell_[best]);
+    cand_logp_.push_back(node_logp_[best]);
+    cand_parent_.push_back(static_cast<std::int32_t>(best));
+  }
+
+  // Beam pruning: keep the most probable states. Selection runs on an
+  // index buffer so the SoA candidate arrays are gathered once.
+  const std::size_t n_cand = cand_cell_.size();
+  const std::size_t new_begin = node_cell_.size();
+  if (n_cand > cfg_.beam_width) {
+    order_.resize(n_cand);
+    std::iota(order_.begin(), order_.end(), 0);
+    std::nth_element(
+        order_.begin(),
+        order_.begin() + static_cast<std::ptrdiff_t>(cfg_.beam_width),
+        order_.end(), [&](std::int32_t x, std::int32_t y) {
+          return cand_logp_[static_cast<std::size_t>(x)] >
+                 cand_logp_[static_cast<std::size_t>(y)];
+        });
+    for (std::size_t i = 0; i < cfg_.beam_width; ++i) {
+      const auto s = static_cast<std::size_t>(order_[i]);
+      node_cell_.push_back(cand_cell_[s]);
+      node_logp_.push_back(cand_logp_[s]);
+      node_parent_.push_back(cand_parent_[s]);
+    }
+  } else {
+    node_cell_.insert(node_cell_.end(), cand_cell_.begin(), cand_cell_.end());
+    node_logp_.insert(node_logp_.end(), cand_logp_.begin(), cand_logp_.end());
+    node_parent_.insert(node_parent_.end(), cand_parent_.begin(),
+                        cand_parent_.end());
+  }
+  if (!cfg_.use_viterbi && node_cell_.size() - new_begin > 1) {
+    // Greedy ablation: collapse the beam to the single best state.
+    std::size_t best = new_begin;
+    for (std::size_t a = new_begin + 1; a < node_cell_.size(); ++a) {
+      if (node_logp_[a] > node_logp_[best]) best = a;
+    }
+    node_cell_[new_begin] = node_cell_[best];
+    node_logp_[new_begin] = node_logp_[best];
+    node_parent_[new_begin] = node_parent_[best];
+    node_cell_.resize(new_begin + 1);
+    node_logp_.resize(new_begin + 1);
+    node_parent_.resize(new_begin + 1);
+  }
+  prev_begin_ = new_begin;
+  prev_end_ = node_cell_.size();
+  step_begin_.push_back(new_begin);
+  const std::uint64_t occupancy = prev_end_ - prev_begin_;
+  n_beam_nodes_ += occupancy;
+  if (occupancy > beam_peak_) beam_peak_ = occupancy;
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    // One instant per decoded window: where the beam stands on the
+    // timeline. Recording only -- the decode state never reads it.
+    tracer.instant(window_name.id(), arg_window.id(),
+                   static_cast<double>(window_index), arg_occupancy.id(),
+                   static_cast<double>(occupancy));
+  }
+}
+
+void StreamingDecoder::flush_metrics() {
+  if (metrics_flushed_) return;
+  metrics_flushed_ = true;
+  static const obs::Counter windows_counter("hmm.windows");
+  static const obs::Counter expansions_counter("hmm.beam_expansions");
+  static const obs::Counter nodes_counter("hmm.beam_nodes");
+  static const obs::Counter annulus_counter("hmm.annulus_rejected");
+  static const obs::Counter hyper_hits_counter("hmm.hyper_cache_hits");
+  static const obs::Counter hyper_misses_counter("hmm.hyper_cache_misses");
+  static const obs::Counter starved_counter("hmm.starved_windows");
+  static const obs::Gauge occupancy_gauge("hmm.beam_occupancy_peak");
+  windows_counter.add(n_pushed_);
+  expansions_counter.add(n_expansions_);
+  nodes_counter.add(n_beam_nodes_);
+  annulus_counter.add(n_annulus_rej_);
+  hyper_hits_counter.add(n_hyper_hits_);
+  hyper_misses_counter.add(n_hyper_misses_);
+  starved_counter.add(n_starved_);
+  occupancy_gauge.set_max(static_cast<double>(beam_peak_));
+}
+
+}  // namespace polardraw::core

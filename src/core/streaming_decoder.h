@@ -1,0 +1,173 @@
+// Fixed-lag streaming Viterbi decoder (DESIGN.md section 13).
+//
+// The batch tracker (core/hmm_tracker.h) sees the whole observation
+// sequence before it decodes; a live whiteboard cannot wait for the pen to
+// stop. This class runs the same forward recursion -- same SoA beam arena,
+// same generation-stamped scoreboards, same annulus/hyperbola/direction
+// emission, same pruning and tie-breaks -- but accepts one TrackObservation
+// at a time via push() and releases pen positions with bounded latency via
+// poll(): a position is committed once the beam front has advanced at
+// least `lag_windows` past it, by backtracing from the current most
+// probable front node. Committed positions are frozen -- they are emitted
+// exactly once and never revised.
+//
+// Internal state is retained across pushes, so history is never
+// re-decoded: the arena only grows at the front, and once positions
+// commit, the arena prefix behind the commit frontier is compacted away
+// (absolute parent indices rebased, frontier nodes become roots), keeping
+// a session's memory proportional to the lag rather than the stroke
+// length.
+//
+// Equivalence contract, pinned by tests/core/test_streaming_decoder.cc:
+// with lag >= the sequence length, push-all + finish() is bit-identical to
+// HmmTracker::decode (which is itself implemented as exactly that loop).
+// Smaller lags trade accuracy for latency; the tolerance ladder in the
+// same test bounds the degradation.
+//
+// Seeding follows the tracker contract: an initial_hint seeds immediately;
+// otherwise the decoder waits for the first has_phase observation, seeds
+// from its hyperbola field, and backfills the phaseless prefix with the
+// seed position (the seed describes the pen *at* that first phase window,
+// so decoding the prefix from it -- what the batch tracker used to do --
+// let the chain drift off the measured hyperbola before the anchor
+// arrived). A stream that ends without any phase observation falls back to
+// the legacy board-center seed and decodes the buffered windows normally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/vec.h"
+#include "core/config.h"
+#include "core/hmm_tracker.h"
+#include "core/phase_field.h"
+#include "core/scoreboard.h"
+
+namespace polardraw::core {
+
+/// Streaming-specific knobs; the tracking parameters come from
+/// PolarDrawConfig as in the batch path.
+struct StreamingConfig {
+  /// Commit lag L in windows (clamped to >= 1): poll() freezes positions
+  /// at least L windows behind the beam front. A lag >= the sequence
+  /// length reproduces the batch decode bit for bit; smaller lags bound
+  /// push-to-commit latency at the cost of commit accuracy.
+  std::size_t lag_windows = 16;
+  /// Arena nodes allowed behind the commit frontier before the arena is
+  /// compacted. Smaller values bound memory tighter at the cost of more
+  /// frequent rebase passes; compaction never changes emitted positions.
+  std::size_t compact_node_threshold = 4096;
+};
+
+class StreamingDecoder {
+ public:
+  /// Same geometry contract as HmmTracker; `field` optionally shares a
+  /// pre-built phase-difference cache across sessions. `initial_hint`
+  /// (when non-null) seeds the chain immediately, as in the batch decode.
+  StreamingDecoder(const PolarDrawConfig& cfg, Vec2 a1, Vec2 a2,
+                   double antenna_z, StreamingConfig stream_cfg = {},
+                   std::shared_ptr<const PhaseField> field = nullptr,
+                   const Vec2* initial_hint = nullptr);
+  StreamingDecoder(const StreamingDecoder&) = delete;
+  StreamingDecoder& operator=(const StreamingDecoder&) = delete;
+  ~StreamingDecoder();  // flushes the hmm.* metric counters if needed
+
+  /// Feeds the next window's observation. One forward Viterbi step (or a
+  /// buffered no-op while the decoder is still waiting for its seed).
+  void push(const TrackObservation& obs);
+
+  /// Drains every committed-but-undelivered block-center position into
+  /// `out` and returns how many were appended. Position i (0 = the
+  /// seed/root, i >= 1 = the state after window i-1) commits once
+  /// `pushed() + 1 - i > lag_windows`; it is valued at push time by
+  /// backtracing from the then-best front node, so the emitted positions
+  /// do not depend on how often the caller polls.
+  std::size_t poll(std::vector<Vec2>& out);
+
+  /// Commits everything that remains (the batch-equivalent tail), flushes
+  /// the metric counters, and returns the number of appended positions.
+  /// After finish(), push() must not be called again.
+  std::size_t finish(std::vector<Vec2>& out);
+
+  /// Windows pushed so far (including any unseeded prefix).
+  [[nodiscard]] std::size_t pushed() const { return n_pushed_; }
+  /// Positions emitted so far through poll()/finish().
+  [[nodiscard]] std::size_t committed() const { return n_committed_; }
+  /// True once the chain has a seed (hint, first phase window, or the
+  /// finish() fallback).
+  [[nodiscard]] bool seeded() const { return seeded_; }
+
+  /// Eq. 10 azimuth-correction accumulator, retained across pushes so a
+  /// session can carry the rotation-tracker correction without re-decoding
+  /// history. The decoder only stores it; the session layer applies
+  /// HmmTracker::rotate_trajectory to the full trace at close time
+  /// (committed positions are frozen, and Eq. 10 is a whole-trajectory
+  /// rotation about the centroid).
+  void accumulate_azimuth_correction(double delta_rad) {
+    azimuth_correction_rad_ += delta_rad;
+  }
+  [[nodiscard]] double azimuth_correction_rad() const {
+    return azimuth_correction_rad_;
+  }
+
+ private:
+  void seed_at(Vec2 start, std::size_t prefix_windows);
+  /// One forward Viterbi step; `window_index` is a trace arg only.
+  void step(const TrackObservation& o, std::size_t window_index);
+  /// Emits positions [n_committed_, target) from a front backtrace.
+  std::size_t commit_upto(std::size_t target, std::vector<Vec2>& out);
+  void maybe_compact();
+  void flush_metrics();
+
+  PolarDrawConfig cfg_;
+  StreamingConfig stream_cfg_;
+  std::shared_ptr<const PhaseField> field_;
+  int cols_, rows_;
+
+  // --- Seeding ------------------------------------------------------------
+  bool seeded_ = false;
+  bool finished_ = false;
+  Vec2 seed_center_;  // block center of the seed cell, once seeded
+  /// Observations buffered before the seed arrives; replayed only by the
+  /// finish() fallback (a phase window instead *backfills* them).
+  std::vector<TrackObservation> unseeded_prefix_;
+
+  // --- Beam arena (all surviving nodes of all retained steps, flat SoA) ---
+  std::vector<std::int32_t> node_cell_;
+  std::vector<float> node_logp_;
+  std::vector<std::int32_t> node_parent_;
+  std::size_t prev_begin_ = 0, prev_end_ = 0;
+  /// Arena offset where each retained step begins; step s holds the state
+  /// after output position arena_base_out_ + s.
+  std::vector<std::size_t> step_begin_;
+  /// Output-position index of the arena's root step (grows on compaction).
+  std::size_t arena_base_out_ = 0;
+
+  // --- Bookkeeping ---------------------------------------------------------
+  std::size_t n_pushed_ = 0;
+  std::size_t n_committed_ = 0;  // total ever committed, drained or not
+  double azimuth_correction_rad_ = 0.0;
+  std::vector<Vec2> committed_buf_;  // committed, awaiting poll()
+  std::vector<Vec2> backtrace_scratch_;
+
+  // Scratch reused across steps (see HmmTracker::decode history).
+  GenerationScoreboard<std::int32_t> best_slot_;
+  GenerationScoreboard<double> hyper_term_;
+  std::vector<std::int32_t> cand_cell_, cand_parent_;
+  std::vector<float> cand_logp_;
+  std::vector<std::int32_t> order_;
+  std::vector<int> dc_lim_;
+
+  // Hot-loop counters, flushed to the registry once per session.
+  bool metrics_flushed_ = false;
+  std::uint64_t n_expansions_ = 0;
+  std::uint64_t n_annulus_rej_ = 0;
+  std::uint64_t n_hyper_hits_ = 0;
+  std::uint64_t n_hyper_misses_ = 0;
+  std::uint64_t n_starved_ = 0;
+  std::uint64_t n_beam_nodes_ = 0;
+  std::uint64_t beam_peak_ = 0;
+};
+
+}  // namespace polardraw::core

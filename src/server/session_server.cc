@@ -1,0 +1,122 @@
+#include "server/session_server.h"
+
+#include <atomic>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace polardraw::server {
+
+SessionServer::SessionServer(const core::PolarDrawConfig& cfg, Vec2 a1,
+                             Vec2 a2, double antenna_z,
+                             SessionServerConfig server_cfg)
+    : cfg_(cfg),
+      a1_(a1),
+      a2_(a2),
+      antenna_z_(antenna_z),
+      field_(std::make_shared<const core::PhaseField>(cfg, a1, a2, antenna_z)),
+      server_cfg_(server_cfg),
+      pool_(server_cfg.n_workers) {}
+
+void SessionServer::open(SessionId id, const Vec2* initial_hint) {
+  static const obs::Counter opened_counter("server.sessions_opened");
+  sessions_[id] = std::make_unique<Session>(cfg_, a1_, a2_, antenna_z_,
+                                            server_cfg_.stream, field_,
+                                            initial_hint);
+  opened_counter.add(1);
+}
+
+bool SessionServer::submit(SessionId id, const core::TrackObservation& obs) {
+  static const obs::Counter obs_counter("server.observations");
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  Session& s = *it->second;
+  const auto now = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.mailbox.push_back(obs);
+    s.stamps.push_back(now);
+  }
+  obs_counter.add(1);
+  return true;
+}
+
+bool SessionServer::accumulate_azimuth_correction(SessionId id,
+                                                 double delta_rad) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  Session& s = *it->second;
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.decoder.accumulate_azimuth_correction(delta_rad);
+  return true;
+}
+
+std::size_t SessionServer::pump() {
+  static const obs::Counter commit_counter("server.commits");
+  static const obs::Histogram latency_hist("server.push_to_commit_s");
+
+  // Id-ordered list of sessions with queued work; the drain itself is
+  // order-free (sessions are independent), the ordering just keeps the
+  // schedule reproducible for tracing.
+  std::vector<Session*> active;
+  active.reserve(sessions_.size());
+  for (auto& [id, s] : sessions_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (!s->mailbox.empty()) active.push_back(s.get());
+  }
+
+  std::atomic<std::size_t> total{0};
+  pool_.parallel_for(active.size(), [&](std::size_t i) {
+    Session& s = *active[i];
+    // Hold the session mutex for the whole drain: a submit() landing
+    // mid-drain waits a moment instead of racing the stamps vector.
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const core::TrackObservation& o : s.mailbox) s.decoder.push(o);
+    s.mailbox.clear();
+    const std::size_t base = s.committed.size();
+    const std::size_t n = s.decoder.poll(s.committed);
+    if (n > 0) {
+      const auto now = Clock::now();
+      for (std::size_t p = base; p < base + n; ++p) {
+        if (p == 0) continue;  // the seed root has no originating window
+        latency_hist.observe(
+            std::chrono::duration<double>(now - s.stamps[p - 1]).count());
+      }
+      total.fetch_add(n, std::memory_order_relaxed);
+    }
+  });
+
+  const std::size_t committed = total.load(std::memory_order_relaxed);
+  commit_counter.add(committed);
+  return committed;
+}
+
+const std::vector<Vec2>& SessionServer::committed(SessionId id) const {
+  static const std::vector<Vec2> kEmpty;
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? kEmpty : it->second->committed;
+}
+
+std::vector<Vec2> SessionServer::close(SessionId id) {
+  static const obs::Counter closed_counter("server.sessions_closed");
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return {};
+  Session& s = *it->second;
+  s.decoder.finish(s.committed);
+  // Eq. 10: undo the accumulated initial-azimuth error. A whole-trajectory
+  // rotation about the centroid, so it can only run once the trace is
+  // complete -- committed positions are frozen in board frame until here.
+  // With no correction the trajectory is returned untouched: even a
+  // zero-angle rotation perturbs low bits through the centroid round trip,
+  // which would break the bit-identity contract with the batch decode.
+  const double alpha_rad = s.decoder.azimuth_correction_rad();
+  std::vector<Vec2> traj =
+      alpha_rad == 0.0
+          ? std::move(s.committed)
+          : core::HmmTracker::rotate_trajectory(s.committed, alpha_rad);
+  sessions_.erase(it);
+  closed_counter.add(1);
+  return traj;
+}
+
+}  // namespace polardraw::server

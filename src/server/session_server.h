@@ -1,0 +1,122 @@
+// Multi-session streaming decode server (DESIGN.md section 13).
+//
+// Multiplexes many concurrent pens -- each an independent fixed-lag
+// StreamingDecoder -- over one shared phase field and one thread pool. The
+// intended driver loop is a reader frontend that calls submit() as tag
+// reports arrive and pump() once per scheduling quantum: submit() only
+// appends to a per-session mailbox under that session's mutex (cheap
+// enough for an ingest thread), while pump() drains every non-empty
+// mailbox in parallel, advancing each session's decoder and collecting its
+// newly committed block-center positions.
+//
+// Determinism contract, pinned by tests/server/test_session_server.cc:
+// each session's decode is a sequential function of its own observation
+// stream, sessions share no mutable state (the phase field is read-only),
+// and the obs registry merges per-thread shards commutatively -- so
+// committed trajectories and metric aggregates are bit-identical whether
+// pump() ran on 1 worker or 8, and identical to decoding each pen in
+// isolation. Worker count changes wall-clock only.
+//
+// Threading rules: submit()/accumulate_azimuth_correction() may run
+// concurrently with pump() (per-session mutexes order them); open(),
+// close(), committed() and session_count() touch the session map and must
+// not race pump() or each other.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/vec.h"
+#include "core/config.h"
+#include "core/hmm_tracker.h"
+#include "core/phase_field.h"
+#include "core/streaming_decoder.h"
+
+namespace polardraw::server {
+
+using SessionId = std::uint64_t;
+
+struct SessionServerConfig {
+  /// Per-session fixed-lag decoder knobs (lag, compaction threshold).
+  core::StreamingConfig stream;
+  /// Pool size for pump(); defaults to POLARDRAW_THREADS / hardware.
+  int n_workers = ThreadPool::default_thread_count();
+};
+
+class SessionServer {
+ public:
+  /// One antenna pair serves every session: the phase field is built once
+  /// here and shared read-only by all decoders.
+  SessionServer(const core::PolarDrawConfig& cfg, Vec2 a1, Vec2 a2,
+                double antenna_z, SessionServerConfig server_cfg = {});
+
+  /// Starts a session; `initial_hint` optionally seeds its chain. Opening
+  /// an id that is already open replaces the old session.
+  void open(SessionId id, const Vec2* initial_hint = nullptr);
+
+  /// Enqueues one observation window into the session's mailbox; it is
+  /// decoded at the next pump(). Returns false for an unknown session.
+  bool submit(SessionId id, const core::TrackObservation& obs);
+
+  /// Feeds the session's Eq. 10 azimuth-rotation accumulator (e.g. from a
+  /// per-session rotation tracker); applied to the whole trajectory at
+  /// close(). Returns false for an unknown session.
+  bool accumulate_azimuth_correction(SessionId id, double delta_rad);
+
+  /// Drains every non-empty mailbox across the pool: pushes the queued
+  /// windows through each session's decoder and appends the newly frozen
+  /// positions to its committed trajectory. Records per-position
+  /// push-to-commit latency into the `server.push_to_commit_s` histogram.
+  /// Returns the number of positions committed across all sessions.
+  std::size_t pump();
+
+  /// Positions committed so far for a session (empty for unknown ids).
+  [[nodiscard]] const std::vector<Vec2>& committed(SessionId id) const;
+
+  /// Finishes the session's decode (committing the batch-equivalent
+  /// tail), applies the accumulated Eq. 10 rotation, erases the session,
+  /// and returns the final trajectory.
+  std::vector<Vec2> close(SessionId id);
+
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+  [[nodiscard]] int n_workers() const { return pool_.size(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Session {
+    Session(const core::PolarDrawConfig& cfg, Vec2 a1, Vec2 a2,
+            double antenna_z, const core::StreamingConfig& scfg,
+            std::shared_ptr<const core::PhaseField> field,
+            const Vec2* initial_hint)
+        : decoder(cfg, a1, a2, antenna_z, scfg, std::move(field),
+                  initial_hint) {}
+
+    core::StreamingDecoder decoder;
+    /// Guards mailbox/stamps against submit() racing this session's drain.
+    std::mutex mu;
+    std::vector<core::TrackObservation> mailbox;
+    /// Submit timestamp of every observation ever queued; output position
+    /// p (p >= 1) was created by observation p - 1, which is what makes
+    /// push-to-commit latency (including the lag wait) measurable.
+    std::vector<Clock::time_point> stamps;
+    std::vector<Vec2> committed;
+  };
+
+  core::PolarDrawConfig cfg_;
+  Vec2 a1_, a2_;
+  double antenna_z_;
+  std::shared_ptr<const core::PhaseField> field_;
+  SessionServerConfig server_cfg_;
+  ThreadPool pool_;
+  /// Ordered map so pump() visits sessions in id order -- iteration order
+  /// (and with it every aggregate) must not depend on insertion history.
+  std::map<SessionId, std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace polardraw::server

@@ -180,6 +180,40 @@ TEST(RotateTrajectory, ZeroAngleIdentity) {
   EXPECT_NEAR(r[1].y, 0.1, 1e-12);
 }
 
+TEST_F(HmmTest, PhaselessLeadingWindowsBackfilledFromFirstPhaseSeed) {
+  // No hint and the first 3 windows drop phase. The seed comes from the
+  // hyperbola field of the *first phase* window, which describes the pen
+  // at that window -- so the phaseless prefix must be backfilled with the
+  // seed rather than decoded away from it (the old behavior let the chain
+  // drift off the measured hyperbola before its anchor even applied).
+  const Vec2 target{0.12, 0.1};
+  const int tc = static_cast<int>(target.x / cfg_.block_m);
+  const int tr = static_cast<int>(target.y / cfg_.block_m);
+  const double dtheta = hmm_.field().phase_at(tc, tr);
+
+  std::vector<TrackObservation> obs;
+  for (int i = 0; i < 3; ++i) obs.push_back(move({1.0, 0.0}, 0.006));
+  for (int i = 0; i < 5; ++i) {
+    TrackObservation o;  // idle but phase-anchored
+    o.distance.upper_m = cfg_.vmax_mps * cfg_.window_s;
+    o.distance.valid = true;
+    o.has_phase = true;
+    o.distance.dtheta21 = dtheta;
+    obs.push_back(o);
+  }
+
+  const auto traj = hmm_.decode(obs);
+  ASSERT_EQ(traj.size(), 9u);
+  const Vec2 seed = hmm_.initial_location(dtheta);
+  // Root + 3 backfilled prefix positions, all pinned to the seed block.
+  for (std::size_t i = 0; i <= 3; ++i) {
+    EXPECT_NEAR(traj[i].x, seed.x, cfg_.block_m) << "position " << i;
+    EXPECT_NEAR(traj[i].y, seed.y, cfg_.block_m) << "position " << i;
+    EXPECT_EQ(traj[i].x, traj[0].x) << "position " << i;
+    EXPECT_EQ(traj[i].y, traj[0].y) << "position " << i;
+  }
+}
+
 TEST(GreedyAblation, ProducesSameLengthTrajectory) {
   PolarDrawConfig cfg = small_config();
   cfg.use_viterbi = false;

@@ -1,0 +1,240 @@
+// Fixed-lag equivalence suite for the streaming decoder (DESIGN.md §13).
+//
+// The contract under test: with lag >= sequence length, push-all +
+// finish() is bit-identical to the batch HmmTracker::decode on the same
+// observations (same testbed configs as tests/core/test_hmm_golden.cc);
+// committed positions are frozen at push time, so the emitted stream does
+// not depend on poll cadence and an already-polled prefix never changes;
+// arena compaction is invisible in the output; and shrinking the lag
+// degrades commit accuracy in a bounded (tolerance-laddered) way.
+#include "core/streaming_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/decode_testbed.h"
+#include "core/hmm_tracker.h"
+
+namespace polardraw::core {
+namespace {
+
+struct GoldenCase {
+  PolarDrawConfig cfg;
+  int n_windows;
+  std::uint64_t seed;
+  bool use_hint;
+};
+
+std::vector<GoldenCase> golden_cases() {
+  std::vector<GoldenCase> cases;
+  cases.push_back({PolarDrawConfig{}, 100, 1, true});
+  cases.push_back({PolarDrawConfig{}, 100, 2, false});
+  PolarDrawConfig small;
+  small.board_width_m = 0.5;
+  small.board_height_m = 0.4;
+  small.block_m = 0.005;
+  small.beam_width = 200;
+  small.hyperbola_sharpness = 1.0;
+  cases.push_back({small, 80, 3, true});
+  PolarDrawConfig greedy;
+  greedy.use_viterbi = false;
+  cases.push_back({greedy, 60, 4, true});
+  return cases;
+}
+
+/// Streams the testbed through a decoder with the given lag, polling after
+/// every push, and returns the full committed trajectory.
+std::vector<Vec2> stream_decode(const GoldenCase& gc, std::size_t lag,
+                                std::size_t compact_threshold = 4096) {
+  const auto tb = make_decode_testbed(gc.cfg, gc.n_windows, gc.seed);
+  StreamingConfig scfg;
+  scfg.lag_windows = lag;
+  scfg.compact_node_threshold = compact_threshold;
+  StreamingDecoder dec(gc.cfg, tb.a1, tb.a2, tb.antenna_z, scfg, nullptr,
+                       gc.use_hint ? &tb.start : nullptr);
+  std::vector<Vec2> out;
+  for (const auto& o : tb.obs) {
+    dec.push(o);
+    dec.poll(out);
+  }
+  dec.finish(out);
+  return out;
+}
+
+void expect_bit_identical(const std::vector<Vec2>& a,
+                          const std::vector<Vec2>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x) << "position " << i;
+    EXPECT_EQ(a[i].y, b[i].y) << "position " << i;
+  }
+}
+
+double mean_deviation(const std::vector<Vec2>& a, const std::vector<Vec2>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i].dist(b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+TEST(StreamingDecoder, LagAtLeastLenBitIdenticalToBatchOnGoldenTraces) {
+  for (const GoldenCase& gc : golden_cases()) {
+    const auto tb = make_decode_testbed(gc.cfg, gc.n_windows, gc.seed);
+    const HmmTracker hmm(gc.cfg, tb.a1, tb.a2, tb.antenna_z);
+    const auto batch = hmm.decode(tb.obs, gc.use_hint ? &tb.start : nullptr);
+    const auto streamed =
+        stream_decode(gc, static_cast<std::size_t>(gc.n_windows));
+    expect_bit_identical(streamed, batch);
+  }
+}
+
+TEST(StreamingDecoder, PollCadenceDoesNotChangeCommittedValues) {
+  const GoldenCase gc{PolarDrawConfig{}, 100, 1, true};
+  const auto tb = make_decode_testbed(gc.cfg, gc.n_windows, gc.seed);
+  StreamingConfig scfg;
+  scfg.lag_windows = 8;
+
+  // Cadence A: poll after every push. Cadence B: poll once at the end.
+  StreamingDecoder every(gc.cfg, tb.a1, tb.a2, tb.antenna_z, scfg, nullptr,
+                         &tb.start);
+  StreamingDecoder once(gc.cfg, tb.a1, tb.a2, tb.antenna_z, scfg, nullptr,
+                        &tb.start);
+  std::vector<Vec2> out_every, out_once;
+  for (const auto& o : tb.obs) {
+    every.push(o);
+    every.poll(out_every);
+    once.push(o);
+  }
+  every.finish(out_every);
+  once.finish(out_once);
+  expect_bit_identical(out_every, out_once);
+}
+
+TEST(StreamingDecoder, PolledPrefixIsStable) {
+  // Positions already drained by poll() must reappear nowhere: finish()
+  // only appends, so the concatenated incremental stream *is* the final
+  // trajectory prefix by prefix.
+  const GoldenCase gc{PolarDrawConfig{}, 100, 2, false};
+  const auto tb = make_decode_testbed(gc.cfg, gc.n_windows, gc.seed);
+  StreamingConfig scfg;
+  scfg.lag_windows = 12;
+  StreamingDecoder dec(gc.cfg, tb.a1, tb.a2, tb.antenna_z, scfg);
+  std::vector<Vec2> drained;
+  std::size_t last_size = 0;
+  for (const auto& o : tb.obs) {
+    dec.push(o);
+    std::vector<Vec2> snapshot = drained;
+    dec.poll(drained);
+    // The previously drained prefix is untouched by later polls.
+    ASSERT_GE(drained.size(), last_size);
+    for (std::size_t i = 0; i < last_size; ++i) {
+      EXPECT_EQ(drained[i].x, snapshot[i].x);
+      EXPECT_EQ(drained[i].y, snapshot[i].y);
+    }
+    last_size = drained.size();
+  }
+  dec.finish(drained);
+  EXPECT_EQ(drained.size(), static_cast<std::size_t>(gc.n_windows) + 1);
+  EXPECT_EQ(dec.committed(), drained.size());
+}
+
+TEST(StreamingDecoder, CompactionDoesNotChangeOutput) {
+  // Aggressive compaction (threshold 0 compacts after every commit) must
+  // be invisible next to an effectively-infinite threshold.
+  for (std::size_t lag : {4u, 16u}) {
+    const GoldenCase gc{PolarDrawConfig{}, 100, 1, true};
+    const auto no_compact = stream_decode(gc, lag, 1u << 30);
+    const auto compact_always = stream_decode(gc, lag, 0);
+    expect_bit_identical(compact_always, no_compact);
+  }
+}
+
+TEST(StreamingDecoder, ToleranceLadderBoundsAccuracyVsLag) {
+  // Shrinking the lag commits positions from a less-informed beam front;
+  // the mean deviation from the batch decode must stay inside a ladder of
+  // bounds that tightens as the lag grows and reaches zero at full lag.
+  const GoldenCase gc{PolarDrawConfig{}, 100, 1, true};
+  const auto tb = make_decode_testbed(gc.cfg, gc.n_windows, gc.seed);
+  const HmmTracker hmm(gc.cfg, tb.a1, tb.a2, tb.antenna_z);
+  const auto batch = hmm.decode(tb.obs, &tb.start);
+
+  const struct {
+    std::size_t lag;
+    double bound_m;
+  } ladder[] = {
+      {4, 0.10},
+      {8, 0.06},
+      {16, 0.04},
+      {100, 0.0},
+  };
+  double prev_bound = 1e9;
+  for (const auto& rung : ladder) {
+    const auto streamed = stream_decode(gc, rung.lag);
+    const double dev = mean_deviation(streamed, batch);
+    EXPECT_LE(dev, rung.bound_m) << "lag " << rung.lag;
+    EXPECT_LE(rung.bound_m, prev_bound);  // the ladder itself tightens
+    prev_bound = rung.bound_m;
+  }
+}
+
+TEST(StreamingDecoder, PhaselessStreamFallsBackToBatchBehavior) {
+  // No hint and not a single phase window: finish() must reproduce the
+  // batch decode's legacy board-center seeding exactly.
+  PolarDrawConfig cfg;
+  cfg.board_width_m = 0.4;
+  cfg.board_height_m = 0.3;
+  cfg.block_m = 0.01;
+  cfg.beam_width = 200;
+  TrackObservation o;
+  o.direction.type = MotionType::kTranslational;
+  o.direction.direction = Vec2{1.0, 0.0};
+  o.distance.lower_m = 0.004;
+  o.distance.upper_m = 0.01;
+  o.distance.valid = true;
+  o.has_phase = false;
+  const std::vector<TrackObservation> obs(12, o);
+
+  const Vec2 a1{0.1, 0.35}, a2{0.3, 0.35};
+  const HmmTracker hmm(cfg, a1, a2, 0.12);
+  const auto batch = hmm.decode(obs);
+
+  StreamingConfig scfg;
+  scfg.lag_windows = 4;
+  StreamingDecoder dec(cfg, a1, a2, 0.12, scfg);
+  std::vector<Vec2> out;
+  for (const auto& ob : obs) {
+    dec.push(ob);
+    // Nothing can commit before a seed exists.
+    EXPECT_EQ(dec.poll(out), 0u);
+    EXPECT_FALSE(dec.seeded());
+  }
+  dec.finish(out);
+  EXPECT_TRUE(dec.seeded());
+  expect_bit_identical(out, batch);
+}
+
+TEST(StreamingDecoder, EmptyStreamCommitsNothing) {
+  const PolarDrawConfig cfg;
+  const auto tb = make_decode_testbed(cfg, 1, 7);
+  StreamingDecoder dec(cfg, tb.a1, tb.a2, tb.antenna_z);
+  std::vector<Vec2> out;
+  EXPECT_EQ(dec.poll(out), 0u);
+  EXPECT_EQ(dec.finish(out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(StreamingDecoder, AzimuthCorrectionAccumulates) {
+  const PolarDrawConfig cfg;
+  const auto tb = make_decode_testbed(cfg, 1, 7);
+  StreamingDecoder dec(cfg, tb.a1, tb.a2, tb.antenna_z);
+  EXPECT_EQ(dec.azimuth_correction_rad(), 0.0);
+  dec.accumulate_azimuth_correction(0.25);
+  dec.accumulate_azimuth_correction(-0.1);
+  EXPECT_DOUBLE_EQ(dec.azimuth_correction_rad(), 0.15);
+}
+
+}  // namespace
+}  // namespace polardraw::core

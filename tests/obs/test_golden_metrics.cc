@@ -56,11 +56,11 @@ TEST_F(GoldenMetricsTest, PinnedCountersForFixedSeedTrial) {
       {"rotation.steps", 41},
       {"translation.steps", 120},
       {"hmm.windows", 162},
-      {"hmm.beam_expansions", 2147065},
-      {"hmm.beam_nodes", 95306},
-      {"hmm.annulus_rejected", 1713600},
-      {"hmm.hyper_cache_hits", 1778491},
-      {"hmm.hyper_cache_misses", 122590},
+      {"hmm.beam_expansions", 2131232},
+      {"hmm.beam_nodes", 94705},
+      {"hmm.annulus_rejected", 1703706},
+      {"hmm.hyper_cache_hits", 1764071},
+      {"hmm.hyper_cache_misses", 121281},
       {"hmm.starved_windows", 0},
   };
   for (const auto& [name, expected] : kGolden) {

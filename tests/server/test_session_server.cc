@@ -1,0 +1,191 @@
+// Session-server determinism and lifecycle tests (DESIGN.md §13).
+//
+// The load pattern mirrors bench_streaming: N synthetic pens from the
+// decode testbed, reports interleaved round-robin, pump() called on a
+// fixed cadence. The pinned contracts: interleaving changes nothing (each
+// session decodes exactly as it would in isolation), worker count changes
+// nothing (1 worker and 8 produce bit-identical trajectories and counter
+// aggregates), close() flushes the batch-equivalent tail, and the Eq. 10
+// azimuth correction is applied on close.
+#include "server/session_server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/decode_testbed.h"
+#include "obs/metrics.h"
+
+namespace polardraw::server {
+namespace {
+
+using core::DecodeTestbed;
+using core::HmmTracker;
+using core::PolarDrawConfig;
+using core::make_decode_testbed;
+
+PolarDrawConfig small_config() {
+  PolarDrawConfig cfg;
+  cfg.board_width_m = 0.4;
+  cfg.board_height_m = 0.3;
+  cfg.block_m = 0.01;
+  cfg.beam_width = 150;
+  return cfg;
+}
+
+/// Runs `n_pens` testbed pens through a server round-robin, pumping every
+/// `pump_every` submissions, and returns each pen's closed trajectory in
+/// id order.
+std::vector<std::vector<Vec2>> run_load(const PolarDrawConfig& cfg,
+                                        int n_pens, int n_windows,
+                                        std::size_t lag, int n_workers,
+                                        std::size_t pump_every) {
+  std::vector<DecodeTestbed> pens;
+  for (int p = 0; p < n_pens; ++p) {
+    pens.push_back(
+        make_decode_testbed(cfg, n_windows, static_cast<std::uint64_t>(p) + 1));
+  }
+  SessionServerConfig scfg;
+  scfg.stream.lag_windows = lag;
+  scfg.n_workers = n_workers;
+  SessionServer server(cfg, pens[0].a1, pens[0].a2, pens[0].antenna_z, scfg);
+  for (int p = 0; p < n_pens; ++p) {
+    server.open(static_cast<SessionId>(p), &pens[static_cast<std::size_t>(p)].start);
+  }
+  std::size_t since_pump = 0;
+  for (int w = 0; w < n_windows; ++w) {
+    for (int p = 0; p < n_pens; ++p) {
+      server.submit(static_cast<SessionId>(p),
+                    pens[static_cast<std::size_t>(p)].obs[static_cast<std::size_t>(w)]);
+      if (++since_pump == pump_every) {
+        server.pump();
+        since_pump = 0;
+      }
+    }
+  }
+  server.pump();
+  std::vector<std::vector<Vec2>> out;
+  for (int p = 0; p < n_pens; ++p) {
+    out.push_back(server.close(static_cast<SessionId>(p)));
+  }
+  return out;
+}
+
+void expect_bit_identical(const std::vector<Vec2>& a,
+                          const std::vector<Vec2>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x) << "position " << i;
+    EXPECT_EQ(a[i].y, b[i].y) << "position " << i;
+  }
+}
+
+TEST(SessionServer, InterleavedSessionsMatchIsolatedBatchDecode) {
+  // Full lag: every session must close to exactly its batch decode even
+  // though thousands of foreign windows arrived in between.
+  const PolarDrawConfig cfg = small_config();
+  const int kPens = 6, kWindows = 40;
+  const auto trajs = run_load(cfg, kPens, kWindows, /*lag=*/kWindows + 1,
+                              /*n_workers=*/4, /*pump_every=*/7);
+  ASSERT_EQ(trajs.size(), static_cast<std::size_t>(kPens));
+  for (int p = 0; p < kPens; ++p) {
+    const auto tb =
+        make_decode_testbed(cfg, kWindows, static_cast<std::uint64_t>(p) + 1);
+    const HmmTracker hmm(cfg, tb.a1, tb.a2, tb.antenna_z);
+    expect_bit_identical(trajs[static_cast<std::size_t>(p)],
+                         hmm.decode(tb.obs, &tb.start));
+  }
+}
+
+TEST(SessionServer, WorkerCountDoesNotChangeTrajectoriesOrAggregates) {
+  const PolarDrawConfig cfg = small_config();
+  obs::Registry& reg = obs::Registry::global();
+  reg.set_enabled(true);
+
+  reg.reset();
+  const auto one = run_load(cfg, 8, 30, /*lag=*/6, /*n_workers=*/1,
+                            /*pump_every=*/5);
+  const obs::Snapshot snap1 = reg.snapshot();
+
+  reg.reset();
+  const auto eight = run_load(cfg, 8, 30, /*lag=*/6, /*n_workers=*/8,
+                              /*pump_every=*/5);
+  const obs::Snapshot snap8 = reg.snapshot();
+
+  ASSERT_EQ(one.size(), eight.size());
+  for (std::size_t p = 0; p < one.size(); ++p) {
+    expect_bit_identical(one[p], eight[p]);
+  }
+  for (const char* name :
+       {"server.observations", "server.commits", "server.sessions_opened",
+        "server.sessions_closed", "hmm.windows", "hmm.beam_expansions",
+        "hmm.beam_nodes"}) {
+    EXPECT_EQ(snap1.counter(name), snap8.counter(name)) << name;
+  }
+  const auto* hist1 = snap1.histogram("server.push_to_commit_s");
+  const auto* hist8 = snap8.histogram("server.push_to_commit_s");
+  ASSERT_NE(hist1, nullptr);
+  ASSERT_NE(hist8, nullptr);
+  // Latency *values* are wall-clock noise, but the number of latency
+  // observations is part of the deterministic commit schedule.
+  EXPECT_EQ(hist1->count, hist8->count);
+
+  reg.reset();
+  reg.set_enabled(false);
+}
+
+TEST(SessionServer, CloseFlushesBatchEquivalentTail) {
+  const PolarDrawConfig cfg = small_config();
+  const int kWindows = 30;
+  const auto tb = make_decode_testbed(cfg, kWindows, 42);
+  SessionServerConfig scfg;
+  scfg.stream.lag_windows = 8;
+  scfg.n_workers = 2;
+  SessionServer server(cfg, tb.a1, tb.a2, tb.antenna_z, scfg);
+  server.open(7, &tb.start);
+  for (const auto& o : tb.obs) server.submit(7, o);
+  server.pump();
+  // With lag 8, the last 8 positions are still pending at pump time...
+  const std::size_t committed_early = server.committed(7).size();
+  EXPECT_EQ(committed_early, static_cast<std::size_t>(kWindows) + 1 - 8);
+  // ...and close() must deliver the full trajectory.
+  const auto traj = server.close(7);
+  EXPECT_EQ(traj.size(), static_cast<std::size_t>(kWindows) + 1);
+  EXPECT_EQ(server.session_count(), 0u);
+}
+
+TEST(SessionServer, AzimuthCorrectionAppliedOnClose) {
+  const PolarDrawConfig cfg = small_config();
+  const auto tb = make_decode_testbed(cfg, 20, 5);
+  SessionServerConfig scfg;
+  scfg.stream.lag_windows = 32;
+  scfg.n_workers = 1;
+  SessionServer server(cfg, tb.a1, tb.a2, tb.antenna_z, scfg);
+  server.open(1, &tb.start);
+  for (const auto& o : tb.obs) server.submit(1, o);
+  server.accumulate_azimuth_correction(1, 0.2);
+  server.accumulate_azimuth_correction(1, 0.1);
+  server.pump();
+  const auto traj = server.close(1);
+
+  const HmmTracker hmm(cfg, tb.a1, tb.a2, tb.antenna_z);
+  // 0.2 + 0.1 on purpose: the server saw two increments, and the sum is
+  // not the double literal 0.3.
+  const auto expected =
+      HmmTracker::rotate_trajectory(hmm.decode(tb.obs, &tb.start), 0.2 + 0.1);
+  expect_bit_identical(traj, expected);
+}
+
+TEST(SessionServer, UnknownSessionIsRejected) {
+  const PolarDrawConfig cfg = small_config();
+  SessionServer server(cfg, {0.1, 0.35}, {0.3, 0.35}, 0.12);
+  EXPECT_FALSE(server.submit(99, core::TrackObservation{}));
+  EXPECT_FALSE(server.accumulate_azimuth_correction(99, 0.1));
+  EXPECT_TRUE(server.committed(99).empty());
+  EXPECT_TRUE(server.close(99).empty());
+  EXPECT_EQ(server.pump(), 0u);
+}
+
+}  // namespace
+}  // namespace polardraw::server

@@ -120,6 +120,63 @@ TEST(BenchDiff, TimeMetricsAreLowerIsBetter) {
   EXPECT_FALSE(faster.has_regression());
 }
 
+TEST(BenchDiff, ZeroTimeBaselineDriftBeyondAbsTolRegresses) {
+  // A 0.0 time baseline (sub-resolution smoke timing) used to make the
+  // degradation factor divide by zero and fall into a silently-passing
+  // kInfo. It must gate by absolute drift instead.
+  const Report r = diff(R"({"decode_p50_ms": 0.0})",
+                        R"({"decode_p50_ms": 12.0})");
+  EXPECT_TRUE(r.has_regression());
+  const MetricDelta* d = find(r, "metrics.decode_p50_ms");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->verdict, Verdict::kRegressed);
+  EXPECT_EQ(d->cls, MetricClass::kTime);
+}
+
+TEST(BenchDiff, ZeroTimeBaselineSmallDriftPasses) {
+  // Default zero_perf_abs_tol = 0.5 (in the metric's own unit).
+  const Report r = diff(R"({"decode_p50_ms": 0.0})",
+                        R"({"decode_p50_ms": 0.3})");
+  EXPECT_FALSE(r.has_regression());
+  EXPECT_EQ(find(r, "metrics.decode_p50_ms")->verdict, Verdict::kUnchanged);
+}
+
+TEST(BenchDiff, ZeroThroughputBaselineGainIsImprovement) {
+  const Report r = diff(R"({"commits_per_s": 0.0})",
+                        R"({"commits_per_s": 500.0})");
+  EXPECT_FALSE(r.has_regression());
+  EXPECT_EQ(find(r, "metrics.commits_per_s")->verdict, Verdict::kImproved);
+}
+
+TEST(BenchDiff, ThroughputCollapseToZeroStillRegresses) {
+  // The other zero side: a live baseline collapsing to 0 must not pass
+  // through the zero-handling path as noise.
+  const Report r = diff(R"({"windows_per_s": 1000.0})",
+                        R"({"windows_per_s": 0.0})");
+  EXPECT_TRUE(r.has_regression());
+  EXPECT_EQ(find(r, "metrics.windows_per_s")->verdict, Verdict::kRegressed);
+}
+
+TEST(BenchDiff, ZeroBaselineAbsTolIsConfigurable) {
+  Thresholds th;
+  th.zero_perf_abs_tol = 20.0;
+  const Report loose = diff(R"({"decode_p50_ms": 0.0})",
+                            R"({"decode_p50_ms": 12.0})", th);
+  EXPECT_FALSE(loose.has_regression());
+  th.zero_perf_abs_tol = 0.0;
+  const Report strict = diff(R"({"decode_p50_ms": 0.0})",
+                             R"({"decode_p50_ms": 0.001})", th);
+  EXPECT_TRUE(strict.has_regression());
+}
+
+TEST(BenchDiff, EqualZeroPerfValuesUnchanged) {
+  const Report r = diff(R"({"decode_p50_ms": 0.0, "commits_per_s": 0.0})",
+                        R"({"decode_p50_ms": 0.0, "commits_per_s": 0.0})");
+  EXPECT_FALSE(r.has_regression());
+  EXPECT_EQ(find(r, "metrics.decode_p50_ms")->verdict, Verdict::kUnchanged);
+  EXPECT_EQ(find(r, "metrics.commits_per_s")->verdict, Verdict::kUnchanged);
+}
+
 TEST(BenchDiff, MissingMetricInNewDocRegresses) {
   const Report r = diff(R"({"accuracy": 0.93, "windows_per_s": 1000})",
                         R"({"windows_per_s": 1000})");

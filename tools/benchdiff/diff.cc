@@ -78,13 +78,23 @@ Verdict judge(MetricClass cls, double old_v, double new_v,
     }
     case MetricClass::kThroughput:
     case MetricClass::kTime: {
-      if (old_v <= 0.0 || new_v < 0.0) {
+      if (old_v < 0.0 || new_v < 0.0) {
+        // Negative durations/rates are malformed exports, not trends.
         return old_v == new_v ? Verdict::kUnchanged : Verdict::kInfo;
       }
-      if (new_v == 0.0) {
-        // Throughput collapsed to zero / time collapsed to zero.
-        return cls == MetricClass::kThroughput ? Verdict::kRegressed
-                                               : Verdict::kImproved;
+      if (old_v == 0.0 || new_v == 0.0) {
+        // The degradation factor divides by whichever side anchors it, so
+        // a legitimate zero (a sub-resolution smoke timing, an idle-path
+        // rate) used to collapse to inf/NaN and a silently-passing kInfo.
+        // Zero-adjacent comparisons are judged by absolute drift instead.
+        if (std::fabs(new_v - old_v) <= th.zero_perf_abs_tol) {
+          return Verdict::kUnchanged;
+        }
+        const bool grew = new_v > old_v;
+        if (cls == MetricClass::kThroughput) {
+          return grew ? Verdict::kImproved : Verdict::kRegressed;
+        }
+        return grew ? Verdict::kRegressed : Verdict::kImproved;
       }
       // Judge by the degradation *factor*, symmetric in log space: with
       // tol t, up to (1+t)x worse passes in either unit (time growing or
@@ -277,7 +287,9 @@ std::string to_markdown(const Report& report, const Thresholds& th) {
   std::ostringstream os;
   os << "# benchdiff report\n\n";
   os << "Thresholds: accuracy abs tol " << fmt_num(th.accuracy_abs_tol)
-     << ", perf rel tol " << fmt_num(th.perf_rel_tol) << ".\n\n";
+     << ", perf rel tol " << fmt_num(th.perf_rel_tol)
+     << ", zero-baseline perf abs tol " << fmt_num(th.zero_perf_abs_tol)
+     << ".\n\n";
 
   for (const auto& e : report.errors) os << "- ERROR: " << e << "\n";
   for (const auto& f : report.missing_files) {

@@ -40,6 +40,13 @@ struct Thresholds {
   /// improved. The default absorbs scheduler noise on one machine;
   /// cross-machine CI gates pass a larger value (see ci.yml).
   double perf_rel_tol = 0.5;
+  /// Absolute tolerance, in the metric's own unit, used for throughput-
+  /// and time-class metrics when either side is exactly zero. A zero
+  /// baseline cannot anchor a degradation factor (the ratio divides by
+  /// it), and a zero usually means the quantity sits below timer
+  /// resolution, so nearby values compare as noise and anything beyond
+  /// the tolerance is judged by direction.
+  double zero_perf_abs_tol = 0.5;
 };
 
 /// One compared metric.

@@ -4,6 +4,7 @@
 // Usage:
 //   benchdiff <old_dir> <new_dir> [--out <report.md>]
 //             [--perf-rel-tol <x>] [--accuracy-abs-tol <x>]
+//             [--zero-perf-abs-tol <x>]
 //
 // Prints the markdown delta report to stdout (and to --out when given).
 // Exit codes: 0 clean, 1 regression detected, 2 usage error.
@@ -19,7 +20,8 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <old_dir> <new_dir> [--out <report.md>]"
-               " [--perf-rel-tol <x>] [--accuracy-abs-tol <x>]\n";
+               " [--perf-rel-tol <x>] [--accuracy-abs-tol <x>]"
+               " [--zero-perf-abs-tol <x>]\n";
   return 2;
 }
 
@@ -47,6 +49,8 @@ int main(int argc, char** argv) {
       if (!parse_tol(argv[++i], th.perf_rel_tol)) return usage(argv[0]);
     } else if (arg == "--accuracy-abs-tol" && i + 1 < argc) {
       if (!parse_tol(argv[++i], th.accuracy_abs_tol)) return usage(argv[0]);
+    } else if (arg == "--zero-perf-abs-tol" && i + 1 < argc) {
+      if (!parse_tol(argv[++i], th.zero_perf_abs_tol)) return usage(argv[0]);
     } else if (old_dir.empty()) {
       old_dir = arg;
     } else if (new_dir.empty()) {
