@@ -148,11 +148,22 @@ std::vector<Window> preprocess(const rfid::TagReportStream& reports,
           continue;
         }
       }
+      const std::uint64_t rejected_before = unwrapper.nonmonotone_rejected();
+      const double unwrapped = unwrapper.push_at(wrapped, win.t_s);
+      if (unwrapper.nonmonotone_rejected() != rejected_before) {
+        // The unwrapper refused the sample (non-monotone window time):
+        // drop the phase so the stale unwrapped value cannot leak into the
+        // window, and keep the spurious-rejection reference (prev_*) at
+        // the last accepted sample so it stays in lockstep with the
+        // unwrapper's internal reference.
+        win.phase_valid[a] = false;
+        continue;
+      }
       have_prev = true;
       prev_wrapped = wrapped;
       prev_index = win.index;
       prev_channel = win.channel[a];
-      win.phase_rad[a] = unwrapper.push_at(wrapped, win.t_s);
+      win.phase_rad[a] = unwrapped;
     }
     nonmonotone += unwrapper.nonmonotone_rejected();
   }

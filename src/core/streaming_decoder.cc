@@ -52,6 +52,7 @@ void StreamingDecoder::seed_at(Vec2 start, std::size_t prefix_windows) {
   prev_end_ = 1;
   step_begin_.push_back(0);
   arena_base_out_ = prefix_windows;
+  seed_root_pos_ = prefix_windows;
   seeded_ = true;
 }
 
@@ -69,6 +70,11 @@ void StreamingDecoder::push(const TrackObservation& obs) {
     }
     seed_at(initial_location_on_field(cfg_, *field_, obs.distance.dtheta21),
             unseeded_prefix_.size());
+    // The prefix is accounted for by seed_at's prefix_windows (commit_upto
+    // backfills it with the seed position); the buffered observations are
+    // never replayed, so release their memory for long-lived sessions.
+    unseeded_prefix_.clear();
+    unseeded_prefix_.shrink_to_fit();
   }
   step(obs, n_pushed_ - 1);
   // Eager fixed-lag commit: freezing values at push time (rather than at
@@ -163,7 +169,13 @@ void StreamingDecoder::maybe_compact() {
   node_parent_.erase(
       node_parent_.begin(),
       node_parent_.begin() + static_cast<std::ptrdiff_t>(offset));
-  const std::size_t new_root_end = step_begin_[k + 1] - offset;
+  // Step k becomes the new root step. With lag 1 it is also the frontier
+  // (last) step, which has no successor entry in step_begin_ -- its end is
+  // the arena end.
+  const std::size_t root_end = k + 1 < step_begin_.size()
+                                   ? step_begin_[k + 1]
+                                   : node_cell_.size() + offset;
+  const std::size_t new_root_end = root_end - offset;
   for (std::size_t a = 0; a < node_parent_.size(); ++a) {
     node_parent_[a] = a < new_root_end
                           ? -1

@@ -97,6 +97,13 @@ class StreamingDecoder {
   /// True once the chain has a seed (hint, first phase window, or the
   /// finish() fallback).
   [[nodiscard]] bool seeded() const { return seeded_; }
+  /// Output-position index of the seed/root position, which has no
+  /// originating observation: 0 for a hint (or fallback) seed, the
+  /// phaseless-prefix length when the chain seeded mid-stream from its
+  /// first phase window. Meaningful once seeded().
+  [[nodiscard]] std::size_t seed_root_position() const {
+    return seed_root_pos_;
+  }
 
   /// Eq. 10 azimuth-correction accumulator, retained across pushes so a
   /// session can carry the rotation-tracker correction without re-decoding
@@ -129,8 +136,10 @@ class StreamingDecoder {
   bool seeded_ = false;
   bool finished_ = false;
   Vec2 seed_center_;  // block center of the seed cell, once seeded
+  std::size_t seed_root_pos_ = 0;  // output index of the seed/root position
   /// Observations buffered before the seed arrives; replayed only by the
-  /// finish() fallback (a phase window instead *backfills* them).
+  /// finish() fallback (a phase window instead *backfills* them and
+  /// releases the buffer).
   std::vector<TrackObservation> unseeded_prefix_;
 
   // --- Beam arena (all surviving nodes of all retained steps, flat SoA) ---

@@ -77,10 +77,16 @@ std::size_t SessionServer::pump() {
     const std::size_t n = s.decoder.poll(s.committed);
     if (n > 0) {
       const auto now = Clock::now();
+      // Position-to-observation mapping: the seed root (at the phaseless-
+      // prefix length for mid-stream seeds, 0 otherwise) has no originating
+      // window; backfilled prefix positions before it were created by the
+      // same-index observation, positions past it by the preceding one.
+      const std::size_t seed_root = s.decoder.seed_root_position();
       for (std::size_t p = base; p < base + n; ++p) {
-        if (p == 0) continue;  // the seed root has no originating window
+        if (p == seed_root) continue;
+        const std::size_t w = p < seed_root ? p : p - 1;
         latency_hist.observe(
-            std::chrono::duration<double>(now - s.stamps[p - 1]).count());
+            std::chrono::duration<double>(now - s.stamps[w]).count());
       }
       total.fetch_add(n, std::memory_order_relaxed);
     }
@@ -102,18 +108,27 @@ std::vector<Vec2> SessionServer::close(SessionId id) {
   const auto it = sessions_.find(id);
   if (it == sessions_.end()) return {};
   Session& s = *it->second;
-  s.decoder.finish(s.committed);
-  // Eq. 10: undo the accumulated initial-azimuth error. A whole-trajectory
-  // rotation about the centroid, so it can only run once the trace is
-  // complete -- committed positions are frozen in board frame until here.
-  // With no correction the trajectory is returned untouched: even a
-  // zero-angle rotation perturbs low bits through the centroid round trip,
-  // which would break the bit-identity contract with the batch decode.
-  const double alpha_rad = s.decoder.azimuth_correction_rad();
-  std::vector<Vec2> traj =
-      alpha_rad == 0.0
-          ? std::move(s.committed)
-          : core::HmmTracker::rotate_trajectory(s.committed, alpha_rad);
+  std::vector<Vec2> traj;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    // Drain anything submitted since the last pump(): the trajectory is a
+    // function of the session's full observation stream, so observations
+    // still sitting in the mailbox must decode before the tail commits --
+    // otherwise the result would depend on pump timing.
+    for (const core::TrackObservation& o : s.mailbox) s.decoder.push(o);
+    s.mailbox.clear();
+    s.decoder.finish(s.committed);
+    // Eq. 10: undo the accumulated initial-azimuth error. A whole-trajectory
+    // rotation about the centroid, so it can only run once the trace is
+    // complete -- committed positions are frozen in board frame until here.
+    // With no correction the trajectory is returned untouched: even a
+    // zero-angle rotation perturbs low bits through the centroid round trip,
+    // which would break the bit-identity contract with the batch decode.
+    const double alpha_rad = s.decoder.azimuth_correction_rad();
+    traj = alpha_rad == 0.0
+               ? std::move(s.committed)
+               : core::HmmTracker::rotate_trajectory(s.committed, alpha_rad);
+  }
   sessions_.erase(it);
   closed_counter.add(1);
   return traj;

@@ -78,9 +78,11 @@ class SessionServer {
   /// Positions committed so far for a session (empty for unknown ids).
   [[nodiscard]] const std::vector<Vec2>& committed(SessionId id) const;
 
-  /// Finishes the session's decode (committing the batch-equivalent
-  /// tail), applies the accumulated Eq. 10 rotation, erases the session,
-  /// and returns the final trajectory.
+  /// Drains any observations still queued in the mailbox, finishes the
+  /// session's decode (committing the batch-equivalent tail), applies the
+  /// accumulated Eq. 10 rotation, erases the session, and returns the
+  /// final trajectory -- a function of the full observation stream,
+  /// independent of pump() timing.
   std::vector<Vec2> close(SessionId id);
 
   [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
@@ -101,9 +103,12 @@ class SessionServer {
     /// Guards mailbox/stamps against submit() racing this session's drain.
     std::mutex mu;
     std::vector<core::TrackObservation> mailbox;
-    /// Submit timestamp of every observation ever queued; output position
-    /// p (p >= 1) was created by observation p - 1, which is what makes
-    /// push-to-commit latency (including the lag wait) measurable.
+    /// Submit timestamp of every observation ever queued. Relative to the
+    /// decoder's seed_root_position() R (which has no originating window),
+    /// output position p was created by observation p for p < R (the
+    /// backfilled phaseless prefix) and by observation p - 1 for p > R --
+    /// which is what makes push-to-commit latency (including the lag wait)
+    /// measurable.
     std::vector<Clock::time_point> stamps;
     std::vector<Vec2> committed;
   };

@@ -143,8 +143,10 @@ TEST(StreamingDecoder, PolledPrefixIsStable) {
 
 TEST(StreamingDecoder, CompactionDoesNotChangeOutput) {
   // Aggressive compaction (threshold 0 compacts after every commit) must
-  // be invisible next to an effectively-infinite threshold.
-  for (std::size_t lag : {4u, 16u}) {
+  // be invisible next to an effectively-infinite threshold. lag 1 is the
+  // regression case where the commit frontier touches the beam front, so
+  // compaction promotes the frontier step itself to arena root.
+  for (std::size_t lag : {1u, 4u, 16u}) {
     const GoldenCase gc{PolarDrawConfig{}, 100, 1, true};
     const auto no_compact = stream_decode(gc, lag, 1u << 30);
     const auto compact_always = stream_decode(gc, lag, 0);
@@ -178,6 +180,66 @@ TEST(StreamingDecoder, ToleranceLadderBoundsAccuracyVsLag) {
     EXPECT_LE(rung.bound_m, prev_bound);  // the ladder itself tightens
     prev_bound = rung.bound_m;
   }
+}
+
+TEST(StreamingDecoder, LagOneDefaultCompactionMatchesBatch) {
+  // Default compaction threshold at the minimum legal lag: the trace is
+  // long enough that the arena prefix crosses the threshold and compacts
+  // repeatedly with the frontier step as the new root.
+  const GoldenCase gc{PolarDrawConfig{}, 100, 1, true};
+  const auto tb = make_decode_testbed(gc.cfg, gc.n_windows, gc.seed);
+  const HmmTracker hmm(gc.cfg, tb.a1, tb.a2, tb.antenna_z);
+  const auto batch = hmm.decode(tb.obs, &tb.start);
+  const auto streamed = stream_decode(gc, 1);
+  ASSERT_EQ(streamed.size(), batch.size());
+  // lag 1 commits from a one-window-lookahead front, so values may differ
+  // from batch -- but they must stay on the board and the final tail
+  // (committed by finish() from the full front) matches batch exactly.
+  for (const Vec2& p : streamed) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, gc.cfg.board_width_m);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, gc.cfg.board_height_m);
+  }
+  EXPECT_EQ(streamed.back().x, batch.back().x);
+  EXPECT_EQ(streamed.back().y, batch.back().y);
+}
+
+TEST(StreamingDecoder, MidStreamSeedReportsRootPositionAndBackfills) {
+  // Strip phase from the leading windows: the decoder must wait, seed from
+  // the first phase window, backfill the prefix with the seed position,
+  // report the seed root at the prefix length (the latency accounting in
+  // the session server keys off it), and stay bit-identical to the batch
+  // decode at full lag.
+  const GoldenCase gc{PolarDrawConfig{}, 60, 5, false};
+  auto tb = make_decode_testbed(gc.cfg, gc.n_windows, gc.seed);
+  const std::size_t kPrefix = 3;
+  for (std::size_t i = 0; i < kPrefix; ++i) tb.obs[i].has_phase = false;
+  // The testbed drops phase at random, so the real prefix may be longer.
+  std::size_t first_phase = kPrefix;
+  while (first_phase < tb.obs.size() && !tb.obs[first_phase].has_phase) {
+    ++first_phase;
+  }
+  ASSERT_LT(first_phase, tb.obs.size()) << "testbed produced no phase window";
+
+  StreamingConfig scfg;
+  scfg.lag_windows = static_cast<std::size_t>(gc.n_windows) + 1;
+  StreamingDecoder dec(gc.cfg, tb.a1, tb.a2, tb.antenna_z, scfg);
+  std::vector<Vec2> out;
+  for (std::size_t i = 0; i < tb.obs.size(); ++i) {
+    dec.push(tb.obs[i]);
+    EXPECT_EQ(dec.seeded(), i >= first_phase) << "window " << i;
+  }
+  dec.finish(out);
+  EXPECT_EQ(dec.seed_root_position(), first_phase);
+  ASSERT_EQ(out.size(), tb.obs.size() + 1);
+  // The backfilled prefix and the root all carry the seed position.
+  for (std::size_t p = 0; p < first_phase; ++p) {
+    EXPECT_EQ(out[p].x, out[first_phase].x) << "position " << p;
+    EXPECT_EQ(out[p].y, out[first_phase].y) << "position " << p;
+  }
+  const HmmTracker hmm(gc.cfg, tb.a1, tb.a2, tb.antenna_z);
+  expect_bit_identical(out, hmm.decode(tb.obs));
 }
 
 TEST(StreamingDecoder, PhaselessStreamFallsBackToBatchBehavior) {

@@ -155,6 +155,30 @@ TEST(SessionServer, CloseFlushesBatchEquivalentTail) {
   EXPECT_EQ(server.session_count(), 0u);
 }
 
+TEST(SessionServer, CloseDrainsUnpumpedMailbox) {
+  // Observations still queued in the mailbox at close() time are part of
+  // the stream: close() must push them through the decoder before
+  // finishing, so the trajectory does not depend on pump timing. At full
+  // lag the result must equal the batch decode even though only one
+  // mid-stream pump ever ran.
+  const PolarDrawConfig cfg = small_config();
+  const int kWindows = 30;
+  const auto tb = make_decode_testbed(cfg, kWindows, 11);
+  SessionServerConfig scfg;
+  scfg.stream.lag_windows = static_cast<std::size_t>(kWindows) + 1;
+  scfg.n_workers = 2;
+  SessionServer server(cfg, tb.a1, tb.a2, tb.antenna_z, scfg);
+  server.open(3, &tb.start);
+  for (int w = 0; w < kWindows; ++w) {
+    server.submit(3, tb.obs[static_cast<std::size_t>(w)]);
+    if (w == kWindows / 2) server.pump();
+  }
+  // No final pump: the second half of the stream is still in the mailbox.
+  const auto traj = server.close(3);
+  const HmmTracker hmm(cfg, tb.a1, tb.a2, tb.antenna_z);
+  expect_bit_identical(traj, hmm.decode(tb.obs, &tb.start));
+}
+
 TEST(SessionServer, AzimuthCorrectionAppliedOnClose) {
   const PolarDrawConfig cfg = small_config();
   const auto tb = make_decode_testbed(cfg, 20, 5);
