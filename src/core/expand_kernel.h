@@ -1,0 +1,147 @@
+// Beam-expansion kernel: per-window candidate scoring for the Viterbi
+// decode (Eq. 8 annulus transition + Eq. 11 hyperbola/direction emission).
+//
+// Extracted from StreamingDecoder::step so the scoring loop -- the
+// throughput ceiling for batch eval, the session server, and batched
+// multi-pen decode -- can have two runtime-selectable implementations
+// behind one interface (PolarDrawConfig::decode_kernel):
+//
+//   * kScalar -- a behavior-preserving lift of the historical loop,
+//     pinned bit-identical to the golden decode tests. This is the
+//     reference semantics: per-candidate annulus test, per-cell
+//     hyperbola-term memo in a generation scoreboard, one log per
+//     accepted candidate.
+//
+//   * kVector -- a branchless SoA path that scores contiguous candidate
+//     rows per iteration. Two per-window precomputations make the inner
+//     loop transcendental-free: (1) the hyperbola log-weight is evaluated
+//     once per touched cell against contiguous PhaseField rows (log of
+//     the clamped term, so pow(term, sharpness) becomes sharpness *
+//     log(term)); (2) every displacement-dependent factor -- the exact
+//     annulus test, the direction line/half-plane terms, and the idle
+//     step penalty -- depends only on the integer block displacement
+//     (dc, dr), so it collapses into a (2*reach+1)^2 log-weight table
+//     with -inf marking annulus rejections. A candidate is then scored
+//     with three adds and a max, and per-cell bests merge through the
+//     same generation scoreboard (outside the arithmetic loop) in the
+//     same first-touch order as the scalar path.
+//
+// Tolerance ladder (enforced by tests/core/test_expand_kernel.cc): the
+// scalar kernel is bit-identical to the goldens; the vector kernel
+// reassociates the log-weight sum (and snaps displacements to the exact
+// block lattice), so it is held to identical committed trajectories on
+// the golden seeds plus a bounded per-window log-prob deviation, not bit
+// identity. Both kernels share the candidate traversal order, so
+// tie-breaks resolve identically whenever the scored values agree.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/vec.h"
+#include "core/config.h"
+#include "core/hmm_tracker.h"
+#include "core/phase_field.h"
+#include "core/scoreboard.h"
+
+namespace polardraw::core {
+
+/// Hot-loop tallies, accumulated across windows by the caller. The two
+/// kernels count expansions/annulus rejections identically; the hyperbola
+/// cache counters are scalar-path semantics (the vector path has no
+/// per-candidate memo -- it reports each precomputed cell as one miss and
+/// no hits).
+struct ExpandStats {
+  std::uint64_t expansions = 0;
+  std::uint64_t annulus_rejected = 0;
+  std::uint64_t hyper_hits = 0;
+  std::uint64_t hyper_misses = 0;
+};
+
+class ExpandKernel {
+ public:
+  /// `field` must outlive the kernel (the decoder owns both).
+  ExpandKernel(const PolarDrawConfig& cfg, const PhaseField& field);
+
+  /// Scores every candidate cell reachable from the previous beam
+  /// (arena nodes [prev_begin, prev_end) of `node_cell`/`node_logp`) for
+  /// one window and appends the best candidate per cell to the `cand_*`
+  /// arrays (cleared first). Parents are absolute arena indices.
+  /// Candidates are emitted in first-touch traversal order (ascending
+  /// parent, then row, then column) by both kernels.
+  void expand(const TrackObservation& o,
+              const std::vector<std::int32_t>& node_cell,
+              const std::vector<float>& node_logp, std::size_t prev_begin,
+              std::size_t prev_end, std::vector<std::int32_t>& cand_cell,
+              std::vector<float>& cand_logp,
+              std::vector<std::int32_t>& cand_parent, ExpandStats& stats);
+
+  [[nodiscard]] DecodeKernel kind() const { return kind_; }
+
+ private:
+  /// Per-window hoists shared by both paths; computed exactly as the
+  /// historical in-loop hoists so the scalar path stays bit-identical.
+  struct WindowTerms {
+    double lower_m = 0.0;
+    double upper_m = 0.0;
+    double out_thresh_m = 0.0;
+    double quarter_block_m = 0.0;
+    int reach_blocks = 1;
+    bool use_hyper = false;
+    double meas_rad = 0.0;
+    bool use_dir = false;
+    Vec2 dir;
+    double dmax_m = 0.0;
+    double back_thresh_m = 0.0;
+    bool idle_step_penalty = false;
+  };
+
+  WindowTerms window_terms(const TrackObservation& o) const;
+  void fill_dc_limits(const WindowTerms& w);
+
+  void expand_scalar(const WindowTerms& w,
+                     const std::vector<std::int32_t>& node_cell,
+                     const std::vector<float>& node_logp,
+                     std::size_t prev_begin, std::size_t prev_end,
+                     std::vector<std::int32_t>& cand_cell,
+                     std::vector<float>& cand_logp,
+                     std::vector<std::int32_t>& cand_parent,
+                     ExpandStats& stats);
+  void expand_vector(const WindowTerms& w,
+                     const std::vector<std::int32_t>& node_cell,
+                     const std::vector<float>& node_logp,
+                     std::size_t prev_begin, std::size_t prev_end,
+                     std::vector<std::int32_t>& cand_cell,
+                     std::vector<float>& cand_logp,
+                     std::vector<std::int32_t>& cand_parent,
+                     ExpandStats& stats);
+
+  /// Builds the (2*reach+1)^2 displacement log-weight table (direction +
+  /// idle terms, -inf on annulus rejection) plus the knife-edge flags for
+  /// lattice distances that coincide with an annulus threshold.
+  void fill_displacement_table(const WindowTerms& w);
+  /// Evaluates the per-cell hyperbola log-weight over the union of
+  /// per-row column spans touched by this window's beam.
+  void fill_hyper_rows(const WindowTerms& w, int r_lo, int r_hi, int c_lo,
+                       int box_w, ExpandStats& stats);
+
+  const PolarDrawConfig cfg_;
+  const PhaseField& field_;
+  const DecodeKernel kind_;
+  const int cols_, rows_;
+
+  // --- Scalar-path scratch -------------------------------------------------
+  GenerationScoreboard<std::int32_t> best_slot_;
+  GenerationScoreboard<double> hyper_term_;
+  std::vector<int> dc_lim_;  // per-|dr| column reach (shared by both paths)
+
+  // --- Vector-path scratch -------------------------------------------------
+  std::vector<double> disp_logw_;       // (2r+1)^2 log-weights + -inf mask
+  std::vector<unsigned char> disp_edge_;  // threshold-coincident lattice steps
+  std::vector<double> hyper_logw_;      // per-cell hyperbola log-weight (box)
+  std::vector<int> row_span_lo_, row_span_hi_;   // touched columns per row
+  std::vector<float> lane_logp_;        // per-lane scored log-probs (row seg)
+};
+
+}  // namespace polardraw::core

@@ -56,6 +56,13 @@ class PhaseField {
   }
   double phase_at_cell(std::size_t cell) const { return phase_[cell]; }
 
+  /// Contiguous row of wrapped expected phase differences (cols() values
+  /// starting at column 0). The vector beam-expansion kernel streams these
+  /// instead of doing per-cell lookups.
+  const double* phase_row(int row) const {
+    return &phase_[cell_index(0, row)];
+  }
+
   /// Analytic Jacobian of the (unwrapped) expected phase difference with
   /// respect to board position, rad/m, at a block center.
   Vec2 jacobian_at(int col, int row) const {

@@ -49,6 +49,10 @@ class GenerationScoreboard {
     value_[cell] = v;
   }
 
+  /// Test hook: jump the generation counter so the wrap path (clear() hits
+  /// 0 and falls back to the full wipe) is reachable without 2^32 calls.
+  void debug_set_generation(std::uint32_t gen) { gen_ = gen; }
+
  private:
   std::vector<Value> value_;
   std::vector<std::uint32_t> stamp_;

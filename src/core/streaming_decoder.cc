@@ -13,10 +13,6 @@
 
 namespace polardraw::core {
 
-namespace {
-constexpr double kWeightFloor = 1e-6;  // keeps log-probabilities finite
-}  // namespace
-
 StreamingDecoder::StreamingDecoder(const PolarDrawConfig& cfg, Vec2 a1,
                                    Vec2 a2, double antenna_z,
                                    StreamingConfig stream_cfg,
@@ -29,8 +25,7 @@ StreamingDecoder::StreamingDecoder(const PolarDrawConfig& cfg, Vec2 a1,
                  : std::make_shared<const PhaseField>(cfg, a1, a2, antenna_z)),
       cols_(field_->cols()),
       rows_(field_->rows()),
-      best_slot_(field_->cells()),
-      hyper_term_(field_->cells()) {
+      kernel_(cfg_, *field_) {
   stream_cfg_.lag_windows = std::max<std::size_t>(stream_cfg_.lag_windows, 1);
   if (initial_hint != nullptr) {
     seed_at(*initial_hint, 0);
@@ -194,149 +189,11 @@ void StreamingDecoder::step(const TrackObservation& o,
   static const obs::TraceName window_name("hmm.window");
   static const obs::TraceName arg_window("window");
   static const obs::TraceName arg_occupancy("beam_occupancy");
-  const PhaseField& field = *field_;
 
-  // Feasible annulus in blocks. An invalid (inconsistent) distance
-  // estimate degrades to "anywhere within the speed limit".
-  const double lower = o.distance.valid ? o.distance.lower_m : 0.0;
-  const double upper =
-      std::max({o.distance.upper_m, lower, cfg_.block_m * 0.5});
-  const int reach =
-      std::max(1, static_cast<int>(std::ceil(upper / cfg_.block_m)));
-
-  // Per-window hoists of everything the old per-edge emission recomputed.
-  const double out_thresh = upper + 0.5 * cfg_.block_m;
-  const double quarter_block = 0.25 * cfg_.block_m;
-  const bool use_hyper =
-      cfg_.use_hyperbola_constraint && o.has_phase && o.distance.valid;
-  const double meas = use_hyper ? wrap_2pi(o.distance.dtheta21) : 0.0;
-  const bool use_dir = o.direction.type != MotionType::kIdle &&
-                       o.direction.direction.norm_sq() > 0.0;
-  const Vec2 dir = o.direction.direction;
-  const double dmax = std::max(o.distance.upper_m, cfg_.block_m);
-  const double back_thresh = -0.25 * cfg_.block_m;
-  const bool idle_step_penalty =
-      o.direction.type == MotionType::kIdle && upper > 0.0;
-
-  // Integer annulus bound: a candidate |dc| blocks away horizontally and
-  // |dr| vertically is at least ~sqrt(dc^2+dr^2) blocks out, so columns
-  // beyond this limit cannot pass the exact outer-radius test below (the
-  // +1 absorbs block-center rounding). Rows stay within [-reach, reach].
-  const double r_blocks = out_thresh / cfg_.block_m;
-  dc_lim_.assign(static_cast<std::size_t>(reach) + 1, 0);
-  for (int dr = 0; dr <= reach; ++dr) {
-    const double rem = r_blocks * r_blocks - static_cast<double>(dr) * dr;
-    dc_lim_[static_cast<std::size_t>(dr)] =
-        rem <= 0.0 ? 0
-                   : std::min(reach, static_cast<int>(std::sqrt(rem)) + 1);
-  }
-
-  best_slot_.clear();
-  hyper_term_.clear();
-  cand_cell_.clear();
-  cand_logp_.clear();
-  cand_parent_.clear();
-
-  for (std::size_t a = prev_begin_; a < prev_end_; ++a) {
-    const std::int32_t pcell = node_cell_[a];
-    const int pr = pcell / cols_;
-    const int pc = pcell % cols_;
-    const float plp = node_logp_[a];
-    const double fx = field.center_x(pc);
-    const double fy = field.center_y(pr);
-    const int dr_lo = std::max(-reach, -pr);
-    const int dr_hi = std::min(reach, rows_ - 1 - pr);
-    for (int dr = dr_lo; dr <= dr_hi; ++dr) {
-      const int nr = pr + dr;
-      const double ty = field.center_y(nr);
-      const double ddy = fy - ty;
-      const int lim = dc_lim_[static_cast<std::size_t>(dr < 0 ? -dr : dr)];
-      const int dc_lo = std::max(-lim, -pc);
-      const int dc_hi = std::min(lim, cols_ - 1 - pc);
-      const std::int32_t row_base = nr * cols_;
-      for (int dc = dc_lo; dc <= dc_hi; ++dc) {
-        const int nc = pc + dc;
-        const double tx = field.center_x(nc);
-        const double ddx = fx - tx;
-        const double step_m = std::sqrt(ddx * ddx + ddy * ddy);
-        // Annulus membership (Eq. 8); allow a quarter-block tolerance so
-        // the discretization cannot strand the chain, while keeping the
-        // lower bound binding (it is the phase-derived minimum motion).
-        if (step_m > out_thresh) {
-          ++n_annulus_rej_;
-          continue;
-        }
-        if (step_m + quarter_block < lower) {
-          ++n_annulus_rej_;
-          continue;
-        }
-        ++n_expansions_;
-
-        const std::size_t ncell = static_cast<std::size_t>(row_base + nc);
-        // Hyperbola term of Eq. 11: 1 - |dtheta_meas - dtheta(x,y)| /
-        // (4*pi), compared circularly against the cached field.
-        double w;
-        if (use_hyper) {
-          if (hyper_term_.contains(ncell)) {
-            ++n_hyper_hits_;
-            w = hyper_term_.get(ncell);
-          } else {
-            ++n_hyper_misses_;
-            const double mismatch =
-                angle_dist(field.phase_at_cell(ncell), meas);
-            const double term =
-                std::max(1.0 - mismatch / (4.0 * kPi), kWeightFloor);
-            w = cfg_.hyperbola_sharpness == 1.0
-                    ? term
-                    : std::pow(term, cfg_.hyperbola_sharpness);
-            hyper_term_.put(ncell, w);
-          }
-        } else {
-          w = 1.0;
-        }
-
-        // Direction-line term of Eq. 11: perpendicular distance from the
-        // candidate to the line through the previous location along the
-        // estimated moving direction, normalized by the max displacement.
-        if (use_dir) {
-          const double rx = tx - fx;
-          const double ry = ty - fy;
-          const double perp = std::fabs(rx * dir.y - ry * dir.x);
-          double term = std::max(1.0 - perp / dmax, kWeightFloor);
-          // Half-plane preference: candidates behind the motion direction
-          // are inconsistent with the estimated heading.
-          if (rx * dir.x + ry * dir.y < back_thresh) term *= 0.25;
-          w *= term;
-        }
-
-        if (idle_step_penalty) {
-          // No direction estimate this window: tie-break toward small
-          // steps (an undetected motion is a small motion), otherwise
-          // the annulus blocks tie -- exactly along the hyperbola when
-          // phase is present, everywhere when it is not -- and the
-          // argmax drifts.
-          const double frac = step_m / upper;
-          w *= std::exp(-cfg_.unobserved_step_penalty * frac * frac);
-        }
-
-        const float lp =
-            plp + static_cast<float>(std::log(std::max(w, kWeightFloor)));
-        if (!best_slot_.contains(ncell)) {
-          best_slot_.put(ncell, static_cast<std::int32_t>(cand_cell_.size()));
-          cand_cell_.push_back(static_cast<std::int32_t>(ncell));
-          cand_logp_.push_back(lp);
-          cand_parent_.push_back(static_cast<std::int32_t>(a));
-        } else {
-          const std::int32_t slot = best_slot_.get(ncell);
-          if (lp > cand_logp_[static_cast<std::size_t>(slot)]) {
-            cand_logp_[static_cast<std::size_t>(slot)] = lp;
-            cand_parent_[static_cast<std::size_t>(slot)] =
-                static_cast<std::int32_t>(a);
-          }
-        }
-      }
-    }
-  }
+  // Candidate scoring (Eq. 8 annulus + Eq. 11 emission) lives in the
+  // kernel module; which implementation runs is cfg_.decode_kernel.
+  kernel_.expand(o, node_cell_, node_logp_, prev_begin_, prev_end_,
+                 cand_cell_, cand_logp_, cand_parent_, stats_);
 
   if (cand_cell_.empty()) {
     ++n_starved_;
@@ -352,8 +209,34 @@ void StreamingDecoder::step(const TrackObservation& o,
     cand_parent_.push_back(static_cast<std::int32_t>(best));
   }
 
+  // Per-window renormalization: subtract the window's best score before
+  // the candidates enter the arena. node_logp_ is float and strictly
+  // decreasing, so an unnormalized session loses the resolution that
+  // separates beam candidates after ~1e4 windows; after renormalization
+  // the front max is exactly 0.0f every window (x - x is exact in IEEE)
+  // and resolution is bounded by the beam's spread, not the session
+  // length. Subtracting one common float from all candidates is monotone,
+  // so the argmax chain -- and therefore every committed position -- is
+  // preserved; ties it creates are resolved by the index tie-break below.
+  float wmax = cand_logp_[0];
+  for (std::size_t i = 1; i < cand_logp_.size(); ++i) {
+    wmax = std::max(wmax, cand_logp_[i]);
+  }
+  last_window_logp_max_ = wmax;
+  total_logp_offset_ += static_cast<double>(wmax);
+  for (float& lp : cand_logp_) lp -= wmax;
+
   // Beam pruning: keep the most probable states. Selection runs on an
-  // index buffer so the SoA candidate arrays are gathered once.
+  // index buffer so the SoA candidate arrays are gathered once. The
+  // comparator tie-breaks equal log-probs on candidate index and the kept
+  // prefix is sorted, so the survivor set *and* its arena order are a pure
+  // function of the scored values -- not of how the standard library's
+  // nth_element partitions ties (the determinism contract in the header).
+  const auto better = [&](std::int32_t x, std::int32_t y) {
+    const float lx = cand_logp_[static_cast<std::size_t>(x)];
+    const float ly = cand_logp_[static_cast<std::size_t>(y)];
+    return lx > ly || (lx == ly && x < y);
+  };
   const std::size_t n_cand = cand_cell_.size();
   const std::size_t new_begin = node_cell_.size();
   if (n_cand > cfg_.beam_width) {
@@ -362,10 +245,10 @@ void StreamingDecoder::step(const TrackObservation& o,
     std::nth_element(
         order_.begin(),
         order_.begin() + static_cast<std::ptrdiff_t>(cfg_.beam_width),
-        order_.end(), [&](std::int32_t x, std::int32_t y) {
-          return cand_logp_[static_cast<std::size_t>(x)] >
-                 cand_logp_[static_cast<std::size_t>(y)];
-        });
+        order_.end(), better);
+    std::sort(order_.begin(),
+              order_.begin() + static_cast<std::ptrdiff_t>(cfg_.beam_width),
+              better);
     for (std::size_t i = 0; i < cfg_.beam_width; ++i) {
       const auto s = static_cast<std::size_t>(order_[i]);
       node_cell_.push_back(cand_cell_[s]);
@@ -419,13 +302,22 @@ void StreamingDecoder::flush_metrics() {
   static const obs::Counter starved_counter("hmm.starved_windows");
   static const obs::Gauge occupancy_gauge("hmm.beam_occupancy_peak");
   windows_counter.add(n_pushed_);
-  expansions_counter.add(n_expansions_);
+  expansions_counter.add(stats_.expansions);
   nodes_counter.add(n_beam_nodes_);
-  annulus_counter.add(n_annulus_rej_);
-  hyper_hits_counter.add(n_hyper_hits_);
-  hyper_misses_counter.add(n_hyper_misses_);
+  annulus_counter.add(stats_.annulus_rejected);
+  hyper_hits_counter.add(stats_.hyper_hits);
+  hyper_misses_counter.add(stats_.hyper_misses);
   starved_counter.add(n_starved_);
   occupancy_gauge.set_max(static_cast<double>(beam_peak_));
+}
+
+float StreamingDecoder::front_logp_max() const {
+  if (prev_end_ <= prev_begin_) return 0.0f;
+  float best = node_logp_[prev_begin_];
+  for (std::size_t a = prev_begin_ + 1; a < prev_end_; ++a) {
+    best = std::max(best, node_logp_[a]);
+  }
+  return best;
 }
 
 }  // namespace polardraw::core

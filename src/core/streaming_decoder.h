@@ -24,6 +24,18 @@
 // Smaller lags trade accuracy for latency; the tolerance ladder in the
 // same test bounds the degradation.
 //
+// Determinism contract: decodes are a pure function of (config, geometry,
+// observation sequence, lag) -- independent of platform and standard
+// library. The two ingredients are (1) candidate scoring delegated to
+// core/expand_kernel.h, which emits candidates in a fixed first-touch
+// traversal order, and (2) beam pruning that orders candidates by
+// (log-prob descending, candidate index ascending) and sorts the kept
+// prefix, so neither the survivor set nor the arena order depends on how
+// std::nth_element resolves ties. Log-probs are renormalized every window
+// (the window max is subtracted before candidates enter the arena), so the
+// beam front's best node sits at exactly 0 and a session never loses float
+// resolution no matter how long it runs; argmax decisions are unchanged.
+//
 // Seeding follows the tracker contract: an initial_hint seeds immediately;
 // otherwise the decoder waits for the first has_phase observation, seeds
 // from its hyperbola field, and backfills the phaseless prefix with the
@@ -40,9 +52,9 @@
 
 #include "common/vec.h"
 #include "core/config.h"
+#include "core/expand_kernel.h"
 #include "core/hmm_tracker.h"
 #include "core/phase_field.h"
-#include "core/scoreboard.h"
 
 namespace polardraw::core {
 
@@ -118,6 +130,21 @@ class StreamingDecoder {
     return azimuth_correction_rad_;
   }
 
+  /// Largest log-prob in the current beam front: exactly 0.0f after every
+  /// decoded window (the per-window renormalization invariant; IEEE
+  /// subtraction of the max from itself is exact). Test hook.
+  [[nodiscard]] float front_logp_max() const;
+  /// Pre-renormalization log-prob of the best candidate in the most
+  /// recently decoded window, i.e. that window's score increment. Test
+  /// hook for the kernel-parity tolerance ladder.
+  [[nodiscard]] float last_window_logp_max() const {
+    return last_window_logp_max_;
+  }
+  /// Sum of all per-window renormalization offsets: adding it to a front
+  /// node's log-prob recovers the historical unnormalized value (in double,
+  /// so the sum itself does not drift).
+  [[nodiscard]] double total_logp_offset() const { return total_logp_offset_; }
+
  private:
   void seed_at(Vec2 start, std::size_t prefix_windows);
   /// One forward Viterbi step; `window_index` is a trace arg only.
@@ -131,6 +158,7 @@ class StreamingDecoder {
   StreamingConfig stream_cfg_;
   std::shared_ptr<const PhaseField> field_;
   int cols_, rows_;
+  ExpandKernel kernel_;  // candidate scoring (scalar or vector path)
 
   // --- Seeding ------------------------------------------------------------
   bool seeded_ = false;
@@ -161,19 +189,17 @@ class StreamingDecoder {
   std::vector<Vec2> backtrace_scratch_;
 
   // Scratch reused across steps (see HmmTracker::decode history).
-  GenerationScoreboard<std::int32_t> best_slot_;
-  GenerationScoreboard<double> hyper_term_;
   std::vector<std::int32_t> cand_cell_, cand_parent_;
   std::vector<float> cand_logp_;
   std::vector<std::int32_t> order_;
-  std::vector<int> dc_lim_;
+
+  // Per-window renormalization state (see the determinism contract above).
+  float last_window_logp_max_ = 0.0f;
+  double total_logp_offset_ = 0.0;
 
   // Hot-loop counters, flushed to the registry once per session.
   bool metrics_flushed_ = false;
-  std::uint64_t n_expansions_ = 0;
-  std::uint64_t n_annulus_rej_ = 0;
-  std::uint64_t n_hyper_hits_ = 0;
-  std::uint64_t n_hyper_misses_ = 0;
+  ExpandStats stats_;
   std::uint64_t n_starved_ = 0;
   std::uint64_t n_beam_nodes_ = 0;
   std::uint64_t beam_peak_ = 0;

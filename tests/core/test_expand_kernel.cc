@@ -1,0 +1,263 @@
+// Kernel-parity suite for the beam-expansion kernels (core/expand_kernel.h).
+//
+// The tolerance ladder under test:
+//   * scalar is the reference -- its bit identity to the historical loop is
+//     pinned by tests/core/test_hmm_golden.cc, so here it only serves as
+//     the comparison baseline;
+//   * vector must commit *identical* trajectories on the golden seed set
+//     (both kernels emit candidates in the same first-touch order, so when
+//     the scored values agree to the argmax, everything downstream --
+//     pruning, tie-breaks, backtrace -- agrees too);
+//   * vector's per-window best score may deviate from scalar's only by FP
+//     reassociation (bounded absolute tolerance), fuzz-checked across
+//     random seeds and lags;
+//   * end-to-end recognition accuracy (the fig. 13/18 metric) is equal
+//     under both kernels.
+//
+// Plus the two supporting units: the kernel-level direction-normalization
+// contract (a non-unit MotionEstimate::direction must decode exactly like
+// its normalized self), and the GenerationScoreboard wrap path.
+#include "core/expand_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/decode_testbed.h"
+#include "core/hmm_tracker.h"
+#include "core/scoreboard.h"
+#include "core/streaming_decoder.h"
+#include "eval/harness.h"
+
+namespace polardraw::core {
+namespace {
+
+struct GoldenCase {
+  PolarDrawConfig cfg;
+  int n_windows;
+  std::uint64_t seed;
+  bool use_hint;
+};
+
+/// Same seed set as tests/core/test_hmm_golden.cc pins bit-exactly.
+std::vector<GoldenCase> golden_cases() {
+  std::vector<GoldenCase> cases;
+  cases.push_back({PolarDrawConfig{}, 100, 1, true});
+  cases.push_back({PolarDrawConfig{}, 100, 2, false});
+  PolarDrawConfig small;
+  small.board_width_m = 0.5;
+  small.board_height_m = 0.4;
+  small.block_m = 0.005;
+  small.beam_width = 200;
+  small.hyperbola_sharpness = 1.0;
+  cases.push_back({small, 80, 3, true});
+  PolarDrawConfig greedy;
+  greedy.use_viterbi = false;
+  cases.push_back({greedy, 60, 4, true});
+  return cases;
+}
+
+std::vector<Vec2> batch_decode(const GoldenCase& gc, DecodeKernel kernel) {
+  PolarDrawConfig cfg = gc.cfg;
+  cfg.decode_kernel = kernel;
+  const auto tb = make_decode_testbed(gc.cfg, gc.n_windows, gc.seed);
+  const HmmTracker hmm(cfg, tb.a1, tb.a2, tb.antenna_z);
+  return hmm.decode(tb.obs, gc.use_hint ? &tb.start : nullptr);
+}
+
+void expect_bit_identical(const std::vector<Vec2>& a,
+                          const std::vector<Vec2>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x) << "position " << i;
+    EXPECT_EQ(a[i].y, b[i].y) << "position " << i;
+  }
+}
+
+TEST(ExpandKernelParity, VectorCommitsIdenticalTrajectoriesOnGoldenSeeds) {
+  for (const GoldenCase& gc : golden_cases()) {
+    const auto scalar = batch_decode(gc, DecodeKernel::kScalar);
+    const auto vector = batch_decode(gc, DecodeKernel::kVector);
+    expect_bit_identical(vector, scalar);
+  }
+}
+
+TEST(ExpandKernelParity, KernelsAgreeOnCandidateSetAndStats) {
+  // One decode step at kernel granularity: both paths must emit the same
+  // candidate cells with the same parents in the same order, score them
+  // within FP-reassociation tolerance, and tally expansions / annulus
+  // rejections identically (the hyperbola cache counters are documented to
+  // differ -- the vector path has no per-candidate memo).
+  const PolarDrawConfig cfg;
+  const auto tb = make_decode_testbed(cfg, 4, 11);
+  const PhaseField field(cfg, tb.a1, tb.a2, tb.antenna_z);
+
+  // A small beam front somewhere mid-board.
+  std::vector<std::int32_t> node_cell;
+  std::vector<float> node_logp;
+  const int r0 = field.rows() / 2, c0 = field.cols() / 2;
+  node_cell.push_back(r0 * field.cols() + c0);
+  node_cell.push_back(r0 * field.cols() + c0 + 3);
+  node_cell.push_back((r0 + 2) * field.cols() + c0 + 1);
+  node_logp = {0.0f, -0.25f, -1.5f};
+
+  for (const TrackObservation& o : tb.obs) {
+    PolarDrawConfig scfg = cfg;
+    scfg.decode_kernel = DecodeKernel::kScalar;
+    PolarDrawConfig vcfg = cfg;
+    vcfg.decode_kernel = DecodeKernel::kVector;
+    ExpandKernel scalar(scfg, field);
+    ExpandKernel vector(vcfg, field);
+
+    std::vector<std::int32_t> s_cell, s_parent, v_cell, v_parent;
+    std::vector<float> s_logp, v_logp;
+    ExpandStats s_stats, v_stats;
+    scalar.expand(o, node_cell, node_logp, 0, node_cell.size(), s_cell,
+                  s_logp, s_parent, s_stats);
+    vector.expand(o, node_cell, node_logp, 0, node_cell.size(), v_cell,
+                  v_logp, v_parent, v_stats);
+
+    ASSERT_EQ(s_cell.size(), v_cell.size());
+    for (std::size_t i = 0; i < s_cell.size(); ++i) {
+      EXPECT_EQ(s_cell[i], v_cell[i]) << "candidate " << i;
+      EXPECT_EQ(s_parent[i], v_parent[i]) << "candidate " << i;
+      EXPECT_NEAR(s_logp[i], v_logp[i], 1e-4f) << "candidate " << i;
+    }
+    EXPECT_EQ(s_stats.expansions, v_stats.expansions);
+    EXPECT_EQ(s_stats.annulus_rejected, v_stats.annulus_rejected);
+  }
+}
+
+TEST(ExpandKernelParity, FuzzWindowScoresAndTrajectoriesAcrossSeedsAndLags) {
+  // Random testbed seeds and commit lags, both kernels streamed side by
+  // side: the per-window best score (the renormalization offset) must stay
+  // within FP-reassociation tolerance every single window, and the
+  // committed trajectories must agree everywhere.
+  const std::size_t lags[] = {1, 3, 7, 16, 61};
+  for (std::uint64_t seed = 20; seed < 30; ++seed) {
+    const std::size_t lag = lags[seed % 5];
+    const PolarDrawConfig base;
+    const auto tb = make_decode_testbed(base, 60, seed);
+    StreamingConfig scfg;
+    scfg.lag_windows = lag;
+
+    PolarDrawConfig s_algo = base;
+    s_algo.decode_kernel = DecodeKernel::kScalar;
+    PolarDrawConfig v_algo = base;
+    v_algo.decode_kernel = DecodeKernel::kVector;
+    const bool use_hint = seed % 2 == 0;
+    StreamingDecoder s_dec(s_algo, tb.a1, tb.a2, tb.antenna_z, scfg, nullptr,
+                           use_hint ? &tb.start : nullptr);
+    StreamingDecoder v_dec(v_algo, tb.a1, tb.a2, tb.antenna_z, scfg, nullptr,
+                           use_hint ? &tb.start : nullptr);
+    std::vector<Vec2> s_out, v_out;
+    for (const auto& o : tb.obs) {
+      s_dec.push(o);
+      v_dec.push(o);
+      if (s_dec.seeded()) {
+        EXPECT_NEAR(s_dec.last_window_logp_max(), v_dec.last_window_logp_max(),
+                    1e-3f)
+            << "seed " << seed << " lag " << lag;
+        // Renormalization invariant, both kernels: the front max is
+        // exactly zero after every decoded window.
+        EXPECT_EQ(s_dec.front_logp_max(), 0.0f);
+        EXPECT_EQ(v_dec.front_logp_max(), 0.0f);
+      }
+      s_dec.poll(s_out);
+      v_dec.poll(v_out);
+    }
+    s_dec.finish(s_out);
+    v_dec.finish(v_out);
+    ASSERT_EQ(s_out.size(), v_out.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < s_out.size(); ++i) {
+      EXPECT_EQ(s_out[i].x, v_out[i].x) << "seed " << seed << " pos " << i;
+      EXPECT_EQ(s_out[i].y, v_out[i].y) << "seed " << seed << " pos " << i;
+    }
+  }
+}
+
+TEST(ExpandKernelParity, RecognitionAccuracyEqualUnderBothKernels) {
+  // The fig. 13 (letters) / fig. 18 (words) metric end to end, small reps:
+  // the full pipeline -- synthesis, RFID sim, tracking, classification --
+  // must score identically under both kernels.
+  eval::TrialConfig cfg;
+  cfg.seed = 99;
+  eval::apply_system_layout(cfg);
+  cfg.algo.decode_kernel = DecodeKernel::kScalar;
+  const double letters_scalar = eval::letter_accuracy("AOXU", 2, cfg);
+  const double words_scalar = eval::word_accuracy(2, 1, cfg);
+  cfg.algo.decode_kernel = DecodeKernel::kVector;
+  const double letters_vector = eval::letter_accuracy("AOXU", 2, cfg);
+  const double words_vector = eval::word_accuracy(2, 1, cfg);
+  EXPECT_EQ(letters_scalar, letters_vector);
+  EXPECT_EQ(words_scalar, words_vector);
+}
+
+TEST(ExpandKernel, NonUnitDirectionDecodesLikeItsNormalizedSelf) {
+  // The emission's half-plane threshold and perpendicular-distance scale
+  // are in meters, so MotionEstimate::direction must be unit length; the
+  // kernel enforces it. Scaling every direction by 4 (a power of two, so
+  // the renormalization is FP-exact) must change nothing.
+  for (const DecodeKernel kernel :
+       {DecodeKernel::kScalar, DecodeKernel::kVector}) {
+    PolarDrawConfig cfg;
+    cfg.board_width_m = 0.4;
+    cfg.board_height_m = 0.3;
+    cfg.block_m = 0.01;
+    cfg.beam_width = 200;
+    cfg.decode_kernel = kernel;
+    TrackObservation right;
+    right.direction.type = MotionType::kTranslational;
+    right.direction.direction = Vec2{1.0, 0.0};
+    right.distance.lower_m = 0.004;
+    right.distance.upper_m = 0.01;
+    right.distance.valid = true;
+    right.has_phase = false;
+    TrackObservation up = right;
+    up.direction.direction = Vec2{0.0, 1.0};
+    std::vector<TrackObservation> unit_obs;
+    for (int i = 0; i < 12; ++i) unit_obs.push_back(i % 3 == 2 ? up : right);
+    std::vector<TrackObservation> scaled_obs = unit_obs;
+    for (auto& o : scaled_obs) {
+      o.direction.direction = Vec2{o.direction.direction.x * 4.0,
+                                   o.direction.direction.y * 4.0};
+    }
+
+    const Vec2 a1{0.1, 0.35}, a2{0.3, 0.35};
+    const Vec2 start{0.1, 0.15};
+    const HmmTracker hmm(cfg, a1, a2, 0.12);
+    expect_bit_identical(hmm.decode(scaled_obs, &start),
+                         hmm.decode(unit_obs, &start));
+  }
+}
+
+TEST(GenerationScoreboard, CounterWrapFallsBackToFullWipe) {
+  GenerationScoreboard<std::int32_t> sb(8);
+  sb.put(3, 42);
+  EXPECT_TRUE(sb.contains(3));
+
+  // Jump to the last pre-wrap generation: entries written now carry the
+  // max stamp, and the next clear() wraps the counter to 0 -- which must
+  // trigger the full stamp wipe, or those entries would alias as live
+  // once the counter climbs back to their stamp value.
+  sb.debug_set_generation(0xFFFFFFFFu);
+  sb.put(5, 7);
+  EXPECT_TRUE(sb.contains(5));
+  EXPECT_EQ(sb.get(5), 7);
+
+  sb.clear();  // wraps: ++gen == 0 -> wipe, gen = 1
+  for (std::size_t cell = 0; cell < sb.size(); ++cell) {
+    EXPECT_FALSE(sb.contains(cell)) << "cell " << cell;
+  }
+  // The scoreboard is fully usable after the wipe.
+  sb.put(5, 9);
+  EXPECT_TRUE(sb.contains(5));
+  EXPECT_EQ(sb.get(5), 9);
+  sb.clear();
+  EXPECT_FALSE(sb.contains(5));
+}
+
+}  // namespace
+}  // namespace polardraw::core

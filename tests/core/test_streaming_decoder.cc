@@ -288,6 +288,67 @@ TEST(StreamingDecoder, EmptyStreamCommitsNothing) {
   EXPECT_TRUE(out.empty());
 }
 
+TEST(StreamingDecoder, LongStreamKeepsResolutionViaRenormalization) {
+  // The float log-prob drift bugfix: node_logp_ is float and every window
+  // subtracts a score, so an unnormalized 1e4-window session would push
+  // the beam to magnitudes where float ULP rivals the per-window score
+  // differences that separate candidates. The per-window renormalization
+  // pins the front max at exactly 0.0f forever; this decodes >= 1e4
+  // windows, asserts the invariant every window, and checks the committed
+  // trajectory against a chunk-restarted reference (fresh decoders seeded
+  // from the previous chunk's last committed position -- a decoder whose
+  // log-probs cannot have drifted by construction).
+  PolarDrawConfig cfg;
+  cfg.board_width_m = 0.5;
+  cfg.board_height_m = 0.4;
+  cfg.block_m = 0.005;
+  cfg.beam_width = 200;
+  const int kWindows = 10'000;
+  const std::size_t kChunk = 500;
+  const std::size_t kLag = 16;
+  const auto tb = make_decode_testbed(cfg, kWindows, 6);
+
+  StreamingConfig scfg;
+  scfg.lag_windows = kLag;
+  StreamingDecoder dec(cfg, tb.a1, tb.a2, tb.antenna_z, scfg, nullptr,
+                       &tb.start);
+  std::vector<Vec2> long_out;
+  for (const auto& o : tb.obs) {
+    dec.push(o);
+    ASSERT_EQ(dec.front_logp_max(), 0.0f)
+        << "renormalization invariant broken at window " << dec.pushed();
+    dec.poll(long_out);
+  }
+  dec.finish(long_out);
+  ASSERT_EQ(long_out.size(), static_cast<std::size_t>(kWindows) + 1);
+  // The cumulative offset the renormalization absorbed: without it this
+  // entire magnitude would sit inside every float log-prob of the beam.
+  EXPECT_LT(dec.total_logp_offset(), -1000.0);
+
+  // Chunk-restarted reference: decoder k seeds from the last committed
+  // position of decoder k-1 and decodes the next kChunk windows.
+  std::vector<Vec2> chunked_out;
+  chunked_out.push_back(long_out[0]);
+  Vec2 hint = long_out[0];
+  for (std::size_t begin = 0; begin < tb.obs.size(); begin += kChunk) {
+    StreamingDecoder chunk(cfg, tb.a1, tb.a2, tb.antenna_z, scfg, nullptr,
+                           &hint);
+    std::vector<Vec2> part;
+    const std::size_t end = std::min(begin + kChunk, tb.obs.size());
+    for (std::size_t i = begin; i < end; ++i) chunk.push(tb.obs[i]);
+    chunk.finish(part);
+    ASSERT_EQ(part.size(), end - begin + 1);
+    // part[0] replays the seed root; positions 1.. are the chunk's decode.
+    chunked_out.insert(chunked_out.end(), part.begin() + 1, part.end());
+    hint = part.back();
+  }
+  ASSERT_EQ(chunked_out.size(), long_out.size());
+  // The restarted decoders lose the long session's beam diversity at each
+  // boundary, so equality is up to a small re-anchoring deviation; a
+  // resolution-starved long session fails this by drifting unboundedly.
+  EXPECT_LE(mean_deviation(long_out, chunked_out), 4.0 * cfg.block_m);
+}
+
 TEST(StreamingDecoder, AzimuthCorrectionAccumulates) {
   const PolarDrawConfig cfg;
   const auto tb = make_decode_testbed(cfg, 1, 7);
