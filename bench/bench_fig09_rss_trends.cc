@@ -24,7 +24,7 @@ struct SweepResult {
 
 SweepResult run_sweep(bool print) {
   sim::SceneConfig scene_cfg;
-  scene_cfg.gamma = deg2rad(30.0);  // the figure's setting
+  scene_cfg.gamma_rad = deg2rad(30.0);  // the figure's setting
   scene_cfg.seed = 5;
   sim::Scene scene(scene_cfg);
 
@@ -49,7 +49,7 @@ SweepResult run_sweep(bool print) {
 
   const auto reports = scene.run(trace);
   core::PolarDrawConfig cfg;
-  cfg.gamma_rad = scene_cfg.gamma;
+  cfg.gamma_rad = scene_cfg.gamma_rad;
   const core::PhaseCalibration cal{scene.reader().port_phase_offsets()};
   const auto windows = core::preprocess(reports, cfg, &cal);
 

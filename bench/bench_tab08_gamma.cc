@@ -22,7 +22,7 @@ static void run_experiment() {
   for (int i = 0; i < 5; ++i) {
     auto cfg = bench::default_trial(eval::System::kPolarDraw,
                                     1200 + static_cast<std::uint64_t>(i));
-    cfg.scene.gamma = deg2rad(static_cast<double>(sweep[i]));
+    cfg.scene.gamma_rad = deg2rad(static_cast<double>(sweep[i]));
     std::vector<eval::TrialResult> results;
     const double acc = eval::letter_accuracy(
         bench::ten_letters(), reps, cfg, nullptr, bench::n_threads(), &results);
@@ -39,7 +39,7 @@ static void run_experiment() {
 
 static void BM_TrialWideGamma(benchmark::State& state) {
   auto cfg = bench::default_trial(eval::System::kPolarDraw, 3);
-  cfg.scene.gamma = deg2rad(60.0);
+  cfg.scene.gamma_rad = deg2rad(60.0);
   for (auto _ : state) {
     cfg.seed += 1;
     benchmark::DoNotOptimize(eval::run_trial("U", cfg).all_correct);

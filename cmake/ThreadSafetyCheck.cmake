@@ -1,0 +1,41 @@
+# Configure-time proof that Clang Thread Safety Analysis is actually armed:
+# a fixture that reads a PD_GUARDED_BY field without holding the lock MUST
+# fail to compile under -Wthread-safety -Werror, and a correctly locked
+# control MUST compile. If the negative fixture ever compiles, the macros
+# expanded to nothing (or the flags were dropped) and every annotation in
+# the tree is dead weight -- fail the configure, not the code review.
+#
+# Only included for Clang; GCC has no thread-safety analysis, so there the
+# macros are no-ops by design.
+
+set(_tsa_flags "-Wthread-safety;-Wthread-safety-beta;-Werror;-std=c++20")
+set(_tsa_fixtures ${CMAKE_CURRENT_LIST_DIR}/fixtures)
+
+try_compile(TSA_POSITIVE_COMPILES
+  ${CMAKE_BINARY_DIR}/tsa_check/positive
+  ${_tsa_fixtures}/tsa_positive.cc
+  COMPILE_DEFINITIONS "${_tsa_flags}"
+  CMAKE_FLAGS "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+  OUTPUT_VARIABLE _tsa_positive_out)
+if(NOT TSA_POSITIVE_COMPILES)
+  message(FATAL_ERROR
+    "Thread-safety positive control failed to compile: a correctly locked "
+    "PD_GUARDED_BY access was rejected, so the annotations are wrong.\n"
+    "${_tsa_positive_out}")
+endif()
+
+try_compile(TSA_NEGATIVE_COMPILES
+  ${CMAKE_BINARY_DIR}/tsa_check/negative
+  ${_tsa_fixtures}/tsa_negative.cc
+  COMPILE_DEFINITIONS "${_tsa_flags}"
+  CMAKE_FLAGS "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+  OUTPUT_VARIABLE _tsa_negative_out)
+if(TSA_NEGATIVE_COMPILES)
+  message(FATAL_ERROR
+    "Thread-safety analysis is not armed: an unannotated lock-free access "
+    "to a PD_GUARDED_BY field compiled clean under -Wthread-safety -Werror. "
+    "Check that common/annotations.h expands the attributes under Clang.")
+endif()
+
+message(STATUS "Thread safety analysis armed: guarded-access fixture "
+  "rejected, locked control accepted")

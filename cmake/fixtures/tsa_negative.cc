@@ -1,0 +1,25 @@
+// Expected-FAILURE fixture for cmake/ThreadSafetyCheck.cmake: reads and
+// writes a PD_GUARDED_BY field without acquiring the capability. Under
+// clang -Wthread-safety -Werror this must NOT compile; if it does, the
+// analysis is disarmed and the configure step fails.
+#include "common/annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() { ++value_; }  // missing pd::MutexLock lock(mu_)
+  int read() const { return value_; }  // likewise
+
+ private:
+  mutable pd::Mutex mu_;
+  int value_ PD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.read();
+}

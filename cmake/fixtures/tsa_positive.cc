@@ -1,0 +1,44 @@
+// Positive control for cmake/ThreadSafetyCheck.cmake: every guarded access
+// holds the capability, exercising pd::MutexLock scopes, PD_REQUIRES, and a
+// condition-variable wait through native_lock(). Must compile clean under
+// clang -Wthread-safety -Wthread-safety-beta -Werror.
+#include <condition_variable>
+
+#include "common/annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    pd::MutexLock lock(mu_);
+    bump_locked();
+    cv_.notify_all();
+  }
+
+  int wait_nonzero() {
+    pd::MutexLock lock(mu_);
+    while (value_ == 0) cv_.wait(lock.native_lock());
+    return value_;
+  }
+
+  int read() const {
+    pd::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void bump_locked() PD_REQUIRES(mu_) { ++value_; }
+
+  mutable pd::Mutex mu_;
+  std::condition_variable cv_;
+  int value_ PD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.read() + c.wait_nonzero() - 2;
+}

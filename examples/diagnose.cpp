@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   const auto reports = scene.run(trace);
 
   core::PolarDrawConfig cfg;
-  cfg.gamma_rad = scene_cfg.gamma;
+  cfg.gamma_rad = scene_cfg.gamma_rad;
   const auto apos = scene.antenna_board_positions();
   core::PolarDraw tracker(cfg, apos[0], apos[1], scene_cfg.antenna_standoff_m);
   core::PhaseCalibration cal{scene.reader().port_phase_offsets()};
@@ -142,7 +142,7 @@ int main(int argc, char** argv) {
           : d.direction.sense == core::RotationSense::kCounterClockwise ? "ccw"
                                                                         : "?  ";
       std::cout << fmt(d.t_s, 2) << " | " << fmt((az0 + az1) / 2, 0) << " | "
-                << fmt(rad2deg(d.direction.alpha_a), 0) << " | "
+                << fmt(rad2deg(d.direction.alpha_a_rad), 0) << " | "
                 << static_cast<int>(d.direction.sector) << " | " << sense
                 << " | " << fmt(az1 - az0, 1) << "\n";
     }

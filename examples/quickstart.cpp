@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
 
   // 4. Track with PolarDraw.
   core::PolarDrawConfig cfg;
-  cfg.gamma_rad = scene_cfg.gamma;
+  cfg.gamma_rad = scene_cfg.gamma_rad;
   const auto apos = scene.antenna_board_positions();
   core::PolarDraw tracker(cfg, apos[0], apos[1], scene_cfg.antenna_standoff_m);
   core::PhaseCalibration cal{scene.reader().port_phase_offsets()};

@@ -16,11 +16,11 @@ using namespace polardraw;
 
 int main() {
   sim::SceneConfig cfg;
-  cfg.gamma = deg2rad(15.0);
+  cfg.gamma_rad = deg2rad(15.0);
   const auto rig = sim::build_rig(cfg);
   const em::TxConfig tx;
 
-  const double g = rad2deg(cfg.gamma);
+  const double g = rad2deg(cfg.gamma_rad);
   std::cout << "Sector bounds (deg from +X): sector3=(" << g << ","
             << 90.0 - g << ") sector2=(" << 90.0 - g << "," << 90.0 + g
             << ") sector1=(" << 90.0 + g << "," << 180.0 - g << ")\n";

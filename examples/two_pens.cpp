@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   for (const auto& r : reports) streams[r.epc].push_back(r);
 
   core::PolarDrawConfig algo;
-  algo.gamma_rad = scene_cfg.gamma;
+  algo.gamma_rad = scene_cfg.gamma_rad;
   const auto apos = scene.antenna_board_positions();
   const core::PhaseCalibration cal{scene.reader().port_phase_offsets()};
   const recognition::LetterClassifier classifier;

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
 
   // RF trajectory, as usual.
   core::PolarDrawConfig algo;
-  algo.gamma_rad = scene_cfg.gamma;
+  algo.gamma_rad = scene_cfg.gamma_rad;
   const auto apos = scene.antenna_board_positions();
   core::PolarDraw tracker(algo, apos[0], apos[1], 0.12);
   const core::PhaseCalibration cal{scene.reader().port_phase_offsets()};

@@ -1,0 +1,91 @@
+// Clang Thread Safety Analysis annotations and capability-annotated mutex
+// wrappers (DESIGN.md section 15).
+//
+// The macros expand to Clang's thread-safety attributes under Clang and to
+// nothing elsewhere, so GCC builds see plain std::mutex semantics while the
+// clang CI jobs compile with -Wthread-safety -Wthread-safety-beta -Werror
+// and reject any unannotated access to guarded state at compile time.
+//
+// Conventions (enforced by polarlint R9):
+//   - every mutex member is a pd::Mutex, never a raw std::mutex;
+//   - every pd::Mutex is referenced by at least one PD_GUARDED_BY /
+//     PD_REQUIRES / PD_ACQUIRE annotation -- a capability that guards
+//     nothing is a bug in the annotation, not the code;
+//   - state intentionally outside the lock (owner-thread data, fields
+//     published by a generation handshake) stays unannotated with a comment
+//     saying why.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define PD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PD_THREAD_ANNOTATION(x)
+#endif
+
+// Type attributes.
+#define PD_CAPABILITY(name) PD_THREAD_ANNOTATION(capability(name))
+#define PD_SCOPED_CAPABILITY PD_THREAD_ANNOTATION(scoped_lockable)
+
+// Data-member attributes.
+#define PD_GUARDED_BY(mu) PD_THREAD_ANNOTATION(guarded_by(mu))
+#define PD_PT_GUARDED_BY(mu) PD_THREAD_ANNOTATION(pt_guarded_by(mu))
+
+// Function attributes.
+#define PD_REQUIRES(...) \
+  PD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PD_ACQUIRE(...) \
+  PD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PD_RELEASE(...) \
+  PD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PD_TRY_ACQUIRE(...) \
+  PD_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define PD_EXCLUDES(...) PD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define PD_ASSERT_CAPABILITY(x) PD_THREAD_ANNOTATION(assert_capability(x))
+#define PD_RETURN_CAPABILITY(x) PD_THREAD_ANNOTATION(lock_returned(x))
+#define PD_NO_THREAD_SAFETY_ANALYSIS \
+  PD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pd {
+
+/// std::mutex carrying the "mutex" capability, so the analysis can prove
+/// which locks are held at each guarded access.
+class PD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PD_ACQUIRE() { mu_.lock(); }
+  void unlock() PD_RELEASE() { mu_.unlock(); }
+  bool try_lock() PD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Escape hatch for std::condition_variable, which needs the native
+  /// std::mutex. Waiting re-acquires the same capability, so callers pair
+  /// this with MutexLock::native_lock() inside an already-annotated scope.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over pd::Mutex (RAII std::unique_lock underneath), annotated
+/// so the capability is held for exactly the scope of the object.
+class PD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PD_ACQUIRE(mu) : lock_(mu.native_handle()) {}
+  ~MutexLock() PD_RELEASE() = default;
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// The underlying lock, for std::condition_variable::wait. The wait
+  /// releases and re-acquires the same mutex, so the capability held by
+  /// this scope stays truthful at every point the waiting code can observe.
+  std::unique_lock<std::mutex>& native_lock() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace pd

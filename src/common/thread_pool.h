@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "obs/trace.h"
 
 namespace polardraw {
@@ -50,7 +51,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      pd::MutexLock lock(mu_);
       stop_ = true;
     }
     work_ready_.notify_all();
@@ -77,7 +78,7 @@ class ThreadPool {
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      pd::MutexLock lock(mu_);
       body_ = &body;
       batch_end_ = n;
       next_.store(0, std::memory_order_relaxed);
@@ -92,8 +93,8 @@ class ThreadPool {
     }
     work_ready_.notify_all();
     run_batch();  // the calling thread works too
-    std::unique_lock<std::mutex> lock(mu_);
-    batch_done_.wait(lock, [this] { return workers_active_ == 0; });
+    pd::MutexLock lock(mu_);
+    while (workers_active_ != 0) batch_done_.wait(lock.native_lock());
     body_ = nullptr;
     if (error_) std::rethrow_exception(error_);
   }
@@ -118,7 +119,7 @@ class ThreadPool {
         (*body_)(i);
       }
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      pd::MutexLock lock(mu_);
       if (!error_) error_ = std::current_exception();
       // Stop claiming further indices so the batch drains quickly.
       next_.store(batch_end_, std::memory_order_relaxed);
@@ -131,10 +132,9 @@ class ThreadPool {
       bool trace_batch = false;
       obs::Tracer::Clock::time_point publish{};
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        work_ready_.wait(lock, [this, seen_generation] {
-          return stop_ || generation_ != seen_generation;
-        });
+        pd::MutexLock lock(mu_);
+        while (!stop_ && generation_ == seen_generation)
+          work_ready_.wait(lock.native_lock());
         if (stop_) return;
         seen_generation = generation_;
         trace_batch = trace_batch_;
@@ -156,7 +156,7 @@ class ThreadPool {
         run_batch();
       }
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        pd::MutexLock lock(mu_);
         if (--workers_active_ == 0) batch_done_.notify_all();
       }
     }
@@ -165,19 +165,24 @@ class ThreadPool {
   const int size_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  pd::Mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable batch_done_;
-  bool stop_ = false;
-  std::uint64_t generation_ = 0;
-  int workers_active_ = 0;
-  std::exception_ptr error_;
+  bool stop_ PD_GUARDED_BY(mu_) = false;
+  std::uint64_t generation_ PD_GUARDED_BY(mu_) = 0;
+  int workers_active_ PD_GUARDED_BY(mu_) = 0;
+  std::exception_ptr error_ PD_GUARDED_BY(mu_);
 
+  // body_ and batch_end_ are deliberately outside the capability: they are
+  // written under mu_ in parallel_for, then read lock-free in run_batch.
+  // The generation handshake publishes them -- a worker only enters
+  // run_batch after observing the new generation_ under mu_, and the caller
+  // only clears body_ after workers_active_ drained to zero under mu_.
   const std::function<void(std::size_t)>* body_ = nullptr;
   std::size_t batch_end_ = 0;
   std::atomic<std::size_t> next_{0};
-  bool trace_batch_ = false;  // guarded by mu_, per batch
-  obs::Tracer::Clock::time_point batch_publish_{};
+  bool trace_batch_ PD_GUARDED_BY(mu_) = false;  // per batch
+  obs::Tracer::Clock::time_point batch_publish_ PD_GUARDED_BY(mu_){};
 };
 
 }  // namespace polardraw

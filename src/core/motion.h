@@ -27,8 +27,8 @@ struct DirectionEstimate {
   /// Unit direction of motion in board coordinates (zero when idle).
   Vec2 direction;
   /// For rotational windows: the tracked azimuth and rotation angle.
-  double alpha_a = 0.0;
-  double alpha_r = 0.0;
+  double alpha_a_rad = 0.0;
+  double alpha_r_rad = 0.0;
   RotationSense sense = RotationSense::kNone;
   Sector sector = Sector::kUnknown;
   BoardDirection coarse = BoardDirection::kNone;

@@ -174,7 +174,7 @@ TrackingResult PolarDraw::track_windows(
     for (std::size_t i = 0; i < traj.size(); ++i) {
       if (i < result.diagnostics.size() &&
           result.diagnostics[i].motion == MotionType::kRotational) {
-        azimuth = result.diagnostics[i].direction.alpha_a;
+        azimuth = result.diagnostics[i].direction.alpha_a_rad;
       }
       traj[i] -= Vec2{ce * std::cos(azimuth), se} * cfg_.tag_offset_m;
     }

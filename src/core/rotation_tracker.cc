@@ -12,7 +12,7 @@ RotationTracker::RotationTracker(const PolarDrawConfig& cfg) : cfg_(cfg) {}
 
 void RotationTracker::reset() {
   started_ = false;
-  alpha_a_ = 0.0;
+  alpha_a_rad_ = 0.0;
   sector_ = Sector::kUnknown;
   correction_ = 0.0;
   correction_locked_ = false;
@@ -92,7 +92,7 @@ double RotationTracker::boundary_angle(Sector from, Sector to) const {
   if (pair(Sector::kSector2, Sector::kSector3)) return kPi / 2.0 - g;
   // Sectors 1 and 3 are not adjacent; the crossing must have passed
   // through sector 2 unobserved -- snap to the nearer boundary.
-  return alpha_a_ > kPi / 2.0 ? kPi / 2.0 + g : kPi / 2.0 - g;
+  return alpha_a_rad_ > kPi / 2.0 ? kPi / 2.0 + g : kPi / 2.0 - g;
 }
 
 RotationSense RotationTracker::sense_in_sector(Sector sector, double ds1,
@@ -155,14 +155,14 @@ DirectionEstimate RotationTracker::step(double ds1, double ds2) {
     }
     sector = decision->sector;
     sense = decision->sense;
-    alpha_a_ = initial_azimuth(sector, sense);
+    alpha_a_rad_ = initial_azimuth(sector, sense);
     sector_ = sector;
     started_ = true;
   } else {
     // Continuous tracking: the tracked azimuth pins the sector, so only
     // the rotation sense needs decoding -- far more robust than re-running
     // the rate comparison, which is noise-fragile near antenna peaks.
-    sector = sector_of(alpha_a_);
+    sector = sector_of(alpha_a_rad_);
     sense = sense_in_sector(sector, ds1, ds2);
     if (sense == RotationSense::kNone) {
       // Sign pattern impossible in this sector: the pen crossed into a
@@ -180,10 +180,10 @@ DirectionEstimate RotationTracker::step(double ds1, double ds2) {
         // the tracked angle -- their discrepancies are tracking noise,
         // not the initial error, and must not pile into Eq. 10.
         if (!correction_locked_) {
-          correction_ = alpha_a_ - boundary;
+          correction_ = alpha_a_rad_ - boundary;
           correction_locked_ = true;
         }
-        alpha_a_ = boundary;
+        alpha_a_rad_ = boundary;
       }
       sector = decision->sector;
       sense = decision->sense;
@@ -200,18 +200,18 @@ DirectionEstimate RotationTracker::step(double ds1, double ds2) {
   const double weak = std::min(std::fabs(ds1), std::fabs(ds2));
   const double step_rad =
       (strong > gate && weak > 0.2 * gate) ? cfg_.delta_beta_rad : 0.0;
-  alpha_a_ += sense == RotationSense::kClockwise ? -step_rad : step_rad;
+  alpha_a_rad_ += sense == RotationSense::kClockwise ? -step_rad : step_rad;
   // Keep the azimuth inside the sector union [gamma, pi - gamma].
   const double lo = cfg_.gamma_rad, hi = kPi - cfg_.gamma_rad;
-  if (alpha_a_ < lo) alpha_a_ = lo;
-  if (alpha_a_ > hi) alpha_a_ = hi;
+  if (alpha_a_rad_ < lo) alpha_a_rad_ = lo;
+  if (alpha_a_rad_ > hi) alpha_a_rad_ = hi;
 
   est.type = MotionType::kRotational;
   est.sense = sense;
   est.sector = sector;
-  est.alpha_a = alpha_a_;
-  est.alpha_r = rotation_angle(alpha_a_);
-  est.direction = motion_direction(est.alpha_r, sense);
+  est.alpha_a_rad = alpha_a_rad_;
+  est.alpha_r_rad = rotation_angle(alpha_a_rad_);
+  est.direction = motion_direction(est.alpha_r_rad, sense);
   return est;
 }
 

@@ -32,7 +32,7 @@ class RotationTracker {
 
   /// Current azimuth estimate (radians), if tracking has started.
   std::optional<double> azimuth() const {
-    return started_ ? std::optional<double>(alpha_a_) : std::nullopt;
+    return started_ ? std::optional<double>(alpha_a_rad_) : std::nullopt;
   }
 
   void reset();
@@ -72,7 +72,7 @@ class RotationTracker {
 
   PolarDrawConfig cfg_;
   bool started_ = false;
-  double alpha_a_ = 0.0;
+  double alpha_a_rad_ = 0.0;
   Sector sector_ = Sector::kUnknown;
   double correction_ = 0.0;
   bool correction_locked_ = false;

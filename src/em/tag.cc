@@ -7,17 +7,17 @@
 namespace polardraw::em {
 
 Vec3 pen_axis(const PenAngles& angles) {
-  const double ce = std::cos(angles.elevation);
-  const double se = std::sin(angles.elevation);
-  const double ca = std::cos(angles.azimuth);
-  const double sa = std::sin(angles.azimuth);
+  const double ce = std::cos(angles.elevation_rad);
+  const double se = std::sin(angles.elevation_rad);
+  const double ca = std::cos(angles.azimuth_rad);
+  const double sa = std::sin(angles.azimuth_rad);
   // Azimuth sweeps the X-Z plane from +X; elevation lifts toward +Y.
   return Vec3{ce * ca, se, ce * sa};
 }
 
 double rotation_angle_from_pen(const PenAngles& angles) {
-  const double denom = std::cos(angles.elevation) * std::cos(angles.azimuth);
-  const double value = kPi - std::atan(-std::sin(angles.elevation) / denom);
+  const double denom = std::cos(angles.elevation_rad) * std::cos(angles.azimuth_rad);
+  const double value = kPi - std::atan(-std::sin(angles.elevation_rad) / denom);
   return wrap_2pi(value);
 }
 

@@ -15,8 +15,8 @@ namespace polardraw::em {
 
 /// Pen orientation in the paper's angular coordinates (radians).
 struct PenAngles {
-  double elevation = 0.0;  // alpha_e
-  double azimuth = 0.0;    // alpha_a
+  double elevation_rad = 0.0;  // alpha_e
+  double azimuth_rad = 0.0;    // alpha_a
 };
 
 /// Unit vector of the pen (and therefore tag dipole) axis for the given

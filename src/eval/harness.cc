@@ -50,7 +50,7 @@ void apply_system_layout(TrialConfig& cfg) {
                               cfg.system != System::kPolarDrawNoPolPhaseDir;
   cfg.algo.use_phase_direction =
       cfg.system != System::kPolarDrawNoPol;
-  cfg.algo.gamma_rad = cfg.scene.gamma;
+  cfg.algo.gamma_rad = cfg.scene.gamma_rad;
   cfg.algo.board_width_m = cfg.scene.board_width_m;
   cfg.algo.board_height_m = cfg.scene.board_height_m;
 }
@@ -72,6 +72,7 @@ TrialResult run_trial(const std::string& text, const TrialConfig& cfg_in) {
   static const obs::TraceName track_name("eval.stage.track");
   static const obs::TraceName classify_name("eval.stage.classify");
 
+  // polarlint-allow(R7): stage-timing measurement only; never feeds the decode.
   const auto trial_start = std::chrono::steady_clock::now();
   TrialConfig cfg = cfg_in;
   apply_system_layout(cfg);
@@ -83,13 +84,16 @@ TrialResult run_trial(const std::string& text, const TrialConfig& cfg_in) {
   // --- Synthesize the writing and run the reader -------------------------
   sim::Scene scene(cfg.scene);
   Rng rng(cfg.seed * 7919 + 13);
+  // polarlint-allow(R7): stage-timing measurement only; never feeds the decode.
   auto stage_start = std::chrono::steady_clock::now();
   const auto trace = handwriting::synthesize(text, cfg.synth, rng);
+  // polarlint-allow(R7): stage-timing measurement only; never feeds the decode.
   auto stage_end = std::chrono::steady_clock::now();
   out.stages.synth_s = seconds_between(stage_start, stage_end);
   if (tracing) tracer.complete(synth_name.id(), stage_start, stage_end);
   stage_start = stage_end;
   const auto reports = scene.run(trace);
+  // polarlint-allow(R7): stage-timing measurement only; never feeds the decode.
   stage_end = std::chrono::steady_clock::now();
   out.stages.reader_s = seconds_between(stage_start, stage_end);
   if (tracing) tracer.complete(reader_name.id(), stage_start, stage_end);
@@ -97,6 +101,7 @@ TrialResult run_trial(const std::string& text, const TrialConfig& cfg_in) {
   out.ground_truth = handwriting::flatten_strokes(trace.ground_truth);
 
   // --- Track ---------------------------------------------------------------
+  // polarlint-allow(R7): stage-timing measurement only; never feeds the decode.
   stage_start = std::chrono::steady_clock::now();
   const core::PhaseCalibration cal{scene.reader().port_phase_offsets()};
   switch (cfg.system) {
@@ -138,6 +143,7 @@ TrialResult run_trial(const std::string& text, const TrialConfig& cfg_in) {
       break;
     }
   }
+  // polarlint-allow(R7): stage-timing measurement only; never feeds the decode.
   stage_end = std::chrono::steady_clock::now();
   out.stages.track_s = seconds_between(stage_start, stage_end);
   if (tracing) tracer.complete(track_name.id(), stage_start, stage_end);
@@ -174,6 +180,7 @@ TrialResult run_trial(const std::string& text, const TrialConfig& cfg_in) {
           static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
     out.all_correct = out.recognized == upper;
   }
+  // polarlint-allow(R7): stage-timing measurement only; never feeds the decode.
   stage_end = std::chrono::steady_clock::now();
   out.stages.classify_s = seconds_between(stage_start, stage_end);
   if (tracing) tracer.complete(classify_name.id(), stage_start, stage_end);

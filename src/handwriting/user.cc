@@ -13,7 +13,7 @@ UserStyle user_style(int id) {
     case 1:
       u.name = "user-1 (fluent)";
       u.wrist.pivot_offset = {0.005, -0.035};
-      u.wrist.alpha_r_half_range = deg2rad(55.0);
+      u.wrist.alpha_r_half_range_rad = deg2rad(55.0);
       u.kinematics.cruise_speed = 0.10;
       u.shape_wobble = 0.05;
       break;
@@ -22,16 +22,16 @@ UserStyle user_style(int id) {
       // The instructed unnatural style: the arm writes, the wrist barely
       // pivots -- a long stiff radius yields little azimuthal rotation.
       u.wrist.pivot_offset = {0.02, -0.20};
-      u.wrist.alpha_r_half_range = deg2rad(10.0);
+      u.wrist.alpha_r_half_range_rad = deg2rad(10.0);
       u.wrist.max_reach_m = 0.30;
-      u.wrist.tremor = 0.004;
+      u.wrist.tremor_rad = 0.004;
       u.kinematics.cruise_speed = 0.08;
       u.shape_wobble = 0.04;
       break;
     case 3:
       u.name = "user-3 (fast)";
       u.wrist.pivot_offset = {0.008, -0.040};
-      u.wrist.alpha_r_half_range = deg2rad(50.0);
+      u.wrist.alpha_r_half_range_rad = deg2rad(50.0);
       u.kinematics.cruise_speed = 0.14;
       u.kinematics.speed_jitter = 0.14;
       u.shape_wobble = 0.08;
@@ -39,7 +39,7 @@ UserStyle user_style(int id) {
     case 4:
       u.name = "user-4 (deliberate)";
       u.wrist.pivot_offset = {0.004, -0.030};
-      u.wrist.alpha_r_half_range = deg2rad(58.0);
+      u.wrist.alpha_r_half_range_rad = deg2rad(58.0);
       u.kinematics.cruise_speed = 0.07;
       u.shape_wobble = 0.04;
       break;

@@ -61,8 +61,8 @@ em::PenAngles WristModel::step(const PathSample& sample) {
       ar = radius.angle();  // (-pi, pi]
       if (ar < 0.0) ar += kPi;  // fold: projection is a line
     }
-    const double lo = kPi / 2.0 - style_.alpha_r_half_range;
-    const double hi = kPi / 2.0 + style_.alpha_r_half_range;
+    const double lo = kPi / 2.0 - style_.alpha_r_half_range_rad;
+    const double hi = kPi / 2.0 + style_.alpha_r_half_range_rad;
     const double ar_clamped = std::clamp(ar, lo, hi);
     const double len_clamped =
         std::clamp(len, style_.min_reach_m, style_.max_reach_m);
@@ -76,19 +76,19 @@ em::PenAngles WristModel::step(const PathSample& sample) {
     }
     last_ar_ = ar;
 
-    const double elevation = style_.elevation + elevation_offset_rad_;
+    const double elevation = style_.elevation_rad + elevation_offset_rad_;
     azimuth_rad_ = azimuth_from_rotation(ar, elevation);
   }
 
   if (dt > 0.0) {
     elevation_offset_rad_ +=
-        rng_.gaussian(0.0, style_.elevation_wander * std::sqrt(dt));
+        rng_.gaussian(0.0, style_.elevation_wander_rad * std::sqrt(dt));
     elevation_offset_rad_ = std::clamp(elevation_offset_rad_, -0.2, 0.2);
   }
-  double az = azimuth_rad_ + rng_.gaussian(0.0, style_.tremor);
+  double az = azimuth_rad_ + rng_.gaussian(0.0, style_.tremor_rad);
   az = std::clamp(az, deg2rad(8.0), deg2rad(172.0));
 
-  return em::PenAngles{style_.elevation + elevation_offset_rad_, az};
+  return em::PenAngles{style_.elevation_rad + elevation_offset_rad_, az};
 }
 
 }  // namespace polardraw::handwriting

@@ -28,10 +28,10 @@ namespace polardraw::handwriting {
 
 struct WristStyle {
   /// Mean pen elevation angle, radians (paper's alpha_e_rad, ~30 deg typical).
-  double elevation = 0.5235987755982988;  // 30 deg
+  double elevation_rad = 0.5235987755982988;  // 30 deg
 
   /// Slow elevation wander (std-dev, radians) around the mean.
-  double elevation_wander = 0.05;
+  double elevation_wander_rad = 0.05;
 
   /// Hand-rest offset from the pen tip (meters, board coordinates):
   /// where the pivot lands when the hand repositions.
@@ -42,7 +42,7 @@ struct WristStyle {
   /// [pi/2 - half_range, pi/2 + half_range]. A "stiff" writer (paper's
   /// User 2) has a small half-range: the arm moves, the pen barely
   /// rotates.
-  double alpha_r_half_range = 1.0;  // ~57 deg
+  double alpha_r_half_range_rad = 1.0;  // ~57 deg
 
   /// Reach (pivot-to-tip distance) limits, meters; the hand slides to
   /// stay inside them.
@@ -50,7 +50,7 @@ struct WristStyle {
   double max_reach_m = 0.11;
 
   /// Azimuth tremor (std-dev per sample, radians).
-  double tremor = 0.01;
+  double tremor_rad = 0.01;
 };
 
 /// Stateful generator: feed path samples in time order, get pen angles.

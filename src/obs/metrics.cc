@@ -6,7 +6,8 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "common/annotations.h"
 
 namespace polardraw::obs {
 
@@ -71,25 +72,28 @@ void merge_into(Shard& into, const Shard& from,
 }  // namespace
 
 struct Registry::Impl {
-  mutable std::mutex mu;
+  mutable pd::Mutex mu;
   std::atomic<bool> enabled{false};
 
-  // Name -> id maps and per-id metadata (guarded by mu).
-  std::map<std::string, int> counter_ids;
-  std::map<std::string, int> gauge_ids;
-  std::map<std::string, int> hist_ids;
-  std::vector<std::string> counter_names;
-  std::vector<std::string> gauge_names;
-  std::vector<std::string> hist_names;
-  std::vector<std::vector<double>> hist_bounds;
+  // Name -> id maps and per-id metadata.
+  std::map<std::string, int> counter_ids PD_GUARDED_BY(mu);
+  std::map<std::string, int> gauge_ids PD_GUARDED_BY(mu);
+  std::map<std::string, int> hist_ids PD_GUARDED_BY(mu);
+  std::vector<std::string> counter_names PD_GUARDED_BY(mu);
+  std::vector<std::string> gauge_names PD_GUARDED_BY(mu);
+  std::vector<std::string> hist_names PD_GUARDED_BY(mu);
+  std::vector<std::vector<double>> hist_bounds PD_GUARDED_BY(mu);
 
-  // Live per-thread shards plus the merged data of exited threads.
-  std::vector<Shard*> live;
-  Shard retired;
+  // Live per-thread shards plus the merged data of exited threads. The
+  // vector and the retired accumulator are guarded; the pointed-to shards
+  // are owner-thread data readable under mu only after the retirement
+  // handshake (see metrics.h), which is beyond what the annotations model.
+  std::vector<Shard*> live PD_GUARDED_BY(mu);
+  Shard retired PD_GUARDED_BY(mu);
 
   Shard& local_shard();
   void retire(Shard* s) {
-    std::lock_guard<std::mutex> lock(mu);
+    pd::MutexLock lock(mu);
     merge_into(retired, *s, hist_bounds);
     live.erase(std::remove(live.begin(), live.end(), s), live.end());
   }
@@ -122,7 +126,7 @@ Shard& Registry::Impl::local_shard() {
     }
     auto fresh = std::make_unique<Shard>();
     {
-      std::lock_guard<std::mutex> lock(mu);
+      pd::MutexLock lock(mu);
       live.push_back(fresh.get());
     }
     tls_shard.owner = this;
@@ -150,7 +154,7 @@ Registry& Registry::global() {
 }
 
 int Registry::counter_id(const std::string& name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  pd::MutexLock lock(impl_->mu);
   const auto it = impl_->counter_ids.find(name);
   if (it != impl_->counter_ids.end()) return it->second;
   const int id = static_cast<int>(impl_->counter_names.size());
@@ -160,7 +164,7 @@ int Registry::counter_id(const std::string& name) {
 }
 
 int Registry::gauge_id(const std::string& name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  pd::MutexLock lock(impl_->mu);
   const auto it = impl_->gauge_ids.find(name);
   if (it != impl_->gauge_ids.end()) return it->second;
   const int id = static_cast<int>(impl_->gauge_names.size());
@@ -171,7 +175,7 @@ int Registry::gauge_id(const std::string& name) {
 
 int Registry::histogram_id(const std::string& name,
                            const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  pd::MutexLock lock(impl_->mu);
   const auto it = impl_->hist_ids.find(name);
   if (it != impl_->hist_ids.end()) return it->second;
   const int id = static_cast<int>(impl_->hist_names.size());
@@ -217,7 +221,7 @@ void Registry::histogram_observe(int id, double v) {
   if (h.counts.empty()) {
     // First observe of this histogram on this thread: copy the registered
     // bounds under the lock; afterwards the shard is self-contained.
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    pd::MutexLock lock(impl_->mu);
     h.bounds = impl_->hist_bounds[idx];
     h.counts.assign(h.bounds.size() + 1, 0);
   }
@@ -230,7 +234,7 @@ void Registry::histogram_observe(int id, double v) {
 }
 
 Snapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  pd::MutexLock lock(impl_->mu);
   Shard merged;
   merge_into(merged, impl_->retired, impl_->hist_bounds);
   for (const Shard* s : impl_->live) {
@@ -269,7 +273,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  pd::MutexLock lock(impl_->mu);
   impl_->retired = Shard{};
   for (Shard* s : impl_->live) *s = Shard{};
 }

@@ -5,9 +5,9 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 
+#include "common/annotations.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 
@@ -87,23 +87,28 @@ std::size_t capacity_from_env() {
 }  // namespace
 
 struct Tracer::Impl {
-  mutable std::mutex mu;
+  mutable pd::Mutex mu;
   std::atomic<bool> enabled{false};
+  // epoch is deliberately outside the capability: the hot recording path
+  // reads it lock-free, and reset() (the only writer after construction)
+  // runs under the documented quiescence handshake -- no recording threads.
   Clock::time_point epoch = Clock::now();
-  std::size_t ring_capacity = 65536;
+  std::size_t ring_capacity PD_GUARDED_BY(mu) = 65536;
 
-  // Name interning (guarded by mu; each site interns once).
-  std::map<std::string, int> name_ids;
-  std::vector<std::string> names;
+  // Name interning (each site interns once).
+  std::map<std::string, int> name_ids PD_GUARDED_BY(mu);
+  std::vector<std::string> names PD_GUARDED_BY(mu);
 
-  // Live per-thread rings plus the retained rings of exited threads.
-  std::vector<Ring*> live;
-  std::vector<std::unique_ptr<Ring>> retired;
-  int next_tid = 0;
+  // Live per-thread rings plus the retained rings of exited threads. The
+  // containers are guarded; ring contents are owner-thread data readable
+  // under mu only after the quiescence handshake (see tracer.h).
+  std::vector<Ring*> live PD_GUARDED_BY(mu);
+  std::vector<std::unique_ptr<Ring>> retired PD_GUARDED_BY(mu);
+  int next_tid PD_GUARDED_BY(mu) = 0;
 
   Ring& local_ring();
   void retire(std::unique_ptr<Ring> r) {
-    std::lock_guard<std::mutex> lock(mu);
+    pd::MutexLock lock(mu);
     live.erase(std::remove(live.begin(), live.end(), r.get()), live.end());
     retired.push_back(std::move(r));
   }
@@ -132,7 +137,7 @@ Ring& Tracer::Impl::local_ring() {
     }
     std::unique_ptr<Ring> fresh;
     {
-      std::lock_guard<std::mutex> lock(mu);
+      pd::MutexLock lock(mu);
       fresh = std::make_unique<Ring>(ring_capacity);
       fresh->tid = ++next_tid;
       fresh->thread_name = "thread-" + std::to_string(fresh->tid);
@@ -153,7 +158,7 @@ Tracer::~Tracer() { delete impl_; }
 Tracer& Tracer::global() {
   static Tracer* g = [] {
     auto* t = new Tracer();
-    t->impl_->ring_capacity = capacity_from_env();
+    t->set_ring_capacity(capacity_from_env());
     if (std::getenv("PD_TRACE_DIR") != nullptr) t->set_enabled(true);
     return t;
   }();
@@ -169,7 +174,7 @@ bool Tracer::enabled() const {
 }
 
 int Tracer::name_id(const std::string& name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  pd::MutexLock lock(impl_->mu);
   const auto it = impl_->name_ids.find(name);
   if (it != impl_->name_ids.end()) return it->second;
   const int id = static_cast<int>(impl_->names.size());
@@ -180,7 +185,7 @@ int Tracer::name_id(const std::string& name) {
 
 void Tracer::set_current_thread_name(const std::string& name) {
   Ring& r = impl_->local_ring();
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  pd::MutexLock lock(impl_->mu);
   r.thread_name = name;
 }
 
@@ -225,17 +230,17 @@ void Tracer::instant_at(int name, Clock::time_point ts, int a0_name, double a0,
 }
 
 void Tracer::set_ring_capacity(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  pd::MutexLock lock(impl_->mu);
   impl_->ring_capacity = clamp_capacity(capacity);
 }
 
 std::size_t Tracer::ring_capacity() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  pd::MutexLock lock(impl_->mu);
   return impl_->ring_capacity;
 }
 
 std::vector<TraceThreadSnapshot> Tracer::snapshot() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  pd::MutexLock lock(impl_->mu);
   std::vector<const Ring*> rings;
   for (const auto& r : impl_->retired) rings.push_back(r.get());
   for (const Ring* r : impl_->live) rings.push_back(r);
@@ -277,7 +282,7 @@ std::vector<TraceThreadSnapshot> Tracer::snapshot() const {
 }
 
 std::uint64_t Tracer::dropped_events() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  pd::MutexLock lock(impl_->mu);
   std::uint64_t total = 0;
   for (const auto& r : impl_->retired) total += r->dropped;
   for (const Ring* r : impl_->live) total += r->dropped;
@@ -285,7 +290,7 @@ std::uint64_t Tracer::dropped_events() const {
 }
 
 void Tracer::reset() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  pd::MutexLock lock(impl_->mu);
   impl_->retired.clear();
   for (Ring* r : impl_->live) r->reset(impl_->ring_capacity);
   impl_->epoch = Clock::now();

@@ -31,9 +31,11 @@ bool SessionServer::submit(SessionId id, const core::TrackObservation& obs) {
   const auto it = sessions_.find(id);
   if (it == sessions_.end()) return false;
   Session& s = *it->second;
+  // polarlint-allow(R7): push-to-commit latency measurement only; the
+  // timestamp never feeds the decode.
   const auto now = Clock::now();
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    pd::MutexLock lock(s.mu);
     s.mailbox.push_back(obs);
     s.stamps.push_back(now);
   }
@@ -46,7 +48,7 @@ bool SessionServer::accumulate_azimuth_correction(SessionId id,
   const auto it = sessions_.find(id);
   if (it == sessions_.end()) return false;
   Session& s = *it->second;
-  std::lock_guard<std::mutex> lock(s.mu);
+  pd::MutexLock lock(s.mu);
   s.decoder.accumulate_azimuth_correction(delta_rad);
   return true;
 }
@@ -61,7 +63,7 @@ std::size_t SessionServer::pump() {
   std::vector<Session*> active;
   active.reserve(sessions_.size());
   for (auto& [id, s] : sessions_) {
-    std::lock_guard<std::mutex> lock(s->mu);
+    pd::MutexLock lock(s->mu);
     if (!s->mailbox.empty()) active.push_back(s.get());
   }
 
@@ -70,12 +72,14 @@ std::size_t SessionServer::pump() {
     Session& s = *active[i];
     // Hold the session mutex for the whole drain: a submit() landing
     // mid-drain waits a moment instead of racing the stamps vector.
-    std::lock_guard<std::mutex> lock(s.mu);
+    pd::MutexLock lock(s.mu);
     for (const core::TrackObservation& o : s.mailbox) s.decoder.push(o);
     s.mailbox.clear();
     const std::size_t base = s.committed.size();
     const std::size_t n = s.decoder.poll(s.committed);
     if (n > 0) {
+      // polarlint-allow(R7): measurement only -- stamps the commit for the
+      // push_to_commit_s histogram, never feeds the decode.
       const auto now = Clock::now();
       // Position-to-observation mapping: the seed root (at the phaseless-
       // prefix length for mid-stream seeds, 0 otherwise) has no originating
@@ -110,7 +114,7 @@ std::vector<Vec2> SessionServer::close(SessionId id) {
   Session& s = *it->second;
   std::vector<Vec2> traj;
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    pd::MutexLock lock(s.mu);
     // Drain anything submitted since the last pump(): the trajectory is a
     // function of the session's full observation stream, so observations
     // still sitting in the mailbox must decode before the tail commits --

@@ -27,9 +27,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/thread_pool.h"
 #include "common/vec.h"
 #include "core/config.h"
@@ -99,17 +99,22 @@ class SessionServer {
         : decoder(cfg, a1, a2, antenna_z, scfg, std::move(field),
                   initial_hint) {}
 
-    core::StreamingDecoder decoder;
-    /// Guards mailbox/stamps against submit() racing this session's drain.
-    std::mutex mu;
-    std::vector<core::TrackObservation> mailbox;
+    /// Guards the decoder and mailbox/stamps against submit() racing this
+    /// session's drain.
+    pd::Mutex mu;
+    core::StreamingDecoder decoder PD_GUARDED_BY(mu);
+    std::vector<core::TrackObservation> mailbox PD_GUARDED_BY(mu);
     /// Submit timestamp of every observation ever queued. Relative to the
     /// decoder's seed_root_position() R (which has no originating window),
     /// output position p was created by observation p for p < R (the
     /// backfilled phaseless prefix) and by observation p - 1 for p > R --
     /// which is what makes push-to-commit latency (including the lag wait)
     /// measurable.
-    std::vector<Clock::time_point> stamps;
+    std::vector<Clock::time_point> stamps PD_GUARDED_BY(mu);
+    /// Deliberately outside the capability: pump()/close() append under mu,
+    /// but committed() hands out a const reference without it -- the
+    /// documented phase contract (header threading rules) is that readers
+    /// never overlap pump()/close(), which no lock annotation can express.
     std::vector<Vec2> committed;
   };
 

@@ -42,8 +42,8 @@ std::vector<em::ReaderAntenna> build_rig(const SceneConfig& cfg) {
     case RigLayout::kPolarDrawTwoAntenna: {
       // Antenna 0 ("antenna 1" of Fig. 8c) at pi/2 + gamma from +X,
       // antenna 1 at pi/2 - gamma.
-      rig.push_back(linear_down(Vec3{cx - half, top, z}, kPi / 2.0 + cfg.gamma));
-      rig.push_back(linear_down(Vec3{cx + half, top, z}, kPi / 2.0 - cfg.gamma));
+      rig.push_back(linear_down(Vec3{cx - half, top, z}, kPi / 2.0 + cfg.gamma_rad));
+      rig.push_back(linear_down(Vec3{cx + half, top, z}, kPi / 2.0 - cfg.gamma_rad));
       break;
     }
     case RigLayout::kTagoramTwoAntenna: {
@@ -133,11 +133,11 @@ em::Tag tag_at_time(const handwriting::WritingTrace& trace, double t_s) {
     const double f = span > 0.0 ? (t_s - lo.t_s) / span : 0.0;
     interp.t_s = t_s;
     interp.tag_pos = lo.tag_pos + (hi.tag_pos - lo.tag_pos) * f;
-    interp.angles.azimuth =
-        lo.angles.azimuth + angle_diff(hi.angles.azimuth, lo.angles.azimuth) * f;
-    interp.angles.elevation =
-        lo.angles.elevation +
-        angle_diff(hi.angles.elevation, lo.angles.elevation) * f;
+    interp.angles.azimuth_rad =
+        lo.angles.azimuth_rad + angle_diff(hi.angles.azimuth_rad, lo.angles.azimuth_rad) * f;
+    interp.angles.elevation_rad =
+        lo.angles.elevation_rad +
+        angle_diff(hi.angles.elevation_rad, lo.angles.elevation_rad) * f;
     interp.pen_down = lo.pen_down;
   }
   return em::make_pen_tag(interp.tag_pos, interp.angles);

@@ -34,7 +34,7 @@ struct SceneConfig {
   double antenna_standoff_m = 1.0;
 
   /// Inter-antenna polarization half-angle gamma (radians; Table 8 knob).
-  double gamma = 0.2617993877991494;  // 15 deg, the paper's default
+  double gamma_rad = 0.2617993877991494;  // 15 deg, the paper's default
 
   /// Horizontal spacing between the two PolarDraw antennas, meters.
   double antenna_spacing_m = 0.565;  // 56 cm, per Fig. 17's rig

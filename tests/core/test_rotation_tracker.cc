@@ -132,9 +132,9 @@ TEST(RotationTracker, TracksClockwiseSweep) {
   // Bootstrap in sector 2 clockwise, then keep rotating clockwise.
   auto est = tracker.step(-2.0, 2.0);
   EXPECT_EQ(est.type, MotionType::kRotational);
-  const double az0 = est.alpha_a;
+  const double az0 = est.alpha_a_rad;
   for (int i = 0; i < 5; ++i) est = tracker.step(-2.0, 2.0);
-  EXPECT_LT(est.alpha_a, az0);
+  EXPECT_LT(est.alpha_a_rad, az0);
   EXPECT_EQ(est.sense, RotationSense::kClockwise);
 }
 
@@ -143,10 +143,10 @@ TEST(RotationTracker, GateBlocksWeakSteps) {
   cfg.delta_beta_gate_db = 1.5;
   RotationTracker tracker(cfg);
   auto est = tracker.step(-2.0, 2.0);  // bootstrap
-  const double az0 = est.alpha_a;
+  const double az0 = est.alpha_a_rad;
   // Weak changes: sense decodes but the azimuth must not step.
   est = tracker.step(-0.1, 0.1);
-  EXPECT_NEAR(est.alpha_a, az0, 1e-12);
+  EXPECT_NEAR(est.alpha_a_rad, az0, 1e-12);
 }
 
 TEST(RotationTracker, SectorCrossingAccumulatesCorrection) {

@@ -48,7 +48,7 @@ TEST(ApplySystemLayout, BaselinesGetTheirRigs) {
 TEST(ApplySystemLayout, GammaPropagatesToAlgorithm) {
   TrialConfig cfg;
   cfg.system = System::kPolarDraw;
-  cfg.scene.gamma = 0.7;
+  cfg.scene.gamma_rad = 0.7;
   apply_system_layout(cfg);
   EXPECT_EQ(cfg.algo.gamma_rad, 0.7);
   EXPECT_EQ(cfg.algo.board_width_m, cfg.scene.board_width_m);

@@ -111,7 +111,7 @@ TEST(Synthesizer, DeterministicGivenSeed) {
   ASSERT_EQ(ta.samples.size(), tb.samples.size());
   for (std::size_t i = 0; i < ta.samples.size(); i += 17) {
     EXPECT_EQ(ta.samples[i].pen_tip, tb.samples[i].pen_tip);
-    EXPECT_EQ(ta.samples[i].angles.azimuth, tb.samples[i].angles.azimuth);
+    EXPECT_EQ(ta.samples[i].angles.azimuth_rad, tb.samples[i].angles.azimuth_rad);
   }
 }
 

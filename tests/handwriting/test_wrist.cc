@@ -38,8 +38,8 @@ TEST(AzimuthFromRotation, SaturatesAtClamp) {
 
 TEST(WristModel, RightwardStrokeRotatesClockwise) {
   WristStyle style;
-  style.tremor = 0.0;
-  style.elevation_wander = 0.0;
+  style.tremor_rad = 0.0;
+  style.elevation_wander_rad = 0.0;
   WristModel wrist(style, Rng(1));
 
   // Settle at the start, then sweep right with the hand resting.
@@ -48,8 +48,8 @@ TEST(WristModel, RightwardStrokeRotatesClockwise) {
     const double t = i * 0.01;
     const Vec2 pos{0.3 + 0.0008 * i, 0.2};
     const auto angles = wrist.step(sample(t, pos, {0.08, 0.0}));
-    if (i == 5) az_start = angles.azimuth;
-    az_end = angles.azimuth;
+    if (i == 5) az_start = angles.azimuth_rad;
+    az_end = angles.azimuth_rad;
   }
   // Moving right: azimuth decreases (clockwise), per section 3.2.
   EXPECT_LT(az_end, az_start - deg2rad(10.0));
@@ -57,24 +57,24 @@ TEST(WristModel, RightwardStrokeRotatesClockwise) {
 
 TEST(WristModel, LeftwardStrokeRotatesCounterClockwise) {
   WristStyle style;
-  style.tremor = 0.0;
-  style.elevation_wander = 0.0;
+  style.tremor_rad = 0.0;
+  style.elevation_wander_rad = 0.0;
   WristModel wrist(style, Rng(1));
   double az_start = 0.0, az_end = 0.0;
   for (int i = 0; i <= 100; ++i) {
     const double t = i * 0.01;
     const Vec2 pos{0.5 - 0.0008 * i, 0.2};
     const auto angles = wrist.step(sample(t, pos, {-0.08, 0.0}));
-    if (i == 5) az_start = angles.azimuth;
-    az_end = angles.azimuth;
+    if (i == 5) az_start = angles.azimuth_rad;
+    az_end = angles.azimuth_rad;
   }
   EXPECT_GT(az_end, az_start + deg2rad(10.0));
 }
 
 TEST(WristModel, VerticalStrokeBarelyRotates) {
   WristStyle style;
-  style.tremor = 0.0;
-  style.elevation_wander = 0.0;
+  style.tremor_rad = 0.0;
+  style.elevation_wander_rad = 0.0;
   WristModel wrist(style, Rng(1));
   double az_min = 10.0, az_max = -10.0;
   for (int i = 0; i <= 100; ++i) {
@@ -82,8 +82,8 @@ TEST(WristModel, VerticalStrokeBarelyRotates) {
     const Vec2 pos{0.4, 0.30 - 0.0008 * i};
     const auto angles = wrist.step(sample(t, pos, {0.0, -0.08}));
     if (i >= 5) {
-      az_min = std::min(az_min, angles.azimuth);
-      az_max = std::max(az_max, angles.azimuth);
+      az_min = std::min(az_min, angles.azimuth_rad);
+      az_max = std::max(az_max, angles.azimuth_rad);
     }
   }
   EXPECT_LT(az_max - az_min, deg2rad(12.0));
@@ -91,7 +91,7 @@ TEST(WristModel, VerticalStrokeBarelyRotates) {
 
 TEST(WristModel, PenUpRepositionsPivot) {
   WristStyle style;
-  style.tremor = 0.0;
+  style.tremor_rad = 0.0;
   WristModel wrist(style, Rng(1));
   wrist.step(sample(0.0, {0.3, 0.2}, {}, true));
   // Jump far away with pen up: pivot follows.
@@ -107,7 +107,7 @@ TEST(WristModel, ElevationStaysNearMean) {
   for (int i = 0; i < 400; ++i) {
     const auto angles =
         wrist.step(sample(i * 0.005, {0.4 + 0.0004 * i, 0.2}, {0.08, 0.0}));
-    EXPECT_NEAR(angles.elevation, style.elevation, 0.21);
+    EXPECT_NEAR(angles.elevation_rad, style.elevation_rad, 0.21);
   }
 }
 
@@ -118,8 +118,8 @@ TEST(WristModel, AzimuthWithinPhysicalRange) {
     // Erratic movement.
     const Vec2 pos{0.4 + 0.1 * std::sin(i * 0.21), 0.25 + 0.1 * std::cos(i * 0.17)};
     const auto angles = wrist.step(sample(i * 0.005, pos, {}));
-    EXPECT_GE(angles.azimuth, deg2rad(8.0) - 1e-9);
-    EXPECT_LE(angles.azimuth, deg2rad(172.0) + 1e-9);
+    EXPECT_GE(angles.azimuth_rad, deg2rad(8.0) - 1e-9);
+    EXPECT_LE(angles.azimuth_rad, deg2rad(172.0) + 1e-9);
   }
 }
 
@@ -137,16 +137,16 @@ TEST(UserStyles, StiffUserRotatesLess) {
   // User 2's "stiff" style: same stroke, much smaller azimuth swing.
   auto swing_for = [](const UserStyle& u) {
     WristStyle style = u.wrist;
-    style.tremor = 0.0;
-    style.elevation_wander = 0.0;
+    style.tremor_rad = 0.0;
+    style.elevation_wander_rad = 0.0;
     WristModel wrist(style, Rng(1));
     double az_min = 10.0, az_max = -10.0;
     for (int i = 0; i <= 150; ++i) {
       const auto angles = wrist.step(
           sample(i * 0.01, {0.3 + 0.001 * i, 0.2}, {0.1, 0.0}));
       if (i >= 5) {
-        az_min = std::min(az_min, angles.azimuth);
-        az_max = std::max(az_max, angles.azimuth);
+        az_min = std::min(az_min, angles.azimuth_rad);
+        az_max = std::max(az_max, angles.azimuth_rad);
       }
     }
     return az_max - az_min;

@@ -297,6 +297,7 @@ TEST(ValidateChromeTrace, TracerExportRoundTrips) {
   const int span = tracer.name_id("test.roundtrip_span");
   const int inst = tracer.name_id("test.roundtrip_instant");
   const int arg = tracer.name_id("window");
+  // polarlint-allow(R7): synthetic timestamp for a trace-export fixture.
   const auto begin = obs::Tracer::Clock::now();
   tracer.complete(span, begin, begin + std::chrono::microseconds(100), arg,
                   1.0);

@@ -267,9 +267,29 @@ TEST(Directives, ReasonIsMandatory) {
   EXPECT_EQ(count_rule(vs, "DIRECTIVE"), 1);
 }
 
+TEST(Directives, WrappedReasonStillCoversNextStatement) {
+  // A reason long enough to wrap onto a second comment line must still
+  // reach the first code-bearing line below the directive.
+  const auto vs = lint_source(
+      "src/server/foo.cc",
+      "// polarlint-allow(R7): push-to-commit latency measurement only;\n"
+      "// the timestamp never feeds the decode.\n"
+      "const auto now = Clock::now();\n");
+  EXPECT_EQ(count_rule(vs, "R7"), 0);
+}
+
+TEST(Directives, CoverageStopsAtFirstCodeLine) {
+  const auto vs = lint_source(
+      "src/server/foo.cc",
+      "// polarlint-allow(R7): covers only the line below\n"
+      "const auto a = Clock::now();\n"
+      "const auto b = Clock::now();\n");
+  EXPECT_EQ(count_rule(vs, "R7"), 1);
+}
+
 TEST(Directives, UnknownRuleRejected) {
   const auto vs = lint_source(
-      "src/foo.cc", "int x = 0;  // polarlint-allow(R9): no such rule\n");
+      "src/foo.cc", "int x = 0;  // polarlint-allow(R12): no such rule\n");
   EXPECT_EQ(count_rule(vs, "DIRECTIVE"), 1);
 }
 
@@ -278,6 +298,309 @@ TEST(Directives, WrongRuleDoesNotSuppress) {
       "src/foo.cc",
       "double a = std::fmod(theta, kPi);  // polarlint-allow(R2): wrong rule\n");
   EXPECT_EQ(count_rule(vs, "R1"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// R1 statement-level evidence (the multi-line fmod fix)
+// ---------------------------------------------------------------------------
+
+TEST(R1Fmod, MultiLineStatementEvidence) {
+  // The angle identifier sits on a different physical line than fmod; a
+  // per-line scan missed this, the statement-range scan must not.
+  const auto vs = lint_source("src/foo.cc",
+                              "double a = std::fmod(\n"
+                              "    theta_rad + offset,\n"
+                              "    kTwoPi);\n");
+  ASSERT_EQ(count_rule(vs, "R1"), 1);
+  EXPECT_EQ(vs[0].line, 1);
+}
+
+TEST(R1Fmod, MultiLineNonAngleStaysSilent) {
+  const auto vs = lint_source("src/foo.cc",
+                              "double cycle = std::fmod(\n"
+                              "    t_s + warmup_s,\n"
+                              "    6.0);\n");
+  EXPECT_EQ(count_rule(vs, "R1"), 0);
+}
+
+TEST(R1Fmod, EvidenceDoesNotCrossStatementBoundary) {
+  // theta in the previous statement must not indict the fmod on a time.
+  const auto vs = lint_source("src/foo.cc",
+                              "double theta = 0.0;\n"
+                              "double cycle = std::fmod(t_s, 6.0);\n");
+  EXPECT_EQ(count_rule(vs, "R1"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R3 comma-chained declarators (the PR 8 limitation fix)
+// ---------------------------------------------------------------------------
+
+TEST(R3Suffix, CommaChainedFieldsAllChecked) {
+  const auto vs = lint_source("src/foo.h",
+                              "struct P {\n"
+                              "  double azimuth, elevation;\n"
+                              "};\n");
+  ASSERT_EQ(count_rule(vs, "R3"), 2);
+  EXPECT_EQ(vs[0].key, "azimuth");
+  EXPECT_EQ(vs[1].key, "elevation");
+}
+
+TEST(R3Suffix, CommaChainedSuffixedFieldsPass) {
+  const auto vs = lint_source("src/foo.h",
+                              "struct P {\n"
+                              "  double azimuth_rad, elevation_rad = 0.0;\n"
+                              "};\n");
+  EXPECT_EQ(count_rule(vs, "R3"), 0);
+}
+
+TEST(R3Suffix, ParameterTypeNameIsNotADeclarator) {
+  // After a comma in a parameter list the next token is a *type*; treating
+  // it as a chained declarator produced false positives (RotationSense).
+  const auto vs = lint_source(
+      "src/foo.h", "void step(double step_rad, RotationSense sense);\n");
+  EXPECT_EQ(count_rule(vs, "R3"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R6: deterministic pruning in core/ and server/
+// ---------------------------------------------------------------------------
+
+TEST(R6Sort, FiresOnFloatKeyLambdaWithoutTieBreak) {
+  const auto vs = lint_source(
+      "src/core/foo.cc",
+      "std::nth_element(idx.begin(), idx.begin() + k, idx.end(),\n"
+      "    [&](int a, int b) { return logp[a] > logp[b]; });\n");
+  ASSERT_EQ(count_rule(vs, "R6"), 1);
+  EXPECT_EQ(vs[0].line, 1);
+}
+
+TEST(R6Sort, AcceptsIndexTieBrokenLambda) {
+  const auto vs = lint_source(
+      "src/core/foo.cc",
+      "std::nth_element(idx.begin(), idx.begin() + k, idx.end(),\n"
+      "    [&](int a, int b) {\n"
+      "      return logp[a] > logp[b] || (logp[a] == logp[b] && a < b);\n"
+      "    });\n");
+  EXPECT_EQ(count_rule(vs, "R6"), 0);
+}
+
+TEST(R6Sort, ResolvesNamedComparatorInSameFile) {
+  const std::string no_tie =
+      "const auto better = [&](int x, int y) {\n"
+      "  return logp[x] > logp[y];\n"
+      "};\n"
+      "std::sort(order.begin(), order.end(), better);\n";
+  EXPECT_EQ(count_rule(lint_source("src/core/foo.cc", no_tie), "R6"), 1);
+  const std::string tied =
+      "const auto better = [&](int x, int y) {\n"
+      "  return logp[x] > logp[y] || (logp[x] == logp[y] && x < y);\n"
+      "};\n"
+      "std::sort(order.begin(), order.end(), better);\n";
+  EXPECT_EQ(count_rule(lint_source("src/core/foo.cc", tied), "R6"), 0);
+}
+
+TEST(R6Sort, FiresOnDefaultComparatorOverFloatKeys) {
+  const auto vs = lint_source(
+      "src/core/foo.cc", "std::sort(scores.begin(), scores.end());\n");
+  EXPECT_EQ(count_rule(vs, "R6"), 1);
+}
+
+TEST(R6Sort, SilentOnIntegerKeysAndOutsideScope) {
+  // Integer ordering has no ties-by-representation hazard.
+  EXPECT_EQ(count_rule(lint_source("src/core/foo.cc",
+                                   "std::sort(ids.begin(), ids.end());\n"),
+                       "R6"),
+            0);
+  // em/ is outside the decode-critical scope.
+  EXPECT_EQ(count_rule(lint_source("src/em/foo.cc",
+                                   "std::sort(scores.begin(), scores.end());\n"),
+                       "R6"),
+            0);
+}
+
+TEST(R6Sort, UnorderedContainerBannedInScope) {
+  const std::string use = "std::unordered_set<int> seen;\n";
+  EXPECT_EQ(count_rule(lint_source("src/core/foo.cc", use), "R6"), 1);
+  EXPECT_EQ(count_rule(lint_source("src/server/foo.cc", use), "R6"), 1);
+  EXPECT_EQ(count_rule(lint_source("src/baselines/foo.cc", use), "R6"), 0);
+}
+
+TEST(R6Sort, Suppressed) {
+  const auto vs = lint_source(
+      "src/core/foo.cc",
+      "// polarlint-allow(R6): diagnostic-only ordering, never decoded\n"
+      "std::sort(scores.begin(), scores.end());\n");
+  EXPECT_EQ(count_rule(vs, "R6"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R7: clock reads outside the observability layer
+// ---------------------------------------------------------------------------
+
+TEST(R7Clock, FiresInDecodeChain) {
+  const auto vs = lint_source(
+      "src/core/foo.cc",
+      "const auto t0 = std::chrono::steady_clock::now();\n");
+  ASSERT_EQ(count_rule(vs, "R7"), 1);
+  EXPECT_EQ(vs[0].line, 1);
+}
+
+TEST(R7Clock, FiresOnAliasedClock) {
+  const auto vs =
+      lint_source("src/server/foo.cc", "const auto now = Clock::now();\n");
+  EXPECT_EQ(count_rule(vs, "R7"), 1);
+}
+
+TEST(R7Clock, ExemptLayers) {
+  const std::string src = "const auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_EQ(count_rule(lint_source("src/obs/tracer.cc", src), "R7"), 0);
+  EXPECT_EQ(count_rule(lint_source("tests/obs/test_tracer.cc", src), "R7"), 0);
+  EXPECT_EQ(count_rule(lint_source("bench/bench_foo.cc", src), "R7"), 0);
+  EXPECT_EQ(count_rule(lint_source("src/common/thread_pool.h", src), "R7"), 0);
+  // Substrings of exempt components do not smuggle the exemption.
+  EXPECT_EQ(count_rule(lint_source("src/observations/foo.cc", src), "R7"), 1);
+}
+
+TEST(R7Clock, SilentOnNonClockNow) {
+  // now() on something that is not a clock (e.g. a span helper) is fine.
+  const auto vs = lint_source("src/core/foo.cc", "auto x = Span::now();\n");
+  EXPECT_EQ(count_rule(vs, "R7"), 0);
+}
+
+TEST(R7Clock, Suppressed) {
+  const auto vs = lint_source(
+      "src/server/foo.cc",
+      "// polarlint-allow(R7): latency measurement, never feeds decode\n"
+      "const auto now = Clock::now();\n");
+  EXPECT_EQ(count_rule(vs, "R7"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R8: include layering DAG
+// ---------------------------------------------------------------------------
+
+TEST(R8Layering, FiresOnBackEdge) {
+  const auto vs =
+      lint_source("src/em/tag.cc", "#include \"core/hmm_tracker.h\"\n");
+  ASSERT_EQ(count_rule(vs, "R8"), 1);
+  EXPECT_EQ(vs[0].key, "core/hmm_tracker.h");
+}
+
+TEST(R8Layering, AcceptsDownwardAndSelfEdges) {
+  const auto vs = lint_source("src/server/session_server.cc",
+                              "#include \"server/session_server.h\"\n"
+                              "#include \"core/streaming_decoder.h\"\n"
+                              "#include \"common/thread_pool.h\"\n"
+                              "#include \"obs/metrics.h\"\n");
+  EXPECT_EQ(count_rule(vs, "R8"), 0);
+}
+
+TEST(R8Layering, EqualRankSiblingsMayNotIncludeEachOther) {
+  const auto vs =
+      lint_source("src/channel/foo.cc", "#include \"handwriting/wrist.h\"\n");
+  EXPECT_EQ(count_rule(vs, "R8"), 1);
+}
+
+TEST(R8Layering, AnnotationsHeaderReachableFromObs) {
+  const auto vs =
+      lint_source("src/obs/tracer.cc", "#include \"common/annotations.h\"\n");
+  EXPECT_EQ(count_rule(vs, "R8"), 0);
+}
+
+TEST(R8Layering, IgnoresSystemTestAndUnknownIncludes) {
+  EXPECT_EQ(count_rule(lint_source("src/em/foo.cc",
+                                   "#include <algorithm>\n"
+                                   "#include \"polarlint.h\"\n"),
+                       "R8"),
+            0);
+  // Non-src/ files (tests, bench, tools) may include anything.
+  EXPECT_EQ(count_rule(lint_source("tests/em/test_tag.cc",
+                                   "#include \"core/hmm_tracker.h\"\n"),
+                       "R8"),
+            0);
+}
+
+TEST(R8Layering, CommentedOutIncludeIgnored) {
+  const auto vs =
+      lint_source("src/em/tag.cc", "// #include \"core/hmm_tracker.h\"\n");
+  EXPECT_EQ(count_rule(vs, "R8"), 0);
+}
+
+TEST(R8Layering, Suppressed) {
+  const auto vs = lint_source(
+      "src/em/tag.cc",
+      "// polarlint-allow(R8): transitional edge, tracked in ROADMAP\n"
+      "#include \"core/hmm_tracker.h\"\n");
+  EXPECT_EQ(count_rule(vs, "R8"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R9: mutex members must be annotated capabilities
+// ---------------------------------------------------------------------------
+
+TEST(R9Mutex, FiresOnRawStdMutexMember) {
+  const auto vs = lint_source("src/server/foo.h",
+                              "struct S {\n"
+                              "  std::mutex mu;\n"
+                              "};\n");
+  ASSERT_EQ(count_rule(vs, "R9"), 1);
+  EXPECT_EQ(vs[0].key, "mu");
+}
+
+TEST(R9Mutex, AcceptsAnnotatedPdMutex) {
+  const auto vs = lint_source("src/server/foo.h",
+                              "struct S {\n"
+                              "  pd::Mutex mu;\n"
+                              "  int queue PD_GUARDED_BY(mu);\n"
+                              "};\n");
+  EXPECT_EQ(count_rule(vs, "R9"), 0);
+}
+
+TEST(R9Mutex, FiresOnPdMutexThatGuardsNothing) {
+  const auto vs = lint_source("src/server/foo.h",
+                              "struct S {\n"
+                              "  pd::Mutex mu;\n"
+                              "  int queue;\n"
+                              "};\n");
+  ASSERT_EQ(count_rule(vs, "R9"), 1);
+  EXPECT_EQ(vs[0].key, "mu");
+}
+
+TEST(R9Mutex, RequiresAnnotationCountsAsReference) {
+  const auto vs = lint_source("src/server/foo.h",
+                              "struct S {\n"
+                              "  pd::Mutex mu;\n"
+                              "  void drain() PD_REQUIRES(mu);\n"
+                              "};\n");
+  EXPECT_EQ(count_rule(vs, "R9"), 0);
+}
+
+TEST(R9Mutex, LocalMutexAndOutOfScopeFilesIgnored) {
+  // A local (non-member) mutex carries no capability contract.
+  EXPECT_EQ(count_rule(lint_source("src/server/foo.cc",
+                                   "void f() { std::mutex local; }\n"),
+                       "R9"),
+            0);
+  // tools/ and tests/ are outside R9's src/ scope.
+  EXPECT_EQ(count_rule(lint_source("tools/foo/bar.h",
+                                   "struct S {\n  std::mutex mu;\n};\n"),
+                       "R9"),
+            0);
+  // The wrapper definition itself is exempt.
+  EXPECT_EQ(count_rule(lint_source("src/common/annotations.h",
+                                   "class Mutex {\n  std::mutex mu_;\n};\n"),
+                       "R9"),
+            0);
+}
+
+TEST(R9Mutex, Suppressed) {
+  const auto vs = lint_source(
+      "src/server/foo.h",
+      "struct S {\n"
+      "  // polarlint-allow(R9): wraps a C library handle, annotated later\n"
+      "  std::mutex mu;\n"
+      "};\n");
+  EXPECT_EQ(count_rule(vs, "R9"), 0);
 }
 
 // ---------------------------------------------------------------------------
