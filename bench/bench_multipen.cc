@@ -1,0 +1,216 @@
+// Contended multi-pen end-to-end load (paper section 7 at scale): N pens
+// write simultaneously through one MAC-arbitrated Gen2 inventory
+// (collisions burn air time; per-tag read rates emerge from Q adaptation),
+// the EPC-keyed stream feeds core::TagTrackAssociator, and the resulting
+// PenEvents drive server::SessionServer decodes -- the full multi-user
+// pipeline in one pass, frequency hopping on with per-channel calibration.
+//
+// Headline metrics (BENCH_multipen.json, benchdiff-gated):
+//   * fairness_accuracy     -- Jain index of per-tag read rates; 1.0 is a
+//                              perfectly fair MAC. "accuracy" keys the
+//                              abs-tol benchdiff class, so starvation
+//                              regressions fail the gate.
+//   * min/mean read rates   -- per-tag budget under contention.
+//   * collision_fraction    -- slot-level MAC overhead (warn-only trend).
+//   * reports_per_s / positions_per_s -- pipeline throughput.
+//
+// Two pens enter mid-run and one leaves early, so the association layer's
+// open/close churn is part of the measured path. PD_BENCH_SMOKE=1 shrinks
+// the write duration and the decode grid, not the pen count -- the
+// contention pattern is the point of this bench.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/association.h"
+#include "handwriting/synthesizer.h"
+#include "server/session_server.h"
+#include "sim/scene.h"
+
+using namespace polardraw;
+
+namespace {
+
+constexpr int kPens = 8;
+
+struct Pen {
+  std::uint32_t epc = 0;
+  handwriting::WritingTrace trace;
+  double t_enter_s = 0.0;
+  double t_leave_s = 1e300;
+};
+
+std::vector<Pen> make_pens(double duration_s, Rng& rng) {
+  // Distinct letters, origins and user styles across the board.
+  const std::string letters = "MZANKWOS";
+  std::vector<Pen> pens;
+  pens.reserve(kPens);
+  for (int p = 0; p < kPens; ++p) {
+    handwriting::SynthesisConfig synth;
+    synth.auto_center = false;
+    synth.origin = {0.08 + 0.11 * static_cast<double>(p % 4),
+                    p < 4 ? 0.12 : 0.38};
+    synth.user = handwriting::user_style(1 + p % 4);
+    Pen pen;
+    pen.epc = 0xA0u + static_cast<std::uint32_t>(p);
+    pen.trace = handwriting::synthesize(std::string(1, letters[
+                                            static_cast<std::size_t>(p)]),
+                                        synth, rng);
+    // Churn: the last two pens arrive mid-run, the first leaves early.
+    if (p >= kPens - 2) pen.t_enter_s = 0.3 * duration_s;
+    if (p == 0) pen.t_leave_s = 0.7 * duration_s;
+    pens.push_back(std::move(pen));
+  }
+  return pens;
+}
+
+void run_experiment(bool smoke) {
+  sim::SceneConfig scene_cfg;
+  scene_cfg.seed = 77;
+  scene_cfg.reader.frequency_hopping = true;
+  scene_cfg.reader.auto_select_modulation = false;
+  sim::Scene scene(scene_cfg);
+
+  Rng rng(9);
+  const double duration_s = smoke ? 2.0 : 6.0;
+  auto pens = make_pens(duration_s, rng);
+
+  std::vector<rfid::TagEntry> tags;
+  tags.reserve(pens.size());
+  for (auto& pen : pens) {
+    const auto* trace = &pen.trace;
+    tags.push_back(rfid::TagEntry{
+        pen.epc, [trace](double t) { return sim::tag_at_time(*trace, t); },
+        pen.t_enter_s, pen.t_leave_s});
+  }
+
+  // Per-port and per-channel calibration: the associator may then compare
+  // phases straight across hop boundaries.
+  core::PhaseCalibration cal;
+  cal.port_offsets_rad = scene.reader().port_phase_offsets();
+  cal.channel_offsets_rad.reserve(
+      static_cast<std::size_t>(scene_cfg.reader.hop_channels));
+  for (int c = 0; c < scene_cfg.reader.hop_channels; ++c) {
+    cal.channel_offsets_rad.push_back(rfid::Reader::hop_channel_offset_rad(c));
+  }
+
+  core::PolarDrawConfig algo;
+  algo.gamma_rad = scene_cfg.gamma_rad;
+  if (smoke) {
+    algo.block_m = 0.01;
+    algo.beam_width = 150;
+  }
+  const auto apos = scene.antenna_board_positions();
+
+  const int reps = bench::reps_scale();
+  std::size_t total_reports = 0;
+  std::size_t total_positions = 0;
+  std::size_t total_sessions = 0;
+  double fairness = 0.0;
+  double min_rate = 0.0, mean_rate = 0.0;
+  const bench::Stopwatch watch;
+  for (int r = 0; r < reps; ++r) {
+    // --- MAC-arbitrated inventory ---------------------------------------
+    const auto reports =
+        scene.reader().inventory_population(tags, 0.0, duration_s);
+    total_reports += reports.size();
+
+    // --- Per-tag read rates over each tag's presence window -------------
+    std::vector<std::size_t> reads(pens.size(), 0);
+    for (const auto& rep : reports) {
+      for (std::size_t p = 0; p < pens.size(); ++p) {
+        if (rep.epc == pens[p].epc) {
+          ++reads[p];
+          break;
+        }
+      }
+    }
+    double sum = 0.0, sum_sq = 0.0;
+    min_rate = 1e300;
+    for (std::size_t p = 0; p < pens.size(); ++p) {
+      const double present_s =
+          std::min(pens[p].t_leave_s, duration_s) - pens[p].t_enter_s;
+      const double rate =
+          static_cast<double>(reads[p]) / std::max(present_s, 1e-9);
+      sum += rate;
+      sum_sq += rate * rate;
+      min_rate = std::min(min_rate, rate);
+    }
+    mean_rate = sum / static_cast<double>(pens.size());
+    // Jain fairness index of per-tag read rates: 1 when the MAC shares the
+    // air perfectly, 1/N when one tag monopolizes it.
+    fairness = sum_sq > 0.0
+                   ? sum * sum / (static_cast<double>(pens.size()) * sum_sq)
+                   : 0.0;
+
+    // --- Association + streaming decode ---------------------------------
+    core::TagTrackAssociator assoc(algo, {}, &cal);
+    server::SessionServer server(algo, apos[0], apos[1],
+                                 scene_cfg.antenna_standoff_m);
+    std::vector<server::SessionServer::ClosedSession> closed;
+    // Chunked ingest (~one pump per 32 reports) models a polling frontend.
+    constexpr std::size_t kChunk = 32;
+    for (std::size_t i = 0; i < reports.size(); i += kChunk) {
+      rfid::TagReportStream chunk(
+          reports.begin() + static_cast<std::ptrdiff_t>(i),
+          reports.begin() +
+              static_cast<std::ptrdiff_t>(std::min(i + kChunk,
+                                                   reports.size())));
+      server.ingest(assoc.push(chunk), &closed);
+      server.pump();
+    }
+    server.ingest(assoc.flush(), &closed);
+    total_sessions += closed.size();
+    for (const auto& c : closed) total_positions += c.trajectory.size();
+  }
+  const double elapsed = watch.seconds();
+
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  const auto singles = snap.counter("rfid.gen2.singletons");
+  const auto collisions = snap.counter("rfid.gen2.collisions");
+  const auto empties = snap.counter("rfid.gen2.empties");
+  const double slots_total =
+      static_cast<double>(singles + collisions + empties);
+  const double collision_fraction =
+      slots_total > 0.0 ? static_cast<double>(collisions) / slots_total : 0.0;
+
+  bench::record_metric("pens", kPens);
+  bench::record_metric("duration_s_simulated", duration_s);
+  bench::record_metric("fairness_accuracy", fairness);
+  bench::record_metric("min_tag_reads_per_s", min_rate);
+  bench::record_metric("mean_tag_reads_per_s", mean_rate);
+  bench::record_metric("collision_fraction", collision_fraction);
+  bench::record_metric("sessions_closed",
+                       static_cast<double>(total_sessions) / reps);
+  bench::record_metric(
+      "reports_per_s",
+      elapsed > 0.0 ? static_cast<double>(total_reports) / elapsed : 0.0);
+  bench::record_metric(
+      "positions_per_s",
+      elapsed > 0.0 ? static_cast<double>(total_positions) / elapsed : 0.0);
+
+  std::cout << "Multi-pen load: " << kPens << " pens, " << fmt(duration_s, 1)
+            << " s air x " << reps << " reps -> "
+            << total_reports / static_cast<std::size_t>(reps)
+            << " reports/rep, " << total_sessions / static_cast<std::size_t>(reps)
+            << " sessions, "
+            << total_positions / static_cast<std::size_t>(reps)
+            << " positions.\n"
+            << "Fairness (Jain) " << fmt(fairness, 4) << "; per-tag rate min "
+            << fmt(min_rate, 1) << " / mean " << fmt(mean_rate, 1)
+            << " reads/s; collision fraction " << fmt(collision_fraction, 3)
+            << ".\n";
+}
+
+}  // namespace
+
+int main() {
+  const bench::Session session("multipen");
+  // Fairness/collision metrics come from the registry; enable it even
+  // outside JSON mode so the console report has real numbers.
+  obs::Registry::global().set_enabled(true);
+  run_experiment(bench::smoke_mode());
+  return session.write_json() ? 0 : 1;
+}

@@ -40,6 +40,7 @@ TrackingResult PolarDraw::track_windows(
   double prev_phase[2] = {0.0, 0.0};
   bool have_phase[2] = {false, false};
   int prev_channel[2] = {0, 0};
+  bool prev_calibrated[2] = {false, false};
 
   for (const Window& w : windows) {
     WindowDiagnostics diag;
@@ -59,9 +60,12 @@ TrackingResult PolarDraw::track_windows(
     bool dtheta_ok = true;
     for (int a = 0; a < 2; ++a) {
       // A frequency hop re-bases the phase (per-channel offset); a delta
-      // across the hop boundary is not motion.
+      // across the hop boundary is not motion -- unless both sides are
+      // channel-calibrated, in which case preprocess already removed the
+      // offsets and the delta is comparable.
       if (w.phase_valid[a] && have_phase[a] &&
-          w.channel[a] == prev_channel[a]) {
+          (w.channel[a] == prev_channel[a] ||
+           (prev_calibrated[a] && w.channel_calibrated[a]))) {
         dtheta[a] = w.phase_rad[a] - prev_phase[a];
       } else {
         dtheta_ok = false;
@@ -120,6 +124,7 @@ TrackingResult PolarDraw::track_windows(
         prev_phase[a] = w.phase_rad[a];
         have_phase[a] = true;
         prev_channel[a] = w.channel[a];
+        prev_calibrated[a] = w.channel_calibrated[a];
       }
     }
   }

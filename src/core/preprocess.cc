@@ -45,6 +45,9 @@ std::vector<Window> preprocess(const rfid::TagReportStream& reports,
     std::vector<double> rss[2];
     std::vector<double> phase[2];
     std::vector<int> channel[2];
+    // Phase reads whose channel the calibration did NOT cover; any such
+    // read poisons the window for cross-hop comparison.
+    int uncalibrated[2] = {0, 0};
   };
   // A corrupt timestamp far past the stream start would otherwise size the
   // bucket vector (and the output) absurdly; reads beyond the cap -- about
@@ -71,15 +74,24 @@ std::vector<Window> preprocess(const rfid::TagReportStream& reports,
     if (w_f < 0.0 || w_f >= static_cast<double>(n_windows)) continue;
     const std::size_t w = static_cast<std::size_t>(w_f);
     double phase = r.phase_rad;
-    if (calibration != nullptr &&
-        static_cast<std::size_t>(r.antenna_id) <
-            calibration->port_offsets_rad.size()) {
-      phase = wrap_2pi(phase - calibration->port_offsets_rad[r.antenna_id]);
+    bool channel_covered = false;
+    if (calibration != nullptr) {
+      if (static_cast<std::size_t>(r.antenna_id) <
+          calibration->port_offsets_rad.size()) {
+        phase = wrap_2pi(phase - calibration->port_offsets_rad[r.antenna_id]);
+      }
+      if (r.channel >= 0 &&
+          static_cast<std::size_t>(r.channel) <
+              calibration->channel_offsets_rad.size()) {
+        phase = wrap_2pi(phase - calibration->channel_offsets_rad[r.channel]);
+        channel_covered = true;
+      }
     }
     auto& acc = buckets[w];
     acc.rss[r.antenna_id].push_back(r.rss_dbm);
     acc.phase[r.antenna_id].push_back(phase);
     acc.channel[r.antenna_id].push_back(r.channel);
+    if (!channel_covered) acc.uncalibrated[r.antenna_id] += 1;
   }
 
   out.reserve(n_windows);
@@ -103,6 +115,10 @@ std::vector<Window> preprocess(const rfid::TagReportStream& reports,
         // Majority channel of the window's reads (hopping diagnostics).
         const auto& chs = acc.channel[a];
         if (!chs.empty()) win.channel[a] = chs[chs.size() / 2];
+        // Cross-hop comparison is only safe when every phase read fed
+        // through a calibrated channel (a single uncovered read would mix
+        // an unremoved RF-chain offset into the circular mean).
+        win.channel_calibrated[a] = acc.uncalibrated[a] == 0;
       }
     }
     out.push_back(win);
@@ -120,14 +136,21 @@ std::vector<Window> preprocess(const rfid::TagReportStream& reports,
     double prev_wrapped = 0.0;
     int prev_index = 0;
     int prev_channel = 0;
+    bool prev_calibrated = false;
     PhaseUnwrapper unwrapper;
     for (Window& win : out) {
       if (!win.phase_valid[a]) continue;
       const double wrapped = win.phase_rad[a];
-      if (have_prev && win.channel[a] != prev_channel) {
-        // Frequency hop: the per-channel offset makes this phase
-        // incomparable with the previous one; restart the comparison and
-        // the unwrapper at this window (the sample itself stays valid).
+      if (have_prev && win.channel[a] != prev_channel &&
+          !(prev_calibrated && win.channel_calibrated[a])) {
+        // Frequency hop across an uncalibrated boundary: the per-channel
+        // offset makes this phase incomparable with the previous one;
+        // restart the comparison and the unwrapper at this window (the
+        // sample itself stays valid). When BOTH sides are channel-
+        // calibrated the offsets were already removed at bucketing time,
+        // so the comparison continues through the hop; the residual
+        // carrier-frequency term is small enough for the spurious
+        // threshold to absorb (DESIGN.md section 16).
         have_prev = false;
         unwrapper.reset();
       }
@@ -163,6 +186,7 @@ std::vector<Window> preprocess(const rfid::TagReportStream& reports,
       prev_wrapped = wrapped;
       prev_index = win.index;
       prev_channel = win.channel[a];
+      prev_calibrated = win.channel_calibrated[a];
       win.phase_rad[a] = unwrapped;
     }
     nonmonotone += unwrapper.nonmonotone_rejected();

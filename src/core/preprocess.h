@@ -37,6 +37,11 @@ struct Window {
   /// deltas across a channel change are not meaningful without
   /// per-channel calibration, so the unwrapper restarts on a hop.
   int channel[2] = {0, 0};
+  /// True when every phase read in this window came from a channel the
+  /// supplied PhaseCalibration covered (its RF-chain offset was removed
+  /// at bucketing time). Two adjacent calibrated windows may compare
+  /// phases across a hop; an uncalibrated boundary always fences.
+  bool channel_calibrated[2] = {false, false};
 
   bool both_rss_valid() const { return rss_valid[0] && rss_valid[1]; }
   bool both_phase_valid() const { return phase_valid[0] && phase_valid[1]; }
@@ -45,8 +50,16 @@ struct Window {
 /// Optional phase calibration: per-port offsets to subtract before
 /// windowing (the reference-tag calibration real deployments perform; the
 /// harness obtains it from the reader's known RF-chain offsets).
+/// `channel_offsets_rad[c]` additionally removes hop channel c's RF-chain
+/// offset (rfid::Reader::hop_channel_offset_rad) so that phase comparisons
+/// may continue across a hop between covered channels; channels at or past
+/// the vector's size stay uncalibrated and fence as before. The residual
+/// cross-channel term from the carrier itself (4*pi*d*delta_f/c) is NOT
+/// removed -- it is position-dependent -- so the spurious-jump threshold
+/// still guards wide hops (DESIGN.md section 16).
 struct PhaseCalibration {
   std::vector<double> port_offsets_rad;
+  std::vector<double> channel_offsets_rad;
 };
 
 /// Runs both pre-processing steps over a raw report stream.

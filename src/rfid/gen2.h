@@ -5,16 +5,23 @@
 // tag), a collision (several), or silence (none). The reader adapts Q
 // between rounds -- up on collisions, down on empties -- converging to
 // roughly log2 of the responding population, which is how a real reader
-// divides its read budget among multiple tags. The coarse
-// `Reader::inventory_population` model assumes that steady state; this
-// module simulates the transient slot dynamics for studies that need them
-// (multi-tag rates, collision overhead).
+// divides its read budget among multiple tags. `steady_state_read_rate`
+// is the matching coarse closed-form model of that equilibrium; this class
+// simulates the transient slot dynamics for studies that need them
+// (multi-tag rates, collision overhead, starvation under contention).
+//
+// Determinism contract, pinned by tests/rfid/test_gen2.cc: every draw is a
+// counter-based splitmix64 mix of (seed, round, tag) -- a pure function,
+// never mutable engine state -- so round r of a population always picks
+// the same slots no matter how many rounds ran before it was replayed, and
+// two inventories with equal seeds are bit-identical round by round.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/seed.h"
 
 namespace polardraw::rfid {
 
@@ -42,13 +49,25 @@ struct Gen2Round {
   double duration_s = 0.0;
   /// Which tags (by index into the population) were read this round.
   std::vector<int> read_tags;
+  /// Air-time offset (from the round start) at which each read in
+  /// `read_tags` completed -- same length, same order. Lets a caller stamp
+  /// per-read timestamps without re-deriving the slot schedule.
+  std::vector<double> read_offsets_s;
 };
 
 /// Simulates framed-slotted-ALOHA rounds until `duration_s` of air time is
 /// consumed, for a population of `num_tags` always-energized tags.
 class Gen2Inventory {
  public:
-  Gen2Inventory(Gen2Config cfg, Rng rng) : cfg_(cfg), rng_(rng), q_(cfg.initial_q) {}
+  /// Counter-based construction: all slot choices derive from `seed` via
+  /// splitmix64, see the determinism contract above.
+  Gen2Inventory(Gen2Config cfg, std::uint64_t seed)
+      : cfg_(cfg), seed_(seed), q_(cfg.initial_q) {}
+
+  /// Legacy convenience: derives the counter seed from one engine draw, so
+  /// existing call sites stay deterministic for a given Rng seed.
+  Gen2Inventory(Gen2Config cfg, Rng rng)
+      : Gen2Inventory(cfg, static_cast<std::uint64_t>(rng.engine()())) {}
 
   /// Runs one round; Q adapts per the standard's C-algorithm.
   Gen2Round run_round(int num_tags);
@@ -57,15 +76,28 @@ class Gen2Inventory {
   std::vector<Gen2Round> run(int num_tags, double duration_s);
 
   double current_q() const { return q_; }
+  /// Rounds run so far (the counter feeding the per-round slot draws).
+  std::uint64_t rounds_run() const { return round_; }
 
  private:
   Gen2Config cfg_;
-  Rng rng_;
+  std::uint64_t seed_;
+  std::uint64_t round_ = 0;
   double q_;
 };
 
 /// Steady-state reads/second for a population size, measured by simulation
 /// (convenience for benches/tests).
 double measure_read_rate(int num_tags, double duration_s, std::uint64_t seed);
+
+/// Coarse closed-form steady-state model of the same quantity: the
+/// C-algorithm equilibrates where the per-slot Q drift vanishes
+/// (empty-rate * C == collision-rate * 1.7 C); with that continuous frame
+/// size L*, binomial slot outcomes give the read throughput
+///   P_single / (slot_s + P_single * read_s).
+/// `Reader::inventory_population` and `measure_read_rate` are the slot
+/// simulations of this model; tests/rfid/test_gen2.cc pins their agreement
+/// for 1-16 tags (tolerance documented in DESIGN.md section 16).
+double steady_state_read_rate(int num_tags, const Gen2Config& cfg = {});
 
 }  // namespace polardraw::rfid

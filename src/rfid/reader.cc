@@ -24,6 +24,14 @@ Reader::Reader(ReaderConfig config, std::vector<em::ReaderAntenna> antennas,
   }
 }
 
+double Reader::hop_channel_offset_rad(int channel) {
+  // A function of the channel index only (cable + chain group delay at
+  // that carrier): stable across dwells, distinct between channels (the
+  // multiplier is an irrational-ish angle, so no two of the 50 FCC
+  // channels alias to the same offset).
+  return wrap_2pi(static_cast<double>(channel) * 2.399963);
+}
+
 double Reader::quantize_phase(double phase_rad) const {
   const double steps = std::pow(2.0, config_.phase_quantization_bits);
   const double q = std::round(wrap_2pi(phase_rad) / kTwoPi * steps);
@@ -50,8 +58,7 @@ std::optional<TagReport> Reader::interrogate(int antenna_id, const em::Tag& tag,
                                            config_.hop_channels));
     tx.frequency_hz =
         902.75e6 + 0.5e6 * static_cast<double>(hop_channel);  // 500 kHz grid
-    channel_phase_offset =
-        wrap_2pi(static_cast<double>(hop_channel) * 2.399963);  // stable
+    channel_phase_offset = hop_channel_offset_rad(hop_channel);
   }
 
   const channel::ChannelSample ch = channel_.evaluate(antenna, tag, tx, t_s);
@@ -129,32 +136,79 @@ void count_inventory(std::size_t attempts, std::size_t delivered) {
 TagReportStream Reader::inventory_population(const std::vector<TagEntry>& tags,
                                               double t_begin, double t_end) {
   const obs::ScopedSpan span(inventory_span_site());
+  static const obs::Counter rounds_counter("rfid.gen2.rounds");
+  static const obs::Counter singles_counter("rfid.gen2.singletons");
+  static const obs::Counter collisions_counter("rfid.gen2.collisions");
+  static const obs::Counter empties_counter("rfid.gen2.empties");
   TagReportStream out;
   if (tags.empty() || t_end <= t_begin) return out;
   const double rate =
       config_.aggregate_read_rate_hz * rate_factor(modulation_);
   if (rate <= 0.0) return out;
-  const double dt = 1.0 / rate;
-  out.reserve(static_cast<std::size_t>((t_end - t_begin) / dt) + 1);
+
+  // Rescale the Gen2 air timing so a lone, fully-adapted tag (one slot
+  // per round, every slot a read) hits the configured aggregate rate;
+  // contention then eats into that budget through collisions and empties
+  // instead of dividing it evenly.
+  Gen2Config g = config_.gen2;
+  const double base_s = g.slot_s + g.read_s;
+  if (base_s <= 0.0) return out;
+  const double scale = (1.0 / base_s) / rate;
+  g.slot_s *= scale;
+  g.read_s *= scale;
+
+  out.reserve(static_cast<std::size_t>((t_end - t_begin) * rate) + 1);
+  Gen2Inventory inventory(g, static_cast<std::uint64_t>(rng_.engine()()));
 
   int port = 0;
   std::size_t attempts = 0;
+  std::uint64_t singles = 0, collisions = 0, empties = 0, rounds = 0;
   const int num_ports = static_cast<int>(antennas_.size());
-  for (double t = t_begin; t < t_end; t += dt) {
-    // Gen2 slotted ALOHA: each inventory slot is won by one tag of the
-    // population (uniformly, for tags of comparable signal strength), so
-    // per-tag rate divides by the population size.
-    const TagEntry& entry = tags[rng_.index(tags.size())];
-    const double t_read = t + rng_.uniform(0.0, 0.2 * dt);
-    em::Tag tag = entry.state(t_read);
-    ++attempts;
-    if (auto rep = interrogate(port, tag, t_read)) {
-      rep->epc = entry.epc;
-      rep->read_rate_hz = rate / num_ports;
-      out.push_back(*rep);
+  std::vector<std::size_t> present;
+  std::vector<std::uint64_t> tag_reads(tags.size(), 0);
+  double t = t_begin;
+  while (t < t_end) {
+    // The responding population at the round start: tags inside their
+    // presence window. An empty zone idles one slot of air time.
+    present.clear();
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+      if (t >= tags[i].t_enter_s && t < tags[i].t_leave_s) present.push_back(i);
     }
-    port = (port + 1) % num_ports;
+    if (present.empty()) {
+      t += g.slot_s;
+      continue;
+    }
+    const Gen2Round round =
+        inventory.run_round(static_cast<int>(present.size()));
+    ++rounds;
+    singles += static_cast<std::uint64_t>(round.singletons);
+    collisions += static_cast<std::uint64_t>(round.collisions);
+    empties += static_cast<std::uint64_t>(round.empties);
+    for (std::size_t k = 0; k < round.read_tags.size(); ++k) {
+      const double t_read = t + round.read_offsets_s[k];
+      if (t_read >= t_end) break;
+      const std::size_t tag_idx =
+          present[static_cast<std::size_t>(round.read_tags[k])];
+      const TagEntry& entry = tags[tag_idx];
+      em::Tag tag = entry.state(t_read);
+      ++attempts;
+      if (auto rep = interrogate(port, tag, t_read)) {
+        ++tag_reads[tag_idx];
+        rep->epc = entry.epc;
+        // Diagnostic: the tag's cumulative observed rate -- an emergent
+        // quantity under contention, not a configured split.
+        rep->read_rate_hz = static_cast<double>(tag_reads[tag_idx]) /
+                            std::max(t_read - t_begin, 1e-9);
+        out.push_back(*rep);
+      }
+      port = (port + 1) % num_ports;
+    }
+    t += round.duration_s;
   }
+  rounds_counter.add(rounds);
+  singles_counter.add(singles);
+  collisions_counter.add(collisions);
+  empties_counter.add(empties);
   count_inventory(attempts, out.size());
   return out;
 }

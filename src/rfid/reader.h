@@ -24,6 +24,7 @@
 #include "em/antenna.h"
 #include "em/propagation.h"
 #include "em/tag.h"
+#include "rfid/gen2.h"
 #include "rfid/modulation.h"
 #include "rfid/tag_report.h"
 
@@ -59,6 +60,13 @@ struct ReaderConfig {
   bool frequency_hopping = false;
   int hop_channels = 50;
   double hop_dwell_s = 0.4;
+
+  /// Slot-level Gen2 MAC parameters for the multi-tag inventory. The air
+  /// timing (slot_s/read_s) is rescaled at inventory time so a lone,
+  /// fully-adapted tag reads at `aggregate_read_rate_hz * rate_factor(m)`
+  /// -- the modulation keeps its rate semantics, and the Gen2 knobs only
+  /// shape how that budget divides under contention.
+  Gen2Config gen2;
 };
 
 /// Callback that positions/orients the tag at a given simulation time.
@@ -67,9 +75,15 @@ using TagStateFn = std::function<em::Tag(double t_s)>;
 
 /// A tag population entry for multi-tag inventory (the paper's section 7
 /// multi-user extension): an EPC identity plus its state function.
+/// `t_enter_s`/`t_leave_s` bound the tag's presence in the interrogation
+/// zone -- outside them it neither responds nor contends for slots, so
+/// pens can arrive and leave mid-run and the Q adaptation re-converges to
+/// the live population.
 struct TagEntry {
   std::uint32_t epc = 0;
   TagStateFn state;
+  double t_enter_s = 0.0;
+  double t_leave_s = 1e300;
 };
 
 class Reader {
@@ -87,10 +101,15 @@ class Reader {
   TagReportStream inventory(const TagStateFn& tag_at, double t_begin,
                             double t_end);
 
-  /// Multi-tag inventory (section 7, "Extending to multi-user case"):
-  /// the Gen2 slotted-ALOHA rounds divide the interrogation budget among
-  /// the population, so each tag's read rate drops roughly by the tag
-  /// count; each report carries its tag's EPC for de-multiplexing.
+  /// Multi-tag inventory (section 7, "Extending to multi-user case"),
+  /// MAC-arbitrated at slot level: the population runs through
+  /// `Gen2Inventory` rounds, so collisions burn air time without yielding
+  /// reads, per-tag read rates emerge from the Q adaptation rather than a
+  /// fixed budget split, and tags outside their presence window drop out
+  /// of the contention entirely. Each report carries its tag's EPC for
+  /// de-multiplexing and its tag's cumulative observed read rate in
+  /// `read_rate_hz`. Deterministic: slot draws are counter-based
+  /// (splitmix64 of a per-call seed, round and tag index).
   TagReportStream inventory_population(const std::vector<TagEntry>& tags,
                                        double t_begin, double t_end);
 
@@ -111,6 +130,12 @@ class Reader {
   const std::vector<double>& port_phase_offsets() const {
     return port_phase_offsets_;
   }
+
+  /// Stable RF-chain phase offset of a hop channel (radians): the same
+  /// channel always gets the same offset, in any dwell, so per-channel
+  /// calibration (core::PhaseCalibration::channel_offsets_rad) can subtract
+  /// it and phase comparisons may continue across a calibrated hop.
+  static double hop_channel_offset_rad(int channel);
 
  private:
   double quantize_phase(double phase_rad) const;

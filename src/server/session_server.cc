@@ -101,6 +101,33 @@ std::size_t SessionServer::pump() {
   return committed;
 }
 
+std::size_t SessionServer::ingest(const std::vector<core::PenEvent>& events,
+                                  std::vector<ClosedSession>* closed) {
+  std::size_t submitted = 0;
+  for (const core::PenEvent& ev : events) {
+    switch (ev.type) {
+      case core::PenEventType::kOpen:
+        open(ev.session_id);
+        break;
+      case core::PenEventType::kObservation:
+        if (submit(ev.session_id, ev.obs)) ++submitted;
+        break;
+      case core::PenEventType::kAzimuthCorrection:
+        accumulate_azimuth_correction(ev.session_id, ev.azimuth_delta_rad);
+        break;
+      case core::PenEventType::kClose: {
+        std::vector<Vec2> traj = close(ev.session_id);
+        if (closed != nullptr) {
+          closed->push_back(ClosedSession{ev.session_id, ev.epc,
+                                          std::move(traj)});
+        }
+        break;
+      }
+    }
+  }
+  return submitted;
+}
+
 const std::vector<Vec2>& SessionServer::committed(SessionId id) const {
   static const std::vector<Vec2> kEmpty;
   const auto it = sessions_.find(id);

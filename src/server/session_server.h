@@ -32,6 +32,7 @@
 #include "common/annotations.h"
 #include "common/thread_pool.h"
 #include "common/vec.h"
+#include "core/association.h"
 #include "core/config.h"
 #include "core/hmm_tracker.h"
 #include "core/phase_field.h"
@@ -84,6 +85,24 @@ class SessionServer {
   /// final trajectory -- a function of the full observation stream,
   /// independent of pump() timing.
   std::vector<Vec2> close(SessionId id);
+
+  /// A session finished via an associator kClose event.
+  struct ClosedSession {
+    SessionId id = 0;
+    std::uint32_t epc = 0;
+    std::vector<Vec2> trajectory;
+  };
+
+  /// Applies a TagTrackAssociator event batch in order: kOpen -> open(),
+  /// kObservation -> submit(), kAzimuthCorrection ->
+  /// accumulate_azimuth_correction(), kClose -> close() (the final
+  /// trajectory is appended to `closed` when non-null). This is the glue
+  /// that turns an EPC-keyed report stream into per-pen decodes; call it
+  /// from the control thread (open/close threading rules apply) and pump()
+  /// on whatever cadence suits. Returns the number of observations
+  /// submitted.
+  std::size_t ingest(const std::vector<core::PenEvent>& events,
+                     std::vector<ClosedSession>* closed = nullptr);
 
   [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
   [[nodiscard]] int n_workers() const { return pool_.size(); }

@@ -1,0 +1,275 @@
+// Tests for tag-to-track association (core/association.h): event
+// sequencing, generation churn, the incremental-vs-batch pipeline replica,
+// and interleaving invariance.
+#include "core/association.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/angles.h"
+#include "core/polardraw.h"
+
+namespace polardraw::core {
+namespace {
+
+rfid::TagReport report(std::uint32_t epc, double t, int ant, double rss_dbm,
+                       double phase_rad, int channel = 0) {
+  rfid::TagReport r;
+  r.epc = epc;
+  r.timestamp_s = t;
+  r.antenna_id = ant;
+  r.rss_dbm = rss_dbm;
+  r.phase_rad = wrap_2pi(phase_rad);
+  r.channel = channel;
+  return r;
+}
+
+/// A well-behaved single-tag stream: both antennas every window, slow
+/// phase slew and RSS drift, `n_windows` windows at 4 reads per antenna.
+rfid::TagReportStream smooth_stream(std::uint32_t epc, double t0,
+                                    int n_windows) {
+  rfid::TagReportStream out;
+  for (int w = 0; w < n_windows; ++w) {
+    for (int k = 0; k < 4; ++k) {
+      const double t = t0 + w * 0.05 + k * 0.012;
+      out.push_back(report(epc, t, 0, -40.0 - 0.2 * w, 1.0 + 0.05 * w));
+      out.push_back(report(epc, t + 0.001, 1, -50.0 + 0.1 * w,
+                           2.0 - 0.04 * w));
+    }
+  }
+  return out;
+}
+
+std::vector<PenEvent> events_of_type(const std::vector<PenEvent>& events,
+                                     PenEventType type) {
+  std::vector<PenEvent> out;
+  for (const auto& e : events) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+TEST(Association, SingleTagLifecycle) {
+  PolarDrawConfig cfg;
+  TagTrackAssociator assoc(cfg);
+  auto events = assoc.push(smooth_stream(0xA1, 0.0, 10));
+  const auto tail = assoc.flush();
+  events.insert(events.end(), tail.begin(), tail.end());
+
+  const auto opens = events_of_type(events, PenEventType::kOpen);
+  const auto obs = events_of_type(events, PenEventType::kObservation);
+  const auto closes = events_of_type(events, PenEventType::kClose);
+  ASSERT_EQ(opens.size(), 1u);
+  ASSERT_EQ(closes.size(), 1u);
+  EXPECT_EQ(opens[0].session_id, TagTrackAssociator::make_session_id(0xA1, 0));
+  EXPECT_EQ(opens[0].epc, 0xA1u);
+  // 10 windows of reports: the last window is finalized by flush, so all
+  // 10 come through.
+  EXPECT_EQ(obs.size(), 10u);
+  // The open precedes every observation; the close is last.
+  EXPECT_EQ(events.front().type, PenEventType::kOpen);
+  EXPECT_EQ(events.back().type, PenEventType::kClose);
+  // Observation times are the window centers, in order.
+  for (std::size_t i = 1; i < obs.size(); ++i) {
+    EXPECT_GT(obs[i].t_s, obs[i - 1].t_s);
+  }
+  EXPECT_EQ(assoc.open_tracks(), 0u);
+}
+
+TEST(Association, IdleGapClosesAndReopensNewGeneration) {
+  PolarDrawConfig cfg;
+  AssociatorConfig acfg;
+  acfg.idle_close_s = 0.5;
+  TagTrackAssociator assoc(cfg, acfg);
+  auto events = assoc.push(smooth_stream(0xA1, 0.0, 4));
+  // 2 s of silence, then the pen returns.
+  auto later = assoc.push(smooth_stream(0xA1, 2.2, 4));
+  events.insert(events.end(), later.begin(), later.end());
+  const auto tail = assoc.flush();
+  events.insert(events.end(), tail.begin(), tail.end());
+
+  const auto opens = events_of_type(events, PenEventType::kOpen);
+  const auto closes = events_of_type(events, PenEventType::kClose);
+  ASSERT_EQ(opens.size(), 2u);
+  ASSERT_EQ(closes.size(), 2u);
+  EXPECT_EQ(opens[0].session_id, TagTrackAssociator::make_session_id(0xA1, 0));
+  EXPECT_EQ(opens[1].session_id, TagTrackAssociator::make_session_id(0xA1, 1));
+  // The stale close fires when the returning report arrives, before the
+  // new open.
+  EXPECT_EQ(closes[0].session_id, opens[0].session_id);
+}
+
+TEST(Association, StaleTrackClosedByOtherTagsTime) {
+  // Tag B stops reporting while tag A keeps the stream alive: B's close
+  // must fire off A's advancing timestamps, not wait for flush.
+  PolarDrawConfig cfg;
+  AssociatorConfig acfg;
+  acfg.idle_close_s = 0.4;
+  TagTrackAssociator assoc(cfg, acfg);
+  std::vector<PenEvent> events;
+  for (double t = 0.0; t < 2.0; t += 0.05) {
+    auto ev = assoc.push(report(0xAA, t, 0, -40.0, 1.0));
+    events.insert(events.end(), ev.begin(), ev.end());
+    if (t < 0.5) {
+      auto evb = assoc.push(report(0xBB, t + 0.01, 1, -45.0, 2.0));
+      events.insert(events.end(), evb.begin(), evb.end());
+    }
+  }
+  EXPECT_EQ(assoc.open_tracks(), 1u);  // only A remains
+  bool b_closed = false;
+  for (const auto& e : events) {
+    if (e.type == PenEventType::kClose && e.epc == 0xBB) b_closed = true;
+  }
+  EXPECT_TRUE(b_closed);
+}
+
+TEST(Association, InterleavingInvariant) {
+  // The associator's per-EPC event streams must not depend on how other
+  // tags' reports interleave: demultiplexing an interleaved two-tag
+  // stream yields exactly the events of each tag pushed alone.
+  PolarDrawConfig cfg;
+  const auto a = smooth_stream(0xA1, 0.0, 8);
+  const auto b = smooth_stream(0xB2, 0.013, 8);
+  // Time-ordered merge.
+  rfid::TagReportStream merged = a;
+  merged.insert(merged.end(), b.begin(), b.end());
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const rfid::TagReport& x, const rfid::TagReport& y) {
+                     return x.timestamp_s < y.timestamp_s;
+                   });
+
+  const auto run = [&cfg](const rfid::TagReportStream& s) {
+    TagTrackAssociator assoc(cfg);
+    auto ev = assoc.push(s);
+    const auto tail = assoc.flush();
+    ev.insert(ev.end(), tail.begin(), tail.end());
+    return ev;
+  };
+  const auto interleaved = run(merged);
+  const auto solo_a = run(a);
+  const auto solo_b = run(b);
+
+  std::map<std::uint32_t, std::vector<PenEvent>> by_epc;
+  for (const auto& e : interleaved) by_epc[e.epc].push_back(e);
+  const auto expect_same = [](const std::vector<PenEvent>& got,
+                              const std::vector<PenEvent>& want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(static_cast<int>(got[i].type),
+                static_cast<int>(want[i].type));
+      ASSERT_EQ(got[i].session_id, want[i].session_id);
+      ASSERT_EQ(got[i].t_s, want[i].t_s);
+      ASSERT_EQ(got[i].obs.has_phase, want[i].obs.has_phase);
+      ASSERT_EQ(got[i].obs.distance.dl1_m, want[i].obs.distance.dl1_m);
+      ASSERT_EQ(got[i].obs.distance.dl2_m, want[i].obs.distance.dl2_m);
+      ASSERT_EQ(got[i].obs.direction.direction.x,
+                want[i].obs.direction.direction.x);
+      ASSERT_EQ(got[i].obs.direction.direction.y,
+                want[i].obs.direction.direction.y);
+      ASSERT_EQ(got[i].azimuth_delta_rad, want[i].azimuth_delta_rad);
+    }
+  };
+  expect_same(by_epc[0xA1], solo_a);
+  expect_same(by_epc[0xB2], solo_b);
+}
+
+TEST(Association, MatchesBatchPipelineWindowForWindow) {
+  // The incremental replica must agree with the batch pipeline
+  // (preprocess + PolarDraw::track_windows) on every window's distance
+  // estimate and motion class for the same single-tag stream. Directions
+  // differ only by smoothing edges, so compare the motion type and the
+  // phase-derived quantities, which smoothing never touches.
+  PolarDrawConfig cfg;
+  // A stream with RSS swings (rotation windows), phase slews
+  // (translation windows) and a dropped window (gap).
+  rfid::TagReportStream stream;
+  for (int w = 0; w < 24; ++w) {
+    if (w == 11) continue;  // read gap
+    const double swing = w % 5 == 0 ? 2.5 : 0.0;
+    for (int k = 0; k < 3; ++k) {
+      const double t = w * 0.05 + k * 0.015;
+      stream.push_back(report(0xC4, t, 0, -40.0 - 0.3 * w + swing,
+                              1.0 + 0.06 * w));
+      stream.push_back(report(0xC4, t + 0.002, 1, -48.0 + 0.2 * w - swing,
+                              2.0 - 0.05 * w));
+    }
+  }
+
+  const auto windows = preprocess(stream, cfg);
+  PolarDraw batch(cfg, Vec2{0.22, 1.25}, Vec2{0.78, 1.25}, 0.12);
+  const auto batch_res = batch.track_windows(windows);
+
+  TagTrackAssociator assoc(cfg);
+  auto events = assoc.push(stream);
+  const auto tail = assoc.flush();
+  events.insert(events.end(), tail.begin(), tail.end());
+  const auto obs = events_of_type(events, PenEventType::kObservation);
+
+  ASSERT_EQ(windows.size(), obs.size());
+  ASSERT_EQ(batch_res.diagnostics.size(), obs.size());
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    const auto& d = batch_res.diagnostics[i];
+    ASSERT_EQ(obs[i].t_s, d.t_s) << "window " << i;
+    ASSERT_EQ(static_cast<int>(obs[i].obs.direction.type),
+              static_cast<int>(d.motion))
+        << "window " << i;
+    ASSERT_EQ(obs[i].obs.distance.valid, d.distance.valid) << "window " << i;
+    ASSERT_EQ(obs[i].obs.distance.dl1_m, d.distance.dl1_m) << "window " << i;
+    ASSERT_EQ(obs[i].obs.distance.dl2_m, d.distance.dl2_m) << "window " << i;
+    ASSERT_EQ(obs[i].obs.distance.dtheta21, d.distance.dtheta21)
+        << "window " << i;
+  }
+  // The Eq. 10 correction deltas must sum to the batch accumulator.
+  double corr = 0.0;
+  for (const auto& e : events_of_type(events,
+                                      PenEventType::kAzimuthCorrection)) {
+    corr += e.azimuth_delta_rad;
+  }
+  EXPECT_NEAR(corr, batch_res.azimuth_correction_rad, 1e-12);
+}
+
+TEST(Association, CalibratedHopKeepsPhaseDeltasUsable) {
+  // Across a channel hop, an uncalibrated associator loses the phase
+  // delta (dtheta fenced -> no distance estimate in the post-hop window)
+  // while a channel-calibrated one keeps it.
+  PolarDrawConfig cfg;
+  const double off5 = 0.9, off13 = 2.6;
+  rfid::TagReportStream stream;
+  for (int w = 0; w < 8; ++w) {
+    const bool hopped = w >= 4;
+    const int ch = hopped ? 13 : 5;
+    const double off = hopped ? off13 : off5;
+    for (int k = 0; k < 3; ++k) {
+      const double t = w * 0.05 + k * 0.015;
+      stream.push_back(report(0xE5, t, 0, -40.0, 1.0 + 0.05 * w + off, ch));
+      stream.push_back(
+          report(0xE5, t + 0.002, 1, -48.0, 2.0 - 0.04 * w + off, ch));
+    }
+  }
+  PhaseCalibration cal;
+  cal.channel_offsets_rad.assign(20, 0.0);
+  cal.channel_offsets_rad[5] = off5;
+  cal.channel_offsets_rad[13] = off13;
+
+  const auto run = [&](const PhaseCalibration* c) {
+    TagTrackAssociator assoc(cfg, {}, c);
+    auto ev = assoc.push(stream);
+    const auto tail = assoc.flush();
+    ev.insert(ev.end(), tail.begin(), tail.end());
+    return events_of_type(ev, PenEventType::kObservation);
+  };
+  const auto uncal = run(nullptr);
+  const auto calib = run(&cal);
+  ASSERT_EQ(uncal.size(), 8u);
+  ASSERT_EQ(calib.size(), 8u);
+  // Window 4 is the first post-hop window.
+  EXPECT_FALSE(uncal[4].obs.has_phase);
+  EXPECT_TRUE(calib[4].obs.has_phase);
+}
+
+}  // namespace
+}  // namespace polardraw::core

@@ -159,6 +159,117 @@ TEST(Preprocess, CalibrationSubtractsPortOffsets) {
   EXPECT_NEAR(wrap_2pi(windows[0].phase_rad[0]), 1.0, 1e-9);
 }
 
+rfid::TagReport channel_report(double t, int ant, double phase_rad,
+                               int channel) {
+  rfid::TagReport r = report(t, ant, -40.0, phase_rad);
+  r.channel = channel;
+  return r;
+}
+
+TEST(PreprocessHop, UncalibratedHopFencesInsteadOfStraddling) {
+  // An uncalibrated channel hop re-bases the phase by an arbitrary
+  // RF-chain offset. The comparison must NEVER straddle the hop: the
+  // post-hop window is not judged against the pre-hop reference (which
+  // would reject it as spurious here -- the offset far exceeds the
+  // threshold), and the unwrapper restarts instead of folding the offset
+  // into the continuous series.
+  PolarDrawConfig cfg;
+  cfg.spurious_phase_threshold_rad = 0.2;
+  const double kOffset = 2.1;  // phase re-base at the hop, >> threshold
+  rfid::TagReportStream reports;
+  for (int w = 0; w < 8; ++w) {
+    const bool hopped = w >= 4;
+    const double phase = 1.0 + 0.02 * w + (hopped ? kOffset : 0.0);
+    reports.push_back(channel_report(w * 0.05, 0, phase, hopped ? 13 : 5));
+  }
+  const auto windows = preprocess(reports, cfg);
+  ASSERT_EQ(windows.size(), 8u);
+  for (int w = 0; w < 8; ++w) {
+    // Every window keeps its phase: the hop fences the comparison, it
+    // does not reject samples.
+    EXPECT_TRUE(windows[static_cast<std::size_t>(w)].phase_valid[0])
+        << "window " << w;
+    // No channel calibration was supplied, so no window may claim it.
+    EXPECT_FALSE(windows[static_cast<std::size_t>(w)].channel_calibrated[0]);
+  }
+  // The unwrapper restarted at the hop: window 4's unwrapped value is its
+  // own wrapped phase (a fresh series), not pre-hop phase + jump.
+  EXPECT_NEAR(windows[4].phase_rad[0], wrap_2pi(1.08 + kOffset), 1e-9);
+  // Within each channel the series stays continuous.
+  EXPECT_NEAR(windows[3].phase_rad[0] - windows[0].phase_rad[0], 0.06, 1e-9);
+  EXPECT_NEAR(windows[7].phase_rad[0] - windows[4].phase_rad[0], 0.06, 1e-9);
+}
+
+TEST(PreprocessHop, CalibratedHopContinuesTheComparison) {
+  // With per-channel calibration covering both channels, the offsets are
+  // removed at bucketing time and the unwrapped series runs straight
+  // through the hop.
+  PolarDrawConfig cfg;
+  cfg.spurious_phase_threshold_rad = 0.2;
+  PhaseCalibration cal;
+  cal.port_offsets_rad = {0.0, 0.0};
+  cal.channel_offsets_rad.assign(20, 0.0);
+  cal.channel_offsets_rad[5] = 0.7;
+  cal.channel_offsets_rad[13] = 2.8;
+  rfid::TagReportStream reports;
+  for (int w = 0; w < 8; ++w) {
+    const bool hopped = w >= 4;
+    const int ch = hopped ? 13 : 5;
+    // True phase slews 0.05/window; the measurement adds the channel's
+    // RF-chain offset.
+    const double phase = 1.0 + 0.05 * w + cal.channel_offsets_rad[
+                             static_cast<std::size_t>(ch)];
+    reports.push_back(channel_report(w * 0.05, 0, phase, ch));
+  }
+  const auto windows = preprocess(reports, cfg, &cal);
+  ASSERT_EQ(windows.size(), 8u);
+  for (int w = 0; w < 8; ++w) {
+    EXPECT_TRUE(windows[static_cast<std::size_t>(w)].phase_valid[0]);
+    EXPECT_TRUE(windows[static_cast<std::size_t>(w)].channel_calibrated[0]);
+  }
+  // Continuous through the hop: the full slew is 7 x 0.05.
+  EXPECT_NEAR(windows[7].phase_rad[0] - windows[0].phase_rad[0], 0.35, 1e-9);
+  EXPECT_NEAR(windows[4].phase_rad[0] - windows[3].phase_rad[0], 0.05, 1e-9);
+}
+
+TEST(PreprocessHop, CalibratedHopStillRejectsSpuriousJumps) {
+  // Once calibrated, the spurious filter DOES straddle the hop -- a wild
+  // post-hop reading (beyond the threshold after offset removal) is
+  // rejected like any other cross-polarized reflection sample.
+  PolarDrawConfig cfg;
+  cfg.spurious_phase_threshold_rad = 0.2;
+  PhaseCalibration cal;
+  cal.channel_offsets_rad.assign(20, 0.0);
+  rfid::TagReportStream reports;
+  for (int w = 0; w < 6; ++w) {
+    const int ch = w >= 3 ? 13 : 5;
+    const double phase = w == 3 ? 2.5 : 1.0 + 0.02 * w;  // window 3 wild
+    reports.push_back(channel_report(w * 0.05, 0, phase, ch));
+  }
+  const auto windows = preprocess(reports, cfg, &cal);
+  ASSERT_EQ(windows.size(), 6u);
+  EXPECT_TRUE(windows[2].phase_valid[0]);
+  EXPECT_FALSE(windows[3].phase_valid[0]);  // rejected across the hop
+  EXPECT_TRUE(windows[4].phase_valid[0]);   // gap-scaled recovery
+}
+
+TEST(PreprocessHop, UncoveredChannelPoisonsWindowCalibration) {
+  // A window whose reads mix a covered and an uncovered channel cannot
+  // claim channel calibration (one read's RF-chain offset was not
+  // removed), so the next hop boundary fences again.
+  PolarDrawConfig cfg;
+  PhaseCalibration cal;
+  cal.channel_offsets_rad.assign(6, 0.0);  // channels 0-5 covered; 13 not
+  rfid::TagReportStream reports;
+  reports.push_back(channel_report(0.00, 0, 1.0, 5));
+  reports.push_back(channel_report(0.01, 0, 1.0, 13));  // uncovered
+  reports.push_back(channel_report(0.05, 0, 1.0, 5));
+  const auto windows = preprocess(reports, cfg, &cal);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_FALSE(windows[0].channel_calibrated[0]);
+  EXPECT_TRUE(windows[1].channel_calibrated[0]);
+}
+
 TEST(Preprocess, IgnoresForeignAntennas) {
   PolarDrawConfig cfg;
   rfid::TagReportStream reports;

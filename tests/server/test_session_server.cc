@@ -11,11 +11,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <map>
+#include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/decode_testbed.h"
 #include "obs/metrics.h"
+#include "rfid/reader.h"
 
 namespace polardraw::server {
 namespace {
@@ -209,6 +216,272 @@ TEST(SessionServer, UnknownSessionIsRejected) {
   EXPECT_TRUE(server.committed(99).empty());
   EXPECT_TRUE(server.close(99).empty());
   EXPECT_EQ(server.pump(), 0u);
+}
+
+// --- Multi-pen fuzz: associator + ingest, randomized interleaved streams --
+
+/// Randomized multi-tag report stream with everything a contended reader
+/// throws at the association layer: tags arriving and leaving mid-run
+/// (tag 0 leaves and returns -> a second generation), jittered read
+/// arrivals with collision-shaped bursts of silence, per-dwell frequency
+/// hops with stable per-channel offsets, and occasional spurious phase
+/// reads. Deterministic for a given seed.
+rfid::TagReportStream make_fuzz_stream(std::uint64_t seed, int n_tags,
+                                       double duration_s) {
+  Rng rng(seed);
+  constexpr double kDwell = 0.4;
+  constexpr int kChannels = 20;
+  rfid::TagReportStream reports;
+  for (int tag = 0; tag < n_tags; ++tag) {
+    const auto epc = static_cast<std::uint32_t>(0x100 + tag);
+    // Presence intervals: tag 0 always churns (leaves + returns); the
+    // others get one randomized interval each.
+    std::vector<std::pair<double, double>> presence;
+    if (tag == 0) {
+      presence.push_back({0.0, 0.35 * duration_s});
+      presence.push_back({0.65 * duration_s, duration_s});
+    } else {
+      const double on = rng.uniform(0.0, 0.3) * duration_s;
+      const double off = rng.uniform(0.7, 1.0) * duration_s;
+      presence.push_back({on, off});
+    }
+    const double phase0[2] = {rng.uniform(0.0, kTwoPi),
+                              rng.uniform(0.0, kTwoPi)};
+    const double slew[2] = {rng.uniform(-0.4, 0.4), rng.uniform(-0.4, 0.4)};
+    const double rss0[2] = {-42.0 - rng.uniform(0.0, 6.0),
+                            -48.0 - rng.uniform(0.0, 6.0)};
+    for (const auto& [on, off] : presence) {
+      for (double t = on; t < off;) {
+        const int ant = rng.chance(0.5) ? 0 : 1;
+        const int dwell = static_cast<int>(t / kDwell);
+        const int channel = (dwell * 7 + tag * 3) % kChannels;
+        rfid::TagReport r;
+        r.epc = epc;
+        r.timestamp_s = t;
+        r.antenna_id = ant;
+        r.channel = channel;
+        double phase = phase0[ant] + slew[ant] * t +
+                       rfid::Reader::hop_channel_offset_rad(channel);
+        if (rng.chance(0.02)) phase += kPi;  // spurious read
+        r.phase_rad = wrap_2pi(phase);
+        r.rss_dbm = rss0[ant] + 2.5 * std::sin(kTwoPi * t / 1.3 +
+                                               (ant == 0 ? 0.0 : kPi)) +
+                    rng.gaussian(0.0, 0.3);
+        reports.push_back(r);
+        // Jittered arrivals; occasional collision-shaped silence burst.
+        t += rng.chance(0.05) ? rng.uniform(0.12, 0.2)
+                              : rng.uniform(0.01, 0.04);
+      }
+    }
+  }
+  std::stable_sort(reports.begin(), reports.end(),
+                   [](const rfid::TagReport& a, const rfid::TagReport& b) {
+                     return a.timestamp_s < b.timestamp_s ||
+                            (a.timestamp_s == b.timestamp_s && a.epc < b.epc);
+                   });
+  return reports;
+}
+
+core::PhaseCalibration fuzz_calibration() {
+  core::PhaseCalibration cal;
+  cal.channel_offsets_rad.resize(20);
+  for (int c = 0; c < 20; ++c) {
+    cal.channel_offsets_rad[static_cast<std::size_t>(c)] =
+        rfid::Reader::hop_channel_offset_rad(c);
+  }
+  return cal;
+}
+
+/// Drives the full multi-pen path -- report stream -> associator ->
+/// SessionServer::ingest -> pump on a cadence -> flush -- and returns the
+/// closed trajectories keyed by session id.
+std::map<SessionId, std::vector<Vec2>> run_fuzz_load(
+    const PolarDrawConfig& cfg, const rfid::TagReportStream& stream,
+    int n_workers, std::size_t pump_every) {
+  core::AssociatorConfig acfg;
+  acfg.idle_close_s = 0.25;
+  const core::PhaseCalibration cal = fuzz_calibration();
+  core::TagTrackAssociator assoc(cfg, acfg, &cal);
+  SessionServerConfig scfg;
+  scfg.n_workers = n_workers;
+  const Vec2 a1{cfg.board_width_m * 0.25, cfg.board_height_m + 0.05};
+  const Vec2 a2{cfg.board_width_m * 0.75, cfg.board_height_m + 0.05};
+  SessionServer server(cfg, a1, a2, 0.12, scfg);
+  std::vector<SessionServer::ClosedSession> closed;
+  std::size_t since_pump = 0;
+  for (const auto& r : stream) {
+    server.ingest(assoc.push(r), &closed);
+    if (++since_pump == pump_every) {
+      server.pump();
+      since_pump = 0;
+    }
+  }
+  server.ingest(assoc.flush(), &closed);
+  EXPECT_EQ(server.session_count(), 0u);
+  std::map<SessionId, std::vector<Vec2>> out;
+  for (auto& c : closed) out[c.id] = std::move(c.trajectory);
+  return out;
+}
+
+TEST(MultipenFuzz, WorkerCountAndPumpCadenceBitIdentical) {
+  // The end-to-end multi-pen contract: for a randomized interleaved
+  // stream (churn, collision gaps, hop boundaries, spurious reads), the
+  // closed trajectories are a pure function of the report stream --
+  // 1 worker pumping rarely and 8 workers pumping often must agree bit
+  // for bit, per session, and on the deterministic counter aggregates.
+  const PolarDrawConfig cfg = small_config();
+  obs::Registry& reg = obs::Registry::global();
+  reg.set_enabled(true);
+
+  for (const std::uint64_t seed : {101ull, 202ull, 303ull}) {
+    const auto stream = make_fuzz_stream(seed, /*n_tags=*/6,
+                                         /*duration_s=*/3.0);
+    ASSERT_GT(stream.size(), 300u) << "seed " << seed;
+
+    reg.reset();
+    const auto one = run_fuzz_load(cfg, stream, /*n_workers=*/1,
+                                   /*pump_every=*/97);
+    const obs::Snapshot snap1 = reg.snapshot();
+    reg.reset();
+    const auto eight = run_fuzz_load(cfg, stream, /*n_workers=*/8,
+                                     /*pump_every=*/13);
+    const obs::Snapshot snap8 = reg.snapshot();
+
+    // Tag 0's churn forces a second generation: strictly more sessions
+    // than tags.
+    ASSERT_GT(one.size(), 6u) << "seed " << seed;
+    ASSERT_EQ(one.size(), eight.size()) << "seed " << seed;
+    for (const auto& [id, traj] : one) {
+      const auto it = eight.find(id);
+      ASSERT_NE(it, eight.end()) << "seed " << seed << " session " << id;
+      expect_bit_identical(traj, it->second);
+      EXPECT_FALSE(traj.empty()) << "seed " << seed << " session " << id;
+    }
+    for (const char* name :
+         {"assoc.sessions_opened", "assoc.sessions_closed",
+          "assoc.observations", "assoc.phase_rejected", "server.observations",
+          "server.sessions_closed", "hmm.windows"}) {
+      EXPECT_EQ(snap1.counter(name), snap8.counter(name))
+          << name << " seed " << seed;
+    }
+  }
+  reg.reset();
+  reg.set_enabled(false);
+}
+
+TEST(MultipenFuzz, IngestMatchesManualEventApplication) {
+  // ingest() is pure glue: applying the same event batch by hand through
+  // open/submit/accumulate/close must give identical trajectories, and
+  // the returned count must equal the observation events submitted.
+  const PolarDrawConfig cfg = small_config();
+  const auto stream = make_fuzz_stream(7, /*n_tags=*/4, /*duration_s=*/2.0);
+  core::AssociatorConfig acfg;
+  acfg.idle_close_s = 0.25;
+  const core::PhaseCalibration cal = fuzz_calibration();
+  core::TagTrackAssociator assoc(cfg, acfg, &cal);
+  auto events = assoc.push(stream);
+  const auto tail = assoc.flush();
+  events.insert(events.end(), tail.begin(), tail.end());
+
+  const Vec2 a1{cfg.board_width_m * 0.25, cfg.board_height_m + 0.05};
+  const Vec2 a2{cfg.board_width_m * 0.75, cfg.board_height_m + 0.05};
+  SessionServer via_ingest(cfg, a1, a2, 0.12);
+  std::vector<SessionServer::ClosedSession> closed;
+  const std::size_t submitted = via_ingest.ingest(events, &closed);
+
+  SessionServer manual(cfg, a1, a2, 0.12);
+  std::map<SessionId, std::vector<Vec2>> expected;
+  std::size_t observation_events = 0;
+  for (const auto& e : events) {
+    switch (e.type) {
+      case core::PenEventType::kOpen:
+        manual.open(e.session_id);
+        break;
+      case core::PenEventType::kObservation:
+        EXPECT_TRUE(manual.submit(e.session_id, e.obs));
+        ++observation_events;
+        break;
+      case core::PenEventType::kAzimuthCorrection:
+        EXPECT_TRUE(manual.accumulate_azimuth_correction(
+            e.session_id, e.azimuth_delta_rad));
+        break;
+      case core::PenEventType::kClose:
+        expected[e.session_id] = manual.close(e.session_id);
+        break;
+    }
+  }
+  EXPECT_EQ(submitted, observation_events);
+  ASSERT_EQ(closed.size(), expected.size());
+  for (const auto& c : closed) {
+    const auto it = expected.find(c.id);
+    ASSERT_NE(it, expected.end()) << "session " << c.id;
+    expect_bit_identical(c.trajectory, it->second);
+    // The associator packs the EPC into the low session-id bits.
+    EXPECT_EQ(c.epc, static_cast<std::uint32_t>(c.id & 0xFFFFFFFFull));
+  }
+}
+
+TEST(MultipenFuzz, SoakSubmitConcurrentWithPump) {
+  // The documented-legal race: submit()/accumulate_azimuth_correction()
+  // from an ingest thread while the control thread pump()s. Per-session
+  // mailbox mutexes order the two, so the result must still equal the
+  // batch decode. Run under TSan in CI (multi-pen soak step).
+  const PolarDrawConfig cfg = small_config();
+  const int kPens = 4, kWindows = 40;
+  std::vector<DecodeTestbed> pens;
+  for (int p = 0; p < kPens; ++p) {
+    pens.push_back(
+        make_decode_testbed(cfg, kWindows, static_cast<std::uint64_t>(p) + 21));
+  }
+  SessionServerConfig scfg;
+  scfg.stream.lag_windows = 6;
+  scfg.n_workers = 4;
+  SessionServer server(cfg, pens[0].a1, pens[0].a2, pens[0].antenna_z, scfg);
+  for (int p = 0; p < kPens; ++p) {
+    server.open(static_cast<SessionId>(p),
+                &pens[static_cast<std::size_t>(p)].start);
+  }
+  std::atomic<bool> done{false};
+  std::thread ingest([&] {
+    for (int w = 0; w < kWindows; ++w) {
+      for (int p = 0; p < kPens; ++p) {
+        server.submit(
+            static_cast<SessionId>(p),
+            pens[static_cast<std::size_t>(p)].obs[static_cast<std::size_t>(w)]);
+      }
+      server.accumulate_azimuth_correction(0, 0.01);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  while (!done.load(std::memory_order_acquire)) {
+    server.pump();
+  }
+  ingest.join();
+  server.pump();
+
+  // Reference: the same server config driven sequentially. The decode is a
+  // sequential function of each session's observation stream, so pump
+  // timing (and the concurrent ingest) must not change the result.
+  SessionServer reference(cfg, pens[0].a1, pens[0].a2, pens[0].antenna_z,
+                          scfg);
+  for (int p = 0; p < kPens; ++p) {
+    reference.open(static_cast<SessionId>(p),
+                   &pens[static_cast<std::size_t>(p)].start);
+  }
+  for (int w = 0; w < kWindows; ++w) {
+    for (int p = 0; p < kPens; ++p) {
+      reference.submit(
+          static_cast<SessionId>(p),
+          pens[static_cast<std::size_t>(p)].obs[static_cast<std::size_t>(w)]);
+    }
+    reference.accumulate_azimuth_correction(0, 0.01);
+    if (w % 5 == 0) reference.pump();
+  }
+  reference.pump();
+  for (int p = 0; p < kPens; ++p) {
+    expect_bit_identical(server.close(static_cast<SessionId>(p)),
+                         reference.close(static_cast<SessionId>(p)));
+  }
 }
 
 }  // namespace
