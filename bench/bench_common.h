@@ -118,6 +118,29 @@ class TrialTimes {
   std::vector<double> times_;
 };
 
+/// Writes <dir>/STATUS_<bench>.json from a statusz document (the
+/// SessionServer::status() string) captured mid-run, so CI can validate
+/// the live-introspection schema against a real in-flight server
+/// (`benchjson --validate-status`). The document is written verbatim —
+/// it is already JSON. No-op (returns true) without PD_BENCH_JSON_DIR;
+/// returns false when the file cannot be written.
+inline bool write_status_json(const std::string& bench,
+                              const std::string& status_doc) {
+  const char* dir = std::getenv("PD_BENCH_JSON_DIR");
+  if (dir == nullptr) return true;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = std::string(dir) + "/STATUS_" + bench + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "bench: PD_BENCH_JSON_DIR is not writable, cannot write "
+              << path << "\n";
+    return false;
+  }
+  os << status_doc << "\n";
+  return os.good();
+}
+
 /// Prints the standard bench banner.
 inline void banner(const std::string& id, const std::string& title) {
   std::cout << "==============================================================\n"

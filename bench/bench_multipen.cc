@@ -105,6 +105,7 @@ void run_experiment(bool smoke) {
   const auto apos = scene.antenna_board_positions();
 
   const int reps = bench::reps_scale();
+  std::string status_mid;
   std::size_t total_reports = 0;
   std::size_t total_positions = 0;
   std::size_t total_sessions = 0;
@@ -160,12 +161,18 @@ void run_experiment(bool smoke) {
                                                    reports.size())));
       server.ingest(assoc.push(chunk), &closed);
       server.pump();
+      // Capture a live statusz document once, mid-run on the first rep,
+      // while the association churn has sessions open and mid-decode.
+      if (r == 0 && status_mid.empty() && i >= reports.size() / 2) {
+        status_mid = server.status();
+      }
     }
     server.ingest(assoc.flush(), &closed);
     total_sessions += closed.size();
     for (const auto& c : closed) total_positions += c.trajectory.size();
   }
   const double elapsed = watch.seconds();
+  if (!status_mid.empty()) bench::write_status_json("multipen", status_mid);
 
   const obs::Snapshot snap = obs::Registry::global().snapshot();
   const auto singles = snap.counter("rfid.gen2.singletons");

@@ -50,9 +50,13 @@ int session_count(bool smoke) {
 }
 
 /// The server load: `n_pens` seeded pens, reports interleaved round-robin,
-/// pump() after every round. Returns total observations submitted.
+/// pump() after every round. Returns total observations submitted. When
+/// `status_mid` is non-null and empty, captures SessionServer::status()
+/// at the halfway round — a live statusz document with every session
+/// seeded and mid-decode — for the STATUS_<name>.json export.
 std::size_t run_server_load(const PolarDrawConfig& cfg, int n_pens,
-                            int n_windows, std::size_t lag) {
+                            int n_windows, std::size_t lag,
+                            std::string* status_mid = nullptr) {
   std::vector<DecodeTestbed> pens;
   pens.reserve(static_cast<std::size_t>(n_pens));
   for (int p = 0; p < n_pens; ++p) {
@@ -71,6 +75,9 @@ std::size_t run_server_load(const PolarDrawConfig& cfg, int n_pens,
                     pens[static_cast<std::size_t>(p)].obs[static_cast<std::size_t>(w)]);
     }
     server.pump();
+    if (status_mid != nullptr && status_mid->empty() && w == n_windows / 2) {
+      *status_mid = server.status();
+    }
   }
   std::size_t sink = 0;
   for (int p = 0; p < n_pens; ++p) {
@@ -115,11 +122,14 @@ void run_experiment(bool smoke) {
   const int reps = bench::reps_scale();
 
   std::size_t total_obs = 0;
+  std::string status_mid;
   const bench::Stopwatch watch;
   for (int r = 0; r < reps; ++r) {
-    total_obs += run_server_load(cfg, n_pens, n_windows, lag);
+    total_obs += run_server_load(cfg, n_pens, n_windows, lag,
+                                 r == 0 ? &status_mid : nullptr);
   }
   const double elapsed = watch.seconds();
+  if (!status_mid.empty()) bench::write_status_json("streaming", status_mid);
   const double obs_per_s =
       elapsed > 0.0 ? static_cast<double>(total_obs) / elapsed : 0.0;
 

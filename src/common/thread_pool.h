@@ -35,12 +35,12 @@ class ThreadPool {
   explicit ThreadPool(int n_threads) : size_(n_threads < 1 ? 1 : n_threads) {
     for (int i = 1; i < size_; ++i) {
       workers_.emplace_back([this, i] {
-        // Name this worker's trace track before any batch runs; a no-op
-        // (beyond the one relaxed load) when tracing is disabled.
-        obs::Tracer& tracer = obs::Tracer::global();
-        if (tracer.enabled()) {
-          tracer.set_current_thread_name("pool.worker-" + std::to_string(i));
-        }
+        // Name this worker's trace track before any batch runs --
+        // unconditionally, so a tracer enabled mid-run (live statusz
+        // sessions, tests toggling PD_TRACE_DIR-less tracing) still shows
+        // "pool.worker-i" instead of the anonymous fallback.
+        obs::Tracer::global().set_current_thread_name("pool.worker-" +
+                                                      std::to_string(i));
         worker_loop();
       });
     }

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/angles.h"
+#include "obs/json_writer.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -61,6 +63,7 @@ struct TagTrackAssociator::Track {
     std::vector<double> phase[2];
     std::vector<int> channel[2];
     int uncalibrated[2] = {0, 0};
+    std::uint64_t flow_serial = 0;  // first sampled report in the window
     void clear() {
       for (int a = 0; a < 2; ++a) {
         rss[a].clear();
@@ -68,10 +71,12 @@ struct TagTrackAssociator::Track {
         channel[a].clear();
         uncalibrated[a] = 0;
       }
+      flow_serial = 0;
     }
   };
   int cur_window = 0;
   WindowAcc acc;
+  std::uint64_t pending_flow = 0;  // flow id riding with `pending`
 
   // --- Step-2 state (per antenna), mirroring preprocess() -----------------
   struct Step2 {
@@ -197,6 +202,10 @@ void TagTrackAssociator::route(const rfid::TagReport& r,
   acc.phase[r.antenna_id].push_back(phase);
   acc.channel[r.antenna_id].push_back(r.channel);
   if (!channel_covered) acc.uncalibrated[r.antenna_id] += 1;
+  // First sampled report to land in this window carries the flow chain.
+  if (acc.flow_serial == 0 && obs::flow_sampled(r.serial)) {
+    acc.flow_serial = r.serial;
+  }
   track.last_report_s = r.timestamp_s;
 }
 
@@ -226,6 +235,8 @@ void TagTrackAssociator::finalize_window(Track& track,
     }
   }
   if (!any) empty_windows_counter().add(1);
+  const std::uint64_t flow_serial = track.acc.flow_serial;
+  obs::record_report_flow('t', flow_serial, obs::FlowStage::kWindow);
   track.acc.clear();
   ++track.cur_window;
 
@@ -239,6 +250,17 @@ void TagTrackAssociator::finalize_window(Track& track,
         !(s.prev_calibrated && win.channel_calibrated[a])) {
       s.have_prev = false;
       s.unwrapper.reset();
+      auto& lg = obs::Logger::global();
+      if (lg.enabled()) {
+        lg.log(obs::LogLevel::kInfo, win.t_s, "assoc.hop_fence",
+               [&](obs::JsonWriter& w) {
+                 w.kv("session", track.session_id);
+                 w.kv("antenna", a);
+                 w.kv("window", win.index);
+                 w.kv("from_channel", s.prev_channel);
+                 w.kv("to_channel", win.channel[a]);
+               });
+      }
     }
     if (s.have_prev) {
       const int gap = std::max(1, win.index - s.prev_index);
@@ -254,6 +276,15 @@ void TagTrackAssociator::finalize_window(Track& track,
     const double unwrapped = s.unwrapper.push_at(wrapped, win.t_s);
     if (s.unwrapper.nonmonotone_rejected() != rejected_before) {
       win.phase_valid[a] = false;
+      auto& lg = obs::Logger::global();
+      if (lg.enabled()) {
+        lg.log(obs::LogLevel::kWarn, win.t_s, "assoc.non_monotone",
+               [&](obs::JsonWriter& w) {
+                 w.kv("session", track.session_id);
+                 w.kv("antenna", a);
+                 w.kv("window", win.index);
+               });
+      }
       continue;
     }
     s.have_prev = true;
@@ -264,10 +295,11 @@ void TagTrackAssociator::finalize_window(Track& track,
     win.phase_rad[a] = unwrapped;
   }
 
-  process_window(track, win, out);
+  process_window(track, win, flow_serial, out);
 }
 
 void TagTrackAssociator::process_window(Track& track, const Window& win,
+                                        std::uint64_t flow_serial,
                                         std::vector<PenEvent>& out) {
   // --- Deltas vs the previous valid window (track_windows replica) --------
   double ds[2] = {0.0, 0.0};
@@ -347,6 +379,7 @@ void TagTrackAssociator::process_window(Track& track, const Window& win,
     ev.epc = track.epc;
     ev.t_s = track.pending_t_s;
     ev.obs = emit;
+    ev.flow_id = track.pending_flow;
     out.push_back(ev);
     observations_counter().add(1);
     track.prev_raw_dir = track.pending.direction.direction;
@@ -354,6 +387,7 @@ void TagTrackAssociator::process_window(Track& track, const Window& win,
   }
   track.pending = obs;
   track.pending_t_s = win.t_s;
+  track.pending_flow = flow_serial;
   track.have_pending = true;
 
   // --- Azimuth-correction delta (Eq. 10 accumulator) ----------------------
@@ -392,6 +426,7 @@ void TagTrackAssociator::close_track(Track& track, std::vector<PenEvent>& out) {
     ev.epc = track.epc;
     ev.t_s = track.pending_t_s;
     ev.obs = emit;
+    ev.flow_id = track.pending_flow;
     out.push_back(ev);
     observations_counter().add(1);
     track.have_pending = false;

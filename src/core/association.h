@@ -59,6 +59,11 @@ struct PenEvent {
   double t_s = 0.0;  // window center (observation) or report time
   TrackObservation obs;            // kObservation only
   double azimuth_delta_rad = 0.0;  // kAzimuthCorrection only
+  /// Causal flow id (kObservation only): the serial of a flow-sampled
+  /// report that fed this observation's window, 0 when none was sampled.
+  /// Observational only -- carried so SessionServer can link the
+  /// decoder-commit flow event; never read by tracking math.
+  std::uint64_t flow_id = 0;
 };
 
 class TagTrackAssociator {
@@ -108,8 +113,11 @@ class TagTrackAssociator {
   /// stream time `t_s`; scans in EPC order for determinism.
   void close_stale(double t_s, std::vector<PenEvent>& out);
   void finalize_window(Track& track, std::vector<PenEvent>& out);
+  /// `flow_serial` is the window's sampled flow id (0 = unsampled); it
+  /// rides with the held-back observation so the emitted PenEvent links
+  /// the causal chain.
   void process_window(Track& track, const Window& win,
-                      std::vector<PenEvent>& out);
+                      std::uint64_t flow_serial, std::vector<PenEvent>& out);
   void close_track(Track& track, std::vector<PenEvent>& out);
 
   PolarDrawConfig cfg_;

@@ -106,6 +106,12 @@ class StreamingDecoder {
   [[nodiscard]] std::size_t pushed() const { return n_pushed_; }
   /// Positions emitted so far through poll()/finish().
   [[nodiscard]] std::size_t committed() const { return n_committed_; }
+  /// Windows pushed but not yet committed: the fixed-lag backlog held in
+  /// the beam (at most lag_windows once seeded, larger only for an
+  /// unseeded phaseless prefix). statusz reports this as commit lag.
+  [[nodiscard]] std::size_t commit_lag() const {
+    return n_pushed_ > n_committed_ ? n_pushed_ - n_committed_ : 0;
+  }
   /// True once the chain has a seed (hint, first phase window, or the
   /// finish() fallback).
   [[nodiscard]] bool seeded() const { return seeded_; }

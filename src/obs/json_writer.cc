@@ -8,6 +8,7 @@
 namespace polardraw::obs {
 
 void JsonWriter::newline_indent() {
+  if (compact_) return;
   os_ << '\n';
   for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
 }
@@ -57,7 +58,7 @@ void JsonWriter::key(std::string_view k) {
   top.has_items = true;
   top.expecting_value = true;
   write_escaped(k);
-  os_ << ": ";
+  os_ << (compact_ ? ":" : ": ");
 }
 
 void JsonWriter::write_escaped(std::string_view s) {

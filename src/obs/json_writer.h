@@ -16,7 +16,13 @@ namespace polardraw::obs {
 
 class JsonWriter {
  public:
-  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  /// Layout of the emitted document. kPretty is the BENCH_*.json default;
+  /// kCompact packs everything onto one line (no newlines, no indent) for
+  /// JSON-lines sinks like obs/log.
+  enum class Style { kPretty, kCompact };
+
+  explicit JsonWriter(std::ostream& os, Style style = Style::kPretty)
+      : os_(os), compact_(style == Style::kCompact) {}
 
   void begin_object();
   void end_object();
@@ -59,6 +65,7 @@ class JsonWriter {
   void write_escaped(std::string_view s);
 
   std::ostream& os_;
+  bool compact_ = false;
   std::vector<Level> stack_;
 };
 

@@ -1,0 +1,150 @@
+#include "obs/log.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <ostream>
+
+#include "common/annotations.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+namespace polardraw::obs {
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+struct Logger::Impl {
+  mutable pd::Mutex mu;
+  std::atomic<bool> enabled{false};
+  std::atomic<int> min_level{static_cast<int>(LogLevel::kInfo)};
+
+  std::ostream* sink PD_GUARDED_BY(mu) = nullptr;
+  std::unique_ptr<std::ofstream> owned_sink PD_GUARDED_BY(mu);
+
+  // Token bucket in simulation time. rate <= 0 disables limiting.
+  double rate_per_s PD_GUARDED_BY(mu) = 0.0;
+  double burst PD_GUARDED_BY(mu) = 0.0;
+  double tokens PD_GUARDED_BY(mu) = 0.0;
+  double last_t_s PD_GUARDED_BY(mu) = 0.0;
+  bool bucket_started PD_GUARDED_BY(mu) = false;
+
+  std::atomic<std::uint64_t> emitted{0};
+  std::atomic<std::uint64_t> suppressed{0};
+};
+
+Logger::Logger() : impl_(new Impl) {}
+Logger::~Logger() { delete impl_; }
+
+Logger& Logger::global() {
+  // Immortal for the same reason as Registry::global(): late-exiting
+  // threads may log during teardown.
+  static Logger* g = [] {
+    auto* l = new Logger();
+    if (const char* env = std::getenv("POLARDRAW_LOG")) {
+      if (*env != '\0') l->set_sink_path(env);
+    }
+    return l;
+  }();
+  return *g;
+}
+
+void Logger::set_sink(std::ostream* os) {
+  pd::MutexLock lock(impl_->mu);
+  impl_->owned_sink.reset();
+  impl_->sink = os;
+  impl_->enabled.store(os != nullptr, std::memory_order_relaxed);
+}
+
+void Logger::set_sink_path(std::string_view path) {
+  pd::MutexLock lock(impl_->mu);
+  if (path == "-" || path == "stderr") {
+    impl_->owned_sink.reset();
+    impl_->sink = &std::cerr;
+  } else {
+    auto f = std::make_unique<std::ofstream>(std::string(path),
+                                             std::ios::out | std::ios::app);
+    impl_->sink = f->is_open() ? f.get() : nullptr;
+    impl_->owned_sink = std::move(f);
+  }
+  impl_->enabled.store(impl_->sink != nullptr, std::memory_order_relaxed);
+}
+
+bool Logger::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void Logger::set_min_level(LogLevel level) {
+  impl_->min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void Logger::set_rate_limit(double events_per_s, double burst) {
+  pd::MutexLock lock(impl_->mu);
+  impl_->rate_per_s = events_per_s;
+  impl_->burst = std::max(1.0, burst);
+  impl_->tokens = impl_->burst;
+  impl_->bucket_started = false;
+}
+
+void Logger::log(LogLevel level, double t_s, std::string_view event,
+                 const std::function<void(JsonWriter&)>& fields) {
+  if (!enabled()) return;
+  if (static_cast<int>(level) <
+      impl_->min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  static const Counter emitted_counter("log.emitted");
+  static const Counter suppressed_counter("log.suppressed");
+  pd::MutexLock lock(impl_->mu);
+  if (impl_->sink == nullptr) return;
+  if (impl_->rate_per_s > 0.0) {
+    // Refill on sim-time progress; interleaved sessions may present a
+    // smaller t_s than the last one seen, which simply refills nothing.
+    if (impl_->bucket_started && t_s > impl_->last_t_s) {
+      impl_->tokens = std::min(
+          impl_->burst,
+          impl_->tokens + (t_s - impl_->last_t_s) * impl_->rate_per_s);
+    }
+    if (!impl_->bucket_started || t_s > impl_->last_t_s) {
+      impl_->last_t_s = t_s;
+      impl_->bucket_started = true;
+    }
+    if (impl_->tokens < 1.0) {
+      impl_->suppressed.fetch_add(1, std::memory_order_relaxed);
+      suppressed_counter.add();
+      return;
+    }
+    impl_->tokens -= 1.0;
+  }
+  JsonWriter w(*impl_->sink, JsonWriter::Style::kCompact);
+  w.begin_object();
+  w.kv("t_s", t_s);
+  w.kv("level", log_level_name(level));
+  w.kv("event", event);
+  if (fields) fields(w);
+  w.end_object();
+  *impl_->sink << '\n';
+  impl_->sink->flush();
+  impl_->emitted.fetch_add(1, std::memory_order_relaxed);
+  emitted_counter.add();
+}
+
+std::uint64_t Logger::emitted_total() const {
+  return impl_->emitted.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Logger::suppressed_total() const {
+  return impl_->suppressed.load(std::memory_order_relaxed);
+}
+
+}  // namespace polardraw::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <map>
@@ -13,29 +14,145 @@ namespace polardraw::obs {
 
 namespace {
 
-/// Per-histogram shard data; bucket layout mirrors the registered bounds.
-/// `bounds` is a per-shard copy taken on first observe so the hot path
-/// never touches the registry mutex.
-struct HistShard {
+// ---------------------------------------------------------------------------
+// Live shard storage (DESIGN.md section 17).
+//
+// Each thread accumulates into its own shard, exactly as before -- but the
+// slots are relaxed std::atomics in chunked, pointer-stable arrays, and
+// each shard carries a seqlock sequence counter. That combination is what
+// makes snapshot() legal mid-flight:
+//
+//   * atomic slots: a reader never races a writer at the byte level
+//     (TSan-clean), and every individual field it reads is a real value
+//     some write produced;
+//   * pointer-stable chunks: the owner grows its shard by *publishing* new
+//     fixed-size chunks (release store of the chunk pointer), never by
+//     reallocating, so a concurrent reader cannot walk freed memory;
+//   * the seqlock: multi-field updates (a histogram's bucket + count + sum
+//     + min/max, a gauge's value + set flag) are bracketed by two plain
+//     sequence stores with release fences. A reader that observes a stable
+//     even sequence across its pass got a torn-free, point-in-time view.
+//     Under sustained writes it retries a bounded number of times and then
+//     accepts the last pass -- still per-field valid, merely not a single
+//     instant. Counter increments are single-slot and need no bracket.
+//
+// Writer cost per multi-field update: two plain stores and two release
+// fences (compiler barriers on x86) -- no locks, no atomic RMWs.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kChunkSlots = 64;
+constexpr std::size_t kMaxChunks = 64;
+/// Hard per-kind id capacity (4096). Ids beyond it are silently dropped
+/// from shards -- far above any realistic registry, and the alternative
+/// (growable flat arrays) would let a concurrent reader walk freed memory.
+constexpr std::size_t kMaxSlots = kChunkSlots * kMaxChunks;
+
+struct CounterChunk {
+  std::atomic<std::uint64_t> v[kChunkSlots];  // zero via value-init
+};
+
+struct GaugeSlot {
+  std::atomic<double> v{0.0};
+  std::atomic<std::uint32_t> set{0};
+};
+
+struct GaugeChunk {
+  GaugeSlot s[kChunkSlots];
+};
+
+/// Per-histogram live state; allocated and initialized by the owning
+/// thread on first observe, then published with a release store. `bounds`
+/// is immutable after publication, so the reader's plain reads of it are
+/// ordered by the pointer acquire.
+struct HistAtomic {
   std::vector<double> bounds;
-  std::vector<std::uint64_t> counts;  // bounds.size() + 1
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts;  // bounds.size() + 1
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+};
+
+struct HistChunk {
+  std::atomic<HistAtomic*> h[kChunkSlots];  // null via value-init
+  ~HistChunk() {
+    for (auto& p : h) delete p.load(std::memory_order_relaxed);
+  }
+};
+
+/// Fixed directory of lazily published chunks. The owner thread allocates
+/// a chunk on first touch and publishes it with a release store; readers
+/// load with acquire and treat a missing chunk as all-zero.
+template <typename Chunk>
+struct ChunkedArray {
+  std::atomic<Chunk*> chunks[kMaxChunks] = {};
+
+  ~ChunkedArray() {
+    for (auto& c : chunks) delete c.load(std::memory_order_relaxed);
+  }
+
+  /// Owner-side: chunk holding `idx`, allocated if needed; nullptr when
+  /// idx exceeds the fixed capacity.
+  Chunk* ensure(std::size_t idx) {
+    if (idx >= kMaxSlots) return nullptr;
+    auto& slot = chunks[idx / kChunkSlots];
+    Chunk* c = slot.load(std::memory_order_relaxed);
+    if (c == nullptr) {
+      c = new Chunk();
+      slot.store(c, std::memory_order_release);
+    }
+    return c;
+  }
+
+  /// Reader-side: chunk holding `idx`, or nullptr when never touched.
+  const Chunk* get(std::size_t idx) const {
+    if (idx >= kMaxSlots) return nullptr;
+    return chunks[idx / kChunkSlots].load(std::memory_order_acquire);
+  }
+};
+
+/// One thread's live accumulators (see the block comment above).
+struct Shard {
+  std::atomic<std::uint64_t> seq{0};
+  ChunkedArray<CounterChunk> counters;
+  ChunkedArray<GaugeChunk> gauges;
+  ChunkedArray<HistChunk> hists;
+
+  // Seqlock writer bracket (single writer: the owning thread). The odd
+  // store is published before the data writes and the even store after
+  // them, so a reader with a stable even sequence saw no mid-update data.
+  void write_begin() {
+    seq.store(seq.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  void write_end() {
+    std::atomic_thread_fence(std::memory_order_release);
+    seq.store(seq.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+  }
+};
+
+/// Merged (plain, single-threaded) view of a shard: the retired
+/// accumulator and every snapshot/merge scratch use this layout, which is
+/// exactly the pre-seqlock shard -- keeping the merge arithmetic and
+/// order, and with them the quiescent snapshot bits, unchanged.
+struct LocalHist {
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1; empty = untouched
   std::uint64_t count = 0;
   double sum = 0.0;
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
 };
 
-/// One thread's private accumulators. Only the owning thread writes; other
-/// threads read under the registry mutex after a completion handshake
-/// (see metrics.h).
-struct Shard {
+struct LocalShard {
   std::vector<std::uint64_t> counters;
   std::vector<double> gauges;  // NaN-free: valid iff gauge_set
   std::vector<char> gauge_set;
-  std::vector<HistShard> hists;
+  std::vector<LocalHist> hists;
 };
 
-void merge_into(Shard& into, const Shard& from,
+void merge_into(LocalShard& into, const LocalShard& from,
                 const std::vector<std::vector<double>>& hist_bounds) {
   if (into.counters.size() < from.counters.size()) {
     into.counters.resize(from.counters.size(), 0);
@@ -55,9 +172,9 @@ void merge_into(Shard& into, const Shard& from,
   }
   if (into.hists.size() < from.hists.size()) into.hists.resize(from.hists.size());
   for (std::size_t i = 0; i < from.hists.size(); ++i) {
-    const HistShard& src = from.hists[i];
+    const LocalHist& src = from.hists[i];
     if (src.count == 0) continue;
-    HistShard& dst = into.hists[i];
+    LocalHist& dst = into.hists[i];
     if (dst.counts.empty()) dst.counts.assign(hist_bounds[i].size() + 1, 0);
     for (std::size_t b = 0; b < src.counts.size(); ++b) {
       dst.counts[b] += src.counts[b];
@@ -66,6 +183,66 @@ void merge_into(Shard& into, const Shard& from,
     dst.sum += src.sum;
     dst.min = std::min(dst.min, src.min);
     dst.max = std::max(dst.max, src.max);
+  }
+}
+
+/// One seqlock-free pass over a live shard's atomics into `out`.
+void read_shard_once(const Shard& s, std::size_t n_counters,
+                     std::size_t n_gauges, std::size_t n_hists,
+                     LocalShard& out) {
+  out.counters.assign(std::min(n_counters, kMaxSlots), 0);
+  for (std::size_t i = 0; i < out.counters.size(); ++i) {
+    const CounterChunk* c = s.counters.get(i);
+    if (c != nullptr) {
+      out.counters[i] = c->v[i % kChunkSlots].load(std::memory_order_relaxed);
+    }
+  }
+  out.gauges.assign(std::min(n_gauges, kMaxSlots), 0.0);
+  out.gauge_set.assign(out.gauges.size(), 0);
+  for (std::size_t i = 0; i < out.gauges.size(); ++i) {
+    const GaugeChunk* c = s.gauges.get(i);
+    if (c == nullptr) continue;
+    const GaugeSlot& slot = c->s[i % kChunkSlots];
+    if (slot.set.load(std::memory_order_relaxed) != 0) {
+      out.gauges[i] = slot.v.load(std::memory_order_relaxed);
+      out.gauge_set[i] = 1;
+    }
+  }
+  out.hists.clear();
+  out.hists.resize(std::min(n_hists, kMaxSlots));
+  for (std::size_t i = 0; i < out.hists.size(); ++i) {
+    const HistChunk* c = s.hists.get(i);
+    if (c == nullptr) continue;
+    const HistAtomic* h =
+        c->h[i % kChunkSlots].load(std::memory_order_acquire);
+    if (h == nullptr) continue;
+    LocalHist& dst = out.hists[i];
+    const std::size_t n_buckets = h->bounds.size() + 1;
+    dst.counts.resize(n_buckets);
+    for (std::size_t b = 0; b < n_buckets; ++b) {
+      dst.counts[b] = h->counts[b].load(std::memory_order_relaxed);
+    }
+    dst.count = h->count.load(std::memory_order_relaxed);
+    dst.sum = h->sum.load(std::memory_order_relaxed);
+    dst.min = h->min.load(std::memory_order_relaxed);
+    dst.max = h->max.load(std::memory_order_relaxed);
+  }
+}
+
+/// Seqlock reader: retries until a pass saw a stable even sequence, then
+/// gives up after `kReadRetries` and accepts the (per-field valid, maybe
+/// not instantaneous) last pass. Quiescent shards succeed on the first
+/// pass with bits identical to an in-place read.
+constexpr int kReadRetries = 64;
+
+void read_shard(const Shard& s, std::size_t n_counters, std::size_t n_gauges,
+                std::size_t n_hists, LocalShard& out) {
+  for (int attempt = 0; attempt < kReadRetries; ++attempt) {
+    const std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+    if ((s1 & 1) != 0 && attempt + 1 < kReadRetries) continue;
+    read_shard_once(s, n_counters, n_gauges, n_hists, out);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) == s1) return;
   }
 }
 
@@ -86,15 +263,18 @@ struct Registry::Impl {
 
   // Live per-thread shards plus the merged data of exited threads. The
   // vector and the retired accumulator are guarded; the pointed-to shards
-  // are owner-thread data readable under mu only after the retirement
-  // handshake (see metrics.h), which is beyond what the annotations model.
+  // are atomic storage read through the seqlock (see the top of this
+  // file), so holding mu alone is enough to snapshot them mid-flight.
   std::vector<Shard*> live PD_GUARDED_BY(mu);
-  Shard retired PD_GUARDED_BY(mu);
+  LocalShard retired PD_GUARDED_BY(mu);
 
   Shard& local_shard();
   void retire(Shard* s) {
     pd::MutexLock lock(mu);
-    merge_into(retired, *s, hist_bounds);
+    LocalShard scratch;
+    read_shard(*s, counter_names.size(), gauge_names.size(),
+               hist_names.size(), scratch);
+    merge_into(retired, scratch, hist_bounds);
     live.erase(std::remove(live.begin(), live.end(), s), live.end());
   }
 };
@@ -197,48 +377,76 @@ bool Registry::enabled() const {
 
 void Registry::counter_add(int id, std::uint64_t n) {
   Shard& s = impl_->local_shard();
-  const auto idx = static_cast<std::size_t>(id);
-  if (s.counters.size() <= idx) s.counters.resize(idx + 1, 0);
-  s.counters[idx] += n;
+  CounterChunk* c = s.counters.ensure(static_cast<std::size_t>(id));
+  if (c == nullptr) return;  // beyond the fixed id capacity
+  auto& slot = c->v[static_cast<std::size_t>(id) % kChunkSlots];
+  // Single-slot update: atomic by itself, no seqlock bracket needed.
+  slot.store(slot.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
 }
 
 void Registry::gauge_max(int id, double v) {
   Shard& s = impl_->local_shard();
-  const auto idx = static_cast<std::size_t>(id);
-  if (s.gauges.size() <= idx) {
-    s.gauges.resize(idx + 1, 0.0);
-    s.gauge_set.resize(idx + 1, 0);
-  }
-  s.gauges[idx] = s.gauge_set[idx] ? std::max(s.gauges[idx], v) : v;
-  s.gauge_set[idx] = 1;
+  GaugeChunk* c = s.gauges.ensure(static_cast<std::size_t>(id));
+  if (c == nullptr) return;
+  GaugeSlot& slot = c->s[static_cast<std::size_t>(id) % kChunkSlots];
+  s.write_begin();
+  const bool was_set = slot.set.load(std::memory_order_relaxed) != 0;
+  const double old = slot.v.load(std::memory_order_relaxed);
+  slot.v.store(was_set ? std::max(old, v) : v, std::memory_order_relaxed);
+  slot.set.store(1, std::memory_order_relaxed);
+  s.write_end();
 }
 
 void Registry::histogram_observe(int id, double v) {
   Shard& s = impl_->local_shard();
   const auto idx = static_cast<std::size_t>(id);
-  if (s.hists.size() <= idx) s.hists.resize(idx + 1);
-  HistShard& h = s.hists[idx];
-  if (h.counts.empty()) {
+  HistChunk* c = s.hists.ensure(idx);
+  if (c == nullptr) return;
+  auto& slot = c->h[idx % kChunkSlots];
+  HistAtomic* h = slot.load(std::memory_order_relaxed);
+  if (h == nullptr) {
     // First observe of this histogram on this thread: copy the registered
-    // bounds under the lock; afterwards the shard is self-contained.
-    pd::MutexLock lock(impl_->mu);
-    h.bounds = impl_->hist_bounds[idx];
-    h.counts.assign(h.bounds.size() + 1, 0);
+    // bounds under the lock, then publish the initialized record so a
+    // concurrent reader sees it fully formed or not at all.
+    auto fresh = std::make_unique<HistAtomic>();
+    {
+      pd::MutexLock lock(impl_->mu);
+      fresh->bounds = impl_->hist_bounds[idx];
+    }
+    fresh->counts = std::make_unique<std::atomic<std::uint64_t>[]>(
+        fresh->bounds.size() + 1);
+    h = fresh.release();
+    slot.store(h, std::memory_order_release);
   }
-  const auto it = std::lower_bound(h.bounds.begin(), h.bounds.end(), v);
-  h.counts[static_cast<std::size_t>(it - h.bounds.begin())] += 1;
-  h.count += 1;
-  h.sum += v;
-  h.min = std::min(h.min, v);
-  h.max = std::max(h.max, v);
+  const auto it = std::lower_bound(h->bounds.begin(), h->bounds.end(), v);
+  auto& bucket = h->counts[static_cast<std::size_t>(it - h->bounds.begin())];
+  s.write_begin();
+  bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+  h->count.store(h->count.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+  h->sum.store(h->sum.load(std::memory_order_relaxed) + v,
+               std::memory_order_relaxed);
+  h->min.store(std::min(h->min.load(std::memory_order_relaxed), v),
+               std::memory_order_relaxed);
+  h->max.store(std::max(h->max.load(std::memory_order_relaxed), v),
+               std::memory_order_relaxed);
+  s.write_end();
 }
 
 Snapshot Registry::snapshot() const {
   pd::MutexLock lock(impl_->mu);
-  Shard merged;
+  const std::size_t n_counters = impl_->counter_names.size();
+  const std::size_t n_gauges = impl_->gauge_names.size();
+  const std::size_t n_hists = impl_->hist_names.size();
+
+  LocalShard merged;
   merge_into(merged, impl_->retired, impl_->hist_bounds);
+  LocalShard scratch;
   for (const Shard* s : impl_->live) {
-    merge_into(merged, *s, impl_->hist_bounds);
+    read_shard(*s, n_counters, n_gauges, n_hists, scratch);
+    merge_into(merged, scratch, impl_->hist_bounds);
   }
 
   Snapshot out;
@@ -258,7 +466,7 @@ Snapshot Registry::snapshot() const {
     HistogramSnapshot h;
     h.bounds = impl_->hist_bounds[idx];
     if (idx < merged.hists.size() && merged.hists[idx].count > 0) {
-      const HistShard& src = merged.hists[idx];
+      const LocalHist& src = merged.hists[idx];
       h.counts = src.counts;
       h.count = src.count;
       h.sum = src.sum;
@@ -274,8 +482,43 @@ Snapshot Registry::snapshot() const {
 
 void Registry::reset() {
   pd::MutexLock lock(impl_->mu);
-  impl_->retired = Shard{};
-  for (Shard* s : impl_->live) *s = Shard{};
+  impl_->retired = LocalShard{};
+  // Rewrite every live shard's slots in place. This is the one operation
+  // that still demands quiescence: it stores to slots owned by other
+  // threads (atomics, so well-defined -- but a concurrent writer would
+  // interleave with the zeroing and the result would be meaningless).
+  for (Shard* s : impl_->live) {
+    for (auto& cp : s->counters.chunks) {
+      CounterChunk* c = cp.load(std::memory_order_relaxed);
+      if (c == nullptr) continue;
+      for (auto& v : c->v) v.store(0, std::memory_order_relaxed);
+    }
+    for (auto& cp : s->gauges.chunks) {
+      GaugeChunk* c = cp.load(std::memory_order_relaxed);
+      if (c == nullptr) continue;
+      for (auto& g : c->s) {
+        g.v.store(0.0, std::memory_order_relaxed);
+        g.set.store(0, std::memory_order_relaxed);
+      }
+    }
+    for (auto& cp : s->hists.chunks) {
+      HistChunk* c = cp.load(std::memory_order_relaxed);
+      if (c == nullptr) continue;
+      for (auto& hp : c->h) {
+        HistAtomic* h = hp.load(std::memory_order_relaxed);
+        if (h == nullptr) continue;
+        for (std::size_t b = 0; b < h->bounds.size() + 1; ++b) {
+          h->counts[b].store(0, std::memory_order_relaxed);
+        }
+        h->count.store(0, std::memory_order_relaxed);
+        h->sum.store(0.0, std::memory_order_relaxed);
+        h->min.store(std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+        h->max.store(-std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+      }
+    }
+  }
 }
 
 double HistogramSnapshot::percentile(double p) const {
@@ -329,6 +572,24 @@ const std::vector<double>& default_time_bounds_s() {
     return b;
   }();
   return bounds;
+}
+
+std::vector<double> log_spaced_bounds(double lo, double hi, int per_decade) {
+  std::vector<double> b;
+  if (!(lo > 0.0) || !(hi > lo) || per_decade < 1) return b;
+  // polarlint-allow(R2): geometric bucket-edge spacing, not dB math --
+  // these decades are histogram bounds in arbitrary units.
+  const double decades = std::log10(hi / lo);
+  const auto n = static_cast<int>(
+      std::ceil(decades * static_cast<double>(per_decade) - 1e-9));
+  b.reserve(static_cast<std::size_t>(n) + 1);
+  for (int k = 0; k <= n; ++k) {
+    // polarlint-allow(R2): geometric spacing, not a dB conversion.
+    b.push_back(lo * std::pow(10.0, static_cast<double>(k) /
+                                        static_cast<double>(per_decade)));
+  }
+  b.back() = hi;  // land exactly on the requested top bound
+  return b;
 }
 
 }  // namespace polardraw::obs

@@ -16,10 +16,19 @@
 //     is touched.
 //
 // Shards are merged when their owning thread exits (thread_pool workers
-// join in the pool destructor) and read in place by snapshot(); snapshot()
-// and reset() must only run while no instrumented work is in flight -- the
-// harness pattern "run_trials(); snapshot()" is safe because parallel_for's
-// completion handshake orders all worker writes before the caller resumes.
+// join in the pool destructor) and read through a seqlock by snapshot().
+//
+// Concurrent reads (DESIGN.md section 17): every shard slot is a relaxed
+// std::atomic and each shard carries an epoch/seqlock sequence counter,
+// so snapshot() is safe to call while instrumented work is in flight --
+// a live statusz endpoint can read the registry mid-decode. Writers pay
+// two plain stores and two compiler fences per multi-field update (no
+// locks, no RMWs on the hot path); readers retry a bounded number of
+// times for a torn-free view and, under sustained writes, fall back to a
+// per-field-consistent view. In the quiescent case ("run_trials();
+// snapshot()") the sequence counters are stable and the result is
+// bit-identical to an in-place merge. reset() still requires quiescence:
+// it rewrites every live shard in place.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +73,13 @@ struct Snapshot {
 /// ladder from 1 microsecond to 50 seconds.
 [[nodiscard]] const std::vector<double>& default_time_bounds_s();
 
+/// Log-spaced histogram bounds: `per_decade` geometrically spaced upper
+/// bounds per decade from `lo` to `hi` (both included). Finer than the
+/// 1-2-5 ladder, for latency SLO histograms whose percentile
+/// interpolation error must stay small (e.g. server.push_to_commit_s).
+[[nodiscard]] std::vector<double> log_spaced_bounds(double lo, double hi,
+                                                    int per_decade);
+
 class Registry {
  public:
   /// The process-wide registry. Enabled at startup when the
@@ -91,10 +107,12 @@ class Registry {
   void gauge_max(int id, double v);  // merge rule: max across threads
   void histogram_observe(int id, double v);
 
-  /// Merges retired and live shards. Quiescence required (see file top).
+  /// Merges retired and live shards through the per-shard seqlock. Safe
+  /// to call while instrumented work is in flight (see file top);
+  /// bit-identical to the quiescent merge when nothing is writing.
   [[nodiscard]] Snapshot snapshot() const;
   /// Zeroes all accumulated data; registrations survive. Quiescence
-  /// required.
+  /// required (rewrites live shards in place).
   void reset();
 
   // Implementation detail, public only so the thread-local shard holder in

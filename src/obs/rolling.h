@@ -1,0 +1,93 @@
+// Deterministic sliding-window aggregator (DESIGN.md section 17).
+//
+// Rolling SLO metrics ("p99 push-to-commit over the last 10 s") need a
+// notion of "now" -- but polarlint R7 bans wall-clock reads outside the
+// span/bench layers, and the whole pipeline is replayed in simulation
+// time. So the window is driven purely by the observation timestamps the
+// caller feeds in: `observe(t_s, v)` advances the window to `t_s`, and
+// every query is answered as of the latest observation. Replaying the
+// same observation stream therefore reproduces the same rolling stats
+// bit-for-bit at every step, regardless of wall-clock scheduling.
+//
+// Internally a window of `window_s` seconds is quantized into
+// `window_s / step_s` fixed-width step buckets, each holding a compact
+// histogram (shared log-spaced bounds) plus count/sum/min/max. Advancing
+// time expires whole steps; queries merge the live steps. Memory is
+// O(steps * buckets), independent of observation rate.
+//
+// Not thread-safe: callers sequence observe()/advance_to() externally
+// (SessionServer drains per-session samples into one instance under its
+// status mutex, in session-id order, so the merge order is deterministic
+// too).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace polardraw::obs {
+
+/// Merged view of one rolling window as of the latest observation.
+struct RollingStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // meaningful only when count > 0
+  double max = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  [[nodiscard]] double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+class RollingWindow {
+ public:
+  /// Window of `window_s` seconds quantized into steps of `step_s`
+  /// (window_s is rounded up to a whole number of steps). `bounds` are
+  /// the shared histogram bucket upper bounds used for percentiles.
+  RollingWindow(double window_s, double step_s, std::vector<double> bounds);
+
+  /// Records `v` at simulation time `t_s`, first advancing the window.
+  /// Observations older than the already-advanced window tail are
+  /// counted into the current step (timestamps from concurrent sessions
+  /// may interleave slightly; a rolling SLO does not need them resorted).
+  void observe(double t_s, double v);
+
+  /// Advances the window to `t_s` without recording (expires old steps).
+  /// Time never moves backwards: an earlier t_s is a no-op.
+  void advance_to(double t_s);
+
+  /// Stats over observations in (now - window_s, now], where now is the
+  /// largest timestamp seen.
+  [[nodiscard]] RollingStats stats() const;
+
+  /// Latest timestamp the window has advanced to.
+  [[nodiscard]] double now_s() const { return now_s_; }
+
+  [[nodiscard]] double window_s() const {
+    return static_cast<double>(steps_.size()) * step_s_;
+  }
+
+ private:
+  struct Step {
+    std::int64_t index = -1;  // global step index, -1 = empty
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  [[nodiscard]] std::int64_t step_index(double t_s) const;
+  Step& step_for(std::int64_t index);
+
+  double step_s_;
+  std::vector<double> bounds_;
+  std::vector<Step> steps_;  // ring keyed by index % steps_.size()
+  double now_s_ = 0.0;
+  std::int64_t now_index_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace polardraw::obs

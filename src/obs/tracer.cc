@@ -25,12 +25,14 @@ const Counter& dropped_counter() {
 /// Compact on-ring event record; names and arg names are interned ids.
 struct EventRec {
   std::int64_t ts_ns = 0;
-  std::int64_t dur_ns = -1;  // -1 => instant
+  std::int64_t dur_ns = -1;  // -1 => instant or flow
   std::int32_t name = -1;
   std::int32_t a0_name = -1;
   std::int32_t a1_name = -1;
   double a0 = 0.0;
   double a1 = 0.0;
+  std::uint64_t flow_id = 0;  // meaningful only when flow_ph != 0
+  char flow_ph = 0;           // 0 = not a flow event; else 's'/'t'/'f'
 };
 
 /// One thread's fixed-capacity ring. Only the owning thread writes;
@@ -49,7 +51,8 @@ struct Ring {
   }
 
   void push(const EventRec& e) {
-    ++recorded;
+    recorded.store(recorded.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
     if (buf.size() < capacity) {
       buf.push_back(e);
       return;
@@ -59,15 +62,19 @@ struct Ring {
     // reallocates.
     buf[next] = e;
     next = next + 1 == capacity ? 0 : next + 1;
-    ++dropped;
+    dropped.store(dropped.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
     dropped_counter().add();
   }
 
   std::vector<EventRec> buf;
   std::size_t capacity;
   std::size_t next = 0;  // oldest retained event once the ring is full
-  std::uint64_t recorded = 0;
-  std::uint64_t dropped = 0;
+  // Relaxed atomics (owner-thread written) so dropped_events() can read
+  // them while recording is in flight -- the statusz path needs live drop
+  // counts without the quiescence handshake snapshot() demands.
+  std::atomic<std::uint64_t> recorded{0};
+  std::atomic<std::uint64_t> dropped{0};
   int tid = 0;
   std::string thread_name;
 };
@@ -229,6 +236,25 @@ void Tracer::instant_at(int name, Clock::time_point ts, int a0_name, double a0,
   impl_->local_ring().push(e);
 }
 
+void Tracer::flow(char ph, int name, std::uint64_t flow_id, int a0_name,
+                  double a0, int a1_name, double a1) {
+  if (!enabled() || name < 0) return;  // skip the clock read when disabled
+  if (ph != 's' && ph != 't' && ph != 'f') return;
+  EventRec e;
+  e.ts_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - impl_->epoch)
+                .count();
+  e.dur_ns = -1;
+  e.name = name;
+  e.a0_name = a0_name;
+  e.a0 = a0;
+  e.a1_name = a1_name;
+  e.a1 = a1;
+  e.flow_id = flow_id;
+  e.flow_ph = ph;
+  impl_->local_ring().push(e);
+}
+
 void Tracer::set_ring_capacity(std::size_t capacity) {
   pd::MutexLock lock(impl_->mu);
   impl_->ring_capacity = clamp_capacity(capacity);
@@ -260,8 +286,8 @@ std::vector<TraceThreadSnapshot> Tracer::snapshot() const {
     ts.tid = r->tid;
     ts.thread_name = r->thread_name;
     ts.capacity = r->capacity;
-    ts.recorded = r->recorded;
-    ts.dropped = r->dropped;
+    ts.recorded = r->recorded.load(std::memory_order_relaxed);
+    ts.dropped = r->dropped.load(std::memory_order_relaxed);
     ts.events.reserve(r->buf.size());
     const std::size_t n = r->buf.size();
     const std::size_t start = n < r->capacity ? 0 : r->next;
@@ -269,7 +295,8 @@ std::vector<TraceThreadSnapshot> Tracer::snapshot() const {
       const EventRec& e = r->buf[(start + i) % n];
       TraceEventView v;
       v.name = resolve(e.name);
-      v.ph = e.dur_ns < 0 ? 'i' : 'X';
+      v.ph = e.flow_ph != 0 ? e.flow_ph : (e.dur_ns < 0 ? 'i' : 'X');
+      v.flow_id = e.flow_id;
       v.ts_us = static_cast<double>(e.ts_ns) / 1e3;
       v.dur_us = e.dur_ns < 0 ? 0.0 : static_cast<double>(e.dur_ns) / 1e3;
       if (e.a0_name >= 0) v.args.push_back({resolve(e.a0_name), e.a0});
@@ -284,8 +311,12 @@ std::vector<TraceThreadSnapshot> Tracer::snapshot() const {
 std::uint64_t Tracer::dropped_events() const {
   pd::MutexLock lock(impl_->mu);
   std::uint64_t total = 0;
-  for (const auto& r : impl_->retired) total += r->dropped;
-  for (const Ring* r : impl_->live) total += r->dropped;
+  for (const auto& r : impl_->retired) {
+    total += r->dropped.load(std::memory_order_relaxed);
+  }
+  for (const Ring* r : impl_->live) {
+    total += r->dropped.load(std::memory_order_relaxed);
+  }
   return total;
 }
 
@@ -337,6 +368,11 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
       w.kv("ts", e.ts_us);
       if (e.ph == 'X') w.kv("dur", e.dur_us);
       if (e.ph == 'i') w.kv("s", "t");  // thread-scoped instant
+      if (e.ph == 's' || e.ph == 't' || e.ph == 'f') {
+        // Flow chains match on (cat, name, id); benchjson pins this shape.
+        w.kv("cat", "flow");
+        w.kv("id", e.flow_id);
+      }
       w.kv("pid", 1);
       w.kv("tid", t.tid);
       if (!e.args.empty()) {
@@ -351,6 +387,32 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
   w.end_array();
   w.end_object();
   os << "\n";
+}
+
+std::uint64_t flow_sample_period() {
+  static const std::uint64_t period = [] {
+    if (const char* env = std::getenv("PD_FLOW_SAMPLE")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<std::uint64_t>(v);
+    }
+    return std::uint64_t{64};
+  }();
+  return period;
+}
+
+bool flow_sampled(std::uint64_t serial) {
+  return serial != 0 && serial % flow_sample_period() == 0;
+}
+
+void record_report_flow(char ph, std::uint64_t serial, FlowStage stage) {
+  Tracer& t = Tracer::global();
+  if (!t.enabled() || !flow_sampled(serial)) return;
+  static const TraceName flow_name("report.flow");
+  static const TraceName stage_arg("stage");
+  static const TraceName serial_arg("serial");
+  t.flow(ph, flow_name.id(), serial, stage_arg.id(),
+         static_cast<double>(static_cast<int>(stage)), serial_arg.id(),
+         static_cast<double>(serial));
 }
 
 }  // namespace polardraw::obs

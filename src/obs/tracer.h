@@ -49,9 +49,10 @@ struct TraceArgView {
 /// since the tracer's construction epoch (steady clock).
 struct TraceEventView {
   std::string name;
-  char ph = 'X';       // 'X' complete span, 'i' instant
+  char ph = 'X';       // 'X' complete span, 'i' instant, 's'/'t'/'f' flow
   double ts_us = 0.0;
   double dur_us = 0.0; // meaningful only for 'X'
+  std::uint64_t flow_id = 0;  // meaningful only for 's'/'t'/'f'
   std::vector<TraceArgView> args;
 };
 
@@ -104,6 +105,16 @@ class Tracer {
                   int a0_name = -1, double a0 = 0.0,
                   int a1_name = -1, double a1 = 0.0);
 
+  /// Records a causal flow event (DESIGN.md section 17): Chrome phases
+  /// 's' (start), 't' (step), 'f' (finish). Perfetto draws an arrow
+  /// through every event sharing (name, id) in phase order, linking one
+  /// report's journey across thread tracks. All polardraw flow events
+  /// share one name ("report.flow") with the pipeline stage carried as an
+  /// arg, so `flow_id` alone identifies the chain.
+  void flow(char ph, int name, std::uint64_t flow_id,
+            int a0_name = -1, double a0 = 0.0,
+            int a1_name = -1, double a1 = 0.0);
+
   /// Per-thread ring budget. set_ring_capacity applies to rings created
   /// afterwards; reset() re-applies it to live rings (quiescence
   /// required). Values are clamped to [16, 1 << 22].
@@ -113,7 +124,9 @@ class Tracer {
   /// Resolved view of every ring (live and retired), in tid order.
   /// Quiescence required (see file top).
   [[nodiscard]] std::vector<TraceThreadSnapshot> snapshot() const;
-  /// Total events evicted across all rings since the last reset().
+  /// Total events evicted across all rings since the last reset(). Unlike
+  /// snapshot(), safe to call while recording is in flight (the per-ring
+  /// counters are relaxed atomics) -- statusz reads this live.
   [[nodiscard]] std::uint64_t dropped_events() const;
   /// Clears all rings and drop counts; interned names and thread names
   /// survive. Quiescence required.
@@ -142,5 +155,35 @@ class TraceName {
  private:
   int id_;
 };
+
+// --- Causal report flows (DESIGN.md section 17) ---------------------------
+//
+// A sampled tag report's journey is one flow chain named "report.flow",
+// keyed by the report's reader-assigned serial and annotated with the
+// pipeline stage it passed through. Loading TRACE_*.json in Perfetto and
+// clicking any link in the chain follows the report Gen2 slot -> reader
+// report -> associator window -> server submit -> decoder commit across
+// thread tracks.
+
+/// Pipeline stage carried as the "stage" arg on report.flow events.
+enum class FlowStage : int {
+  kSlot = 0,    // Gen2 slot delivered a read
+  kReport = 1,  // reader emitted the TagReport
+  kWindow = 2,  // associator closed the observation window
+  kSubmit = 3,  // server accepted the observation into a mailbox
+  kCommit = 4,  // decoder committed the position
+};
+
+/// Flow sampling period: a chain is recorded iff its report serial is a
+/// positive multiple of this (serial 0 = unassigned, never sampled).
+/// PD_FLOW_SAMPLE overrides the default of 64.
+[[nodiscard]] std::uint64_t flow_sample_period();
+[[nodiscard]] bool flow_sampled(std::uint64_t serial);
+
+/// Records one link of a sampled report chain on the calling thread's
+/// track: `ph` is 's' (first link), 't' (step) or 'f' (final link).
+/// No-op when tracing is disabled or `serial` is unsampled, so call
+/// sites need no gating of their own.
+void record_report_flow(char ph, std::uint64_t serial, FlowStage stage);
 
 }  // namespace polardraw::obs

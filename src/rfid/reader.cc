@@ -199,6 +199,8 @@ TagReportStream Reader::inventory_population(const std::vector<TagEntry>& tags,
         // quantity under contention, not a configured split.
         rep->read_rate_hz = static_cast<double>(tag_reads[tag_idx]) /
                             std::max(t_read - t_begin, 1e-9);
+        rep->serial = next_serial_++;
+        obs::record_report_flow('s', rep->serial, obs::FlowStage::kSlot);
         out.push_back(*rep);
       }
       port = (port + 1) % num_ports;
@@ -233,6 +235,8 @@ TagReportStream Reader::inventory(const TagStateFn& tag_at, double t_begin,
     ++attempts;
     if (auto rep = interrogate(port, tag, t_read)) {
       rep->read_rate_hz = rate / num_ports;
+      rep->serial = next_serial_++;
+      obs::record_report_flow('s', rep->serial, obs::FlowStage::kReport);
       out.push_back(*rep);
     }
     port = (port + 1) % num_ports;

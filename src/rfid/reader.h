@@ -146,6 +146,9 @@ class Reader {
   Rng rng_;
   Modulation modulation_;
   std::vector<double> port_phase_offsets_;
+  /// Next TagReport::serial; counts delivered reports across all
+  /// inventory calls on this reader (1-based, observational only).
+  std::uint64_t next_serial_ = 1;
 };
 
 }  // namespace polardraw::rfid

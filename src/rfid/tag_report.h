@@ -17,6 +17,11 @@ struct TagReport {
   double phase_rad = 0.0;     // backscatter phase, [0, 2*pi)
   double read_rate_hz = 0.0;  // diagnostic: current per-antenna rate
   int channel = 0;            // RF channel index (frequency hopping)
+  /// Reader-assigned delivery serial, 1-based in delivery order across
+  /// the whole inventory (0 = unassigned). Purely observational: the
+  /// causal flow tracer (DESIGN.md section 17) samples chains by serial;
+  /// no tracking algorithm may read it.
+  std::uint64_t serial = 0;
 };
 
 using TagReportStream = std::vector<TagReport>;

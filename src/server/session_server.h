@@ -20,13 +20,18 @@
 // Threading rules: submit()/accumulate_azimuth_correction() may run
 // concurrently with pump() (per-session mutexes order them); open(),
 // close(), committed() and session_count() touch the session map and must
-// not race pump() or each other.
+// not race pump() or each other. status()/healthz() are live-read safe:
+// they may run concurrently with submit() and pump() (they read atomic
+// per-session mirrors and the seqlock metrics registry), but not with
+// open()/close() (they walk the session map).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/annotations.h"
@@ -37,6 +42,7 @@
 #include "core/hmm_tracker.h"
 #include "core/phase_field.h"
 #include "core/streaming_decoder.h"
+#include "obs/rolling.h"
 
 namespace polardraw::server {
 
@@ -47,6 +53,30 @@ struct SessionServerConfig {
   core::StreamingConfig stream;
   /// Pool size for pump(); defaults to POLARDRAW_THREADS / hardware.
   int n_workers = ThreadPool::default_thread_count();
+
+  // --- Live introspection (DESIGN.md section 17) ---------------------------
+  /// Rolling SLO window over push-to-commit latency, in *simulation*
+  /// seconds (observation timestamps, never wall clock): statusz reports
+  /// p50/p99 over the trailing `slo_window_s`, quantized to `slo_step_s`.
+  double slo_window_s = 10.0;
+  double slo_step_s = 0.5;
+  /// statusz flags a session "backpressured" (and the first submit past
+  /// the threshold logs server.backpressure) when its mailbox outruns the
+  /// pump by this many queued observations.
+  std::size_t backpressure_depth = 256;
+  /// statusz flags a session "starved" when its newest observation is
+  /// this much older (sim time) than the newest across all sessions.
+  double starved_after_s = 1.0;
+  /// healthz turns unhealthy when the rolling p99 exceeds this (wall
+  /// seconds, since push-to-commit is a wall-clock measurement) or any
+  /// session is backpressured.
+  double healthz_p99_s = 1.0;
+};
+
+/// healthz() verdict: explicit threshold checks, each failure named.
+struct HealthReport {
+  bool ok = true;
+  std::vector<std::string> reasons;  // empty iff ok
 };
 
 class SessionServer {
@@ -57,11 +87,20 @@ class SessionServer {
                 double antenna_z, SessionServerConfig server_cfg = {});
 
   /// Starts a session; `initial_hint` optionally seeds its chain. Opening
-  /// an id that is already open replaces the old session.
-  void open(SessionId id, const Vec2* initial_hint = nullptr);
+  /// an id that is already open replaces the old session. `t_s` is the
+  /// session's opening sim time (log/statusz annotation only).
+  void open(SessionId id, const Vec2* initial_hint = nullptr,
+            double t_s = 0.0);
 
   /// Enqueues one observation window into the session's mailbox; it is
   /// decoded at the next pump(). Returns false for an unknown session.
+  /// `t_s` is the observation's simulation timestamp (drives the rolling
+  /// SLO window and starvation detection; never the decode) and `flow_id`
+  /// the causal flow chain it belongs to (0 = unsampled). The two-arg
+  /// form derives t_s from the session's submit ordinal and the window
+  /// length, which is exact for gap-free streams.
+  bool submit(SessionId id, const core::TrackObservation& obs, double t_s,
+              std::uint64_t flow_id = 0);
   bool submit(SessionId id, const core::TrackObservation& obs);
 
   /// Feeds the session's Eq. 10 azimuth-rotation accumulator (e.g. from a
@@ -107,6 +146,21 @@ class SessionServer {
   [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
   [[nodiscard]] int n_workers() const { return pool_.size(); }
 
+  /// statusz: schema-stable JSON document ("polardraw.statusz.v1") with
+  /// per-session state (seeded/lagging/starved/backpressured flags,
+  /// mailbox depth, commit lag, committed count, last sim time), the
+  /// rolling latency window (count, p50/p99/mean/max), registry counter
+  /// totals, trace drop counts, and log emit/suppress counts. Safe to
+  /// call while submit()/pump() are in flight; must not race
+  /// open()/close() (see threading rules at the top).
+  [[nodiscard]] std::string status() const;
+
+  /// healthz: explicit-threshold verdict over the same live state --
+  /// unhealthy when the rolling p99 exceeds healthz_p99_s, any session is
+  /// backpressured, or any session is starved. Same threading rules as
+  /// status().
+  [[nodiscard]] HealthReport healthz() const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -130,11 +184,31 @@ class SessionServer {
     /// which is what makes push-to-commit latency (including the lag wait)
     /// measurable.
     std::vector<Clock::time_point> stamps PD_GUARDED_BY(mu);
+    /// Simulation timestamp and causal flow id of every observation ever
+    /// queued, parallel to `stamps` (rolling-window time base and 'f'
+    /// flow-event linkage; observational only).
+    std::vector<double> sim_times PD_GUARDED_BY(mu);
+    std::vector<std::uint64_t> flow_ids PD_GUARDED_BY(mu);
+    /// (sim_t_s, latency_s) pairs committed by the last drain; workers
+    /// append under mu, the pump caller moves them into the rolling
+    /// window afterwards in session-id order (deterministic merge).
+    std::vector<std::pair<double, double>> latency_stash PD_GUARDED_BY(mu);
     /// Deliberately outside the capability: pump()/close() append under mu,
     /// but committed() hands out a const reference without it -- the
     /// documented phase contract (header threading rules) is that readers
     /// never overlap pump()/close(), which no lock annotation can express.
     std::vector<Vec2> committed;
+
+    // Live statusz mirror: written under mu at submit/drain time, read
+    // lock-free by status()/healthz() so introspection never blocks (or
+    // is blocked by) a mid-flight drain.
+    std::atomic<std::size_t> stat_mailbox_depth{0};
+    std::atomic<std::size_t> stat_submitted{0};
+    std::atomic<std::size_t> stat_committed{0};
+    std::atomic<std::size_t> stat_commit_lag{0};
+    std::atomic<bool> stat_seeded{false};
+    std::atomic<double> stat_last_t_s{0.0};
+    std::atomic<bool> stat_backpressure_logged{false};
   };
 
   core::PolarDrawConfig cfg_;
@@ -146,6 +220,12 @@ class SessionServer {
   /// Ordered map so pump() visits sessions in id order -- iteration order
   /// (and with it every aggregate) must not depend on insertion history.
   std::map<SessionId, std::unique_ptr<Session>> sessions_;
+
+  /// Guards the rolling SLO state; taken by the pump *caller* (after the
+  /// parallel drain) and by status()/healthz() -- never on the hot
+  /// submit/drain paths.
+  mutable pd::Mutex status_mu_;
+  obs::RollingWindow rolling_latency_ PD_GUARDED_BY(status_mu_);
 };
 
 }  // namespace polardraw::server

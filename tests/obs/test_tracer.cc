@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -194,6 +195,80 @@ TEST_F(TracerTest, ScopedSpanEmitsPairedEventWithArgs) {
   const HistogramSnapshot* h = snap.histogram("test.scoped_span");
   ASSERT_NE(h, nullptr);
   EXPECT_EQ(h->count, 1u);
+}
+
+TEST_F(TracerTest, FlowEventsCarryPhaseAndId) {
+  Tracer& t = Tracer::global();
+  const int name = t.name_id("test.flow");
+  const int arg = t.name_id("stage");
+  t.flow('s', name, 42, arg, 0.0);
+  t.flow('t', name, 42, arg, 1.0);
+  t.flow('f', name, 42, arg, 2.0);
+  t.flow('q', name, 42);  // invalid phase: ignored, not recorded
+
+  const TraceThreadSnapshot ring = own_ring();
+  ASSERT_EQ(ring.events.size(), 3u);
+  const char phases[] = {'s', 't', 'f'};
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ring.events[i].ph, phases[i]) << i;
+    EXPECT_EQ(ring.events[i].flow_id, 42u) << i;
+    EXPECT_EQ(ring.events[i].name, "test.flow") << i;
+    ASSERT_EQ(ring.events[i].args.size(), 1u) << i;
+    EXPECT_DOUBLE_EQ(ring.events[i].args[0].value, static_cast<double>(i));
+  }
+}
+
+TEST_F(TracerTest, FlowSamplingIsDeterministicBySerial) {
+  const std::uint64_t period = flow_sample_period();
+  ASSERT_GT(period, 0u);
+  // Serial 0 means "unassigned" and is never sampled; otherwise exact
+  // multiples of the period are, their neighbors are not.
+  EXPECT_FALSE(flow_sampled(0));
+  EXPECT_TRUE(flow_sampled(period));
+  EXPECT_TRUE(flow_sampled(2 * period));
+  if (period > 1) {
+    EXPECT_FALSE(flow_sampled(period + 1));
+    EXPECT_FALSE(flow_sampled(period - 1));
+  }
+}
+
+TEST_F(TracerTest, RecordReportFlowEmitsOnlySampledSerials) {
+  const std::uint64_t period = flow_sample_period();
+  record_report_flow('s', 0, FlowStage::kSlot);           // unassigned
+  record_report_flow('s', period + 1, FlowStage::kSlot);  // off-sample
+  record_report_flow('s', period, FlowStage::kSlot);
+  record_report_flow('t', period, FlowStage::kWindow);
+  record_report_flow('f', period, FlowStage::kCommit);
+
+  const TraceThreadSnapshot ring = own_ring();
+  ASSERT_EQ(ring.events.size(), 3u);
+  for (const auto& e : ring.events) {
+    EXPECT_EQ(e.name, "report.flow");
+    EXPECT_EQ(e.flow_id, period);
+    ASSERT_GE(e.args.size(), 1u);
+    EXPECT_EQ(e.args[0].name, "stage");
+  }
+  EXPECT_DOUBLE_EQ(ring.events[0].args[0].value,
+                   static_cast<double>(static_cast<int>(FlowStage::kSlot)));
+  EXPECT_DOUBLE_EQ(ring.events[1].args[0].value,
+                   static_cast<double>(static_cast<int>(FlowStage::kWindow)));
+  EXPECT_DOUBLE_EQ(ring.events[2].args[0].value,
+                   static_cast<double>(static_cast<int>(FlowStage::kCommit)));
+}
+
+TEST_F(TracerTest, ChromeTraceExportCarriesFlowBinding) {
+  Tracer& t = Tracer::global();
+  const int name = t.name_id("test.flow.export");
+  t.flow('s', name, 7);
+  t.flow('f', name, 7);
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  const std::string json = os.str();
+  // Flow events need the (cat, id) pair Perfetto matches arrows on.
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"flow\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\": 7"), std::string::npos);
 }
 
 TEST_F(TracerTest, PoolWorkersGetNamedTracks) {

@@ -16,12 +16,16 @@
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/decode_testbed.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "rfid/reader.h"
 
 namespace polardraw::server {
@@ -481,6 +485,165 @@ TEST(MultipenFuzz, SoakSubmitConcurrentWithPump) {
   for (int p = 0; p < kPens; ++p) {
     expect_bit_identical(server.close(static_cast<SessionId>(p)),
                          reference.close(static_cast<SessionId>(p)));
+  }
+}
+
+TEST(MultipenFuzz, SoakStatusAndSnapshotsConcurrentWithDecode) {
+  // Live-introspection race soak (runs under TSan in CI): one thread
+  // ingests, 8 workers pump, and a reader thread hammers status(),
+  // healthz(), and Registry snapshots the whole time. The mid-flight
+  // reads must be safe, and the final quiescent snapshot must be
+  // bit-identical to a run that never took a concurrent snapshot.
+  const core::PolarDrawConfig cfg = small_config();
+  const int kPens = 4, kWindows = 40;
+  obs::Registry& reg = obs::Registry::global();
+  reg.set_enabled(true);
+
+  std::vector<DecodeTestbed> pens;
+  for (int p = 0; p < kPens; ++p) {
+    pens.push_back(
+        make_decode_testbed(cfg, kWindows, static_cast<std::uint64_t>(p) + 31));
+  }
+  SessionServerConfig scfg;
+  scfg.stream.lag_windows = 6;
+  scfg.n_workers = 8;
+
+  const auto drive = [&](SessionServer& server, bool concurrent_reads) {
+    for (int p = 0; p < kPens; ++p) {
+      server.open(static_cast<SessionId>(p),
+                  &pens[static_cast<std::size_t>(p)].start);
+    }
+    std::atomic<bool> done{false};
+    std::thread reader;
+    if (concurrent_reads) {
+      reader = std::thread([&] {
+        std::size_t reads = 0;
+        while (!done.load(std::memory_order_acquire)) {
+          const std::string doc = server.status();
+          EXPECT_NE(doc.find("polardraw.statusz.v1"), std::string::npos);
+          (void)server.healthz();
+          const obs::Snapshot snap = reg.snapshot();
+          EXPECT_GE(snap.counters.size(), 0u);
+          ++reads;
+        }
+        EXPECT_GT(reads, 0u);
+      });
+    }
+    for (int w = 0; w < kWindows; ++w) {
+      for (int p = 0; p < kPens; ++p) {
+        server.submit(
+            static_cast<SessionId>(p),
+            pens[static_cast<std::size_t>(p)].obs[static_cast<std::size_t>(w)],
+            /*t_s=*/0.1 * w);
+      }
+      server.pump();
+    }
+    done.store(true, std::memory_order_release);
+    if (reader.joinable()) reader.join();
+    std::vector<std::vector<Vec2>> out;
+    for (int p = 0; p < kPens; ++p) {
+      out.push_back(server.close(static_cast<SessionId>(p)));
+    }
+    return out;
+  };
+
+  reg.reset();
+  SessionServer soaked(cfg, pens[0].a1, pens[0].a2, pens[0].antenna_z, scfg);
+  const auto with_reads = drive(soaked, /*concurrent_reads=*/true);
+  const obs::Snapshot snap_soaked = reg.snapshot();
+
+  reg.reset();
+  SessionServer quiet(cfg, pens[0].a1, pens[0].a2, pens[0].antenna_z, scfg);
+  const auto without_reads = drive(quiet, /*concurrent_reads=*/false);
+  const obs::Snapshot snap_quiet = reg.snapshot();
+
+  ASSERT_EQ(with_reads.size(), without_reads.size());
+  for (std::size_t p = 0; p < with_reads.size(); ++p) {
+    expect_bit_identical(with_reads[p], without_reads[p]);
+  }
+  // Quiescent-vs-concurrent pin: once the run is over, the registry's
+  // deterministic aggregates must not remember that snapshots happened
+  // mid-flight.
+  for (const char* name :
+       {"server.observations", "server.commits", "hmm.windows",
+        "hmm.beam_expansions"}) {
+    EXPECT_EQ(snap_soaked.counter(name), snap_quiet.counter(name)) << name;
+  }
+  const auto* hist_soaked = snap_soaked.histogram("server.push_to_commit_s");
+  const auto* hist_quiet = snap_quiet.histogram("server.push_to_commit_s");
+  ASSERT_NE(hist_soaked, nullptr);
+  ASSERT_NE(hist_quiet, nullptr);
+  EXPECT_EQ(hist_soaked->count, hist_quiet->count);
+
+  reg.reset();
+  reg.set_enabled(false);
+}
+
+TEST(SessionServer, ObservabilityOnOffTrajectoryBitIdentity) {
+  // The zero-feedback contract end to end: metrics + logging + statusz
+  // polling + flow tracing all running must not change a single bit of
+  // any trajectory relative to a run with every observability surface
+  // off.
+  const core::PolarDrawConfig cfg = small_config();
+  const int kPens = 3, kWindows = 30;
+  std::vector<DecodeTestbed> pens;
+  for (int p = 0; p < kPens; ++p) {
+    pens.push_back(
+        make_decode_testbed(cfg, kWindows, static_cast<std::uint64_t>(p) + 51));
+  }
+  SessionServerConfig scfg;
+  scfg.stream.lag_windows = 5;
+  scfg.n_workers = 4;
+
+  const auto drive = [&](bool observability) {
+    std::ostringstream log_sink;
+    if (observability) {
+      obs::Registry::global().set_enabled(true);
+      obs::Registry::global().reset();
+      obs::Tracer::global().set_enabled(true);
+      obs::Tracer::global().reset();
+      obs::Logger::global().set_sink(&log_sink);
+    }
+    SessionServer server(cfg, pens[0].a1, pens[0].a2, pens[0].antenna_z,
+                         scfg);
+    for (int p = 0; p < kPens; ++p) {
+      server.open(static_cast<SessionId>(p),
+                  &pens[static_cast<std::size_t>(p)].start);
+    }
+    std::uint64_t flow_serial = 0;
+    for (int w = 0; w < kWindows; ++w) {
+      for (int p = 0; p < kPens; ++p) {
+        server.submit(
+            static_cast<SessionId>(p),
+            pens[static_cast<std::size_t>(p)].obs[static_cast<std::size_t>(w)],
+            /*t_s=*/0.05 * w, /*flow_id=*/++flow_serial);
+      }
+      server.pump();
+      if (observability) {
+        (void)server.status();
+        (void)server.healthz();
+      }
+    }
+    std::vector<std::vector<Vec2>> out;
+    for (int p = 0; p < kPens; ++p) {
+      out.push_back(server.close(static_cast<SessionId>(p)));
+    }
+    if (observability) {
+      EXPECT_FALSE(log_sink.str().empty());  // lifecycle events did emit
+      obs::Logger::global().set_sink(nullptr);
+      obs::Tracer::global().reset();
+      obs::Tracer::global().set_enabled(false);
+      obs::Registry::global().reset();
+      obs::Registry::global().set_enabled(false);
+    }
+    return out;
+  };
+
+  const auto instrumented = drive(true);
+  const auto bare = drive(false);
+  ASSERT_EQ(instrumented.size(), bare.size());
+  for (std::size_t p = 0; p < instrumented.size(); ++p) {
+    expect_bit_identical(instrumented[p], bare[p]);
   }
 }
 

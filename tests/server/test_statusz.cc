@@ -1,0 +1,222 @@
+// Live-introspection tests (DESIGN.md section 17): a real SessionServer's
+// statusz document, captured mid-decode, must validate against the same
+// benchjson schema CI enforces on the bench exports, its per-session
+// flags must reflect the server state, and healthz() must trip on each
+// documented threshold.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/decode_testbed.h"
+#include "json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "server/session_server.h"
+
+namespace polardraw::server {
+namespace {
+
+using benchjson::parse;
+using benchjson::validate_status_json;
+using benchjson::Value;
+using core::DecodeTestbed;
+using core::PolarDrawConfig;
+using core::make_decode_testbed;
+
+PolarDrawConfig small_config() {
+  PolarDrawConfig cfg;
+  cfg.board_width_m = 0.4;
+  cfg.board_height_m = 0.3;
+  cfg.block_m = 0.01;
+  cfg.beam_width = 150;
+  return cfg;
+}
+
+Value parse_status(const std::string& doc) {
+  const auto r = parse(doc);
+  EXPECT_TRUE(r.ok) << r.error << "\n" << doc;
+  return r.root;
+}
+
+TEST(Statusz, MidDecodeDocumentValidatesAgainstSchema) {
+  const PolarDrawConfig cfg = small_config();
+  const int kPens = 3, kWindows = 20;
+  std::vector<DecodeTestbed> pens;
+  for (int p = 0; p < kPens; ++p) {
+    pens.push_back(
+        make_decode_testbed(cfg, kWindows, static_cast<std::uint64_t>(p) + 1));
+  }
+  SessionServerConfig scfg;
+  scfg.stream.lag_windows = 4;
+  scfg.n_workers = 2;
+  SessionServer server(cfg, pens[0].a1, pens[0].a2, pens[0].antenna_z, scfg);
+  for (int p = 0; p < kPens; ++p) {
+    server.open(static_cast<SessionId>(p),
+                &pens[static_cast<std::size_t>(p)].start);
+  }
+  std::string mid;
+  for (int w = 0; w < kWindows; ++w) {
+    for (int p = 0; p < kPens; ++p) {
+      server.submit(
+          static_cast<SessionId>(p),
+          pens[static_cast<std::size_t>(p)].obs[static_cast<std::size_t>(w)],
+          /*t_s=*/0.1 * w);
+    }
+    server.pump();
+    if (w == kWindows / 2) mid = server.status();
+  }
+  std::string end = server.status();
+
+  for (const std::string* doc : {&mid, &end}) {
+    const Value root = parse_status(*doc);
+    const auto problems = validate_status_json(root);
+    EXPECT_TRUE(problems.empty()) << problems.size() << " problems, first: "
+                                  << (problems.empty() ? "" : problems[0])
+                                  << "\n" << *doc;
+  }
+
+  // Spot-check the mid-run content: every session seeded, live rolling
+  // stats, and the registry totals present.
+  const Value root = parse_status(mid);
+  EXPECT_DOUBLE_EQ(root.find("session_count")->number, 3.0);
+  const Value* sessions = root.find("sessions");
+  ASSERT_EQ(sessions->array.size(), 3u);
+  for (const Value& s : sessions->array) {
+    EXPECT_TRUE(s.find("seeded")->boolean);
+    EXPECT_GT(s.find("submitted")->number, 0.0);
+  }
+  EXPECT_GT(root.find("rolling")->find("count")->number, 0.0);
+  EXPECT_NE(root.find("registry")->find("counters")->find("server.commits"),
+            nullptr);
+
+  for (int p = 0; p < kPens; ++p) {
+    server.close(static_cast<SessionId>(p));
+  }
+  // An empty server still emits a valid (zero-session) document.
+  const Value empty_root = parse_status(server.status());
+  EXPECT_TRUE(validate_status_json(empty_root).empty());
+  EXPECT_DOUBLE_EQ(empty_root.find("session_count")->number, 0.0);
+}
+
+TEST(Statusz, FlagsReflectBackpressureLagAndStarvation) {
+  const PolarDrawConfig cfg = small_config();
+  const auto tb = make_decode_testbed(cfg, 20, 5);
+  const auto tb2 = make_decode_testbed(cfg, 20, 6);
+  SessionServerConfig scfg;
+  scfg.stream.lag_windows = 2;
+  scfg.n_workers = 1;
+  scfg.backpressure_depth = 4;
+  scfg.starved_after_s = 1.0;
+  SessionServer server(cfg, tb.a1, tb.a2, tb.antenna_z, scfg);
+  server.open(1, &tb.start);
+  server.open(2, &tb2.start);
+  // Session 1: 10 queued observations, never pumped -> mailbox depth 10
+  // (> 4, backpressured) and stale at t=0.1 once session 2 reaches t=5.
+  for (int w = 0; w < 10; ++w) {
+    server.submit(1, tb.obs[static_cast<std::size_t>(w)], /*t_s=*/0.1);
+  }
+  for (int w = 0; w < 10; ++w) {
+    server.submit(2, tb2.obs[static_cast<std::size_t>(w)],
+                  /*t_s=*/0.5 * (w + 1));
+  }
+
+  const Value root = parse_status(server.status());
+  ASSERT_TRUE(validate_status_json(root).empty());
+  const Value* sessions = root.find("sessions");
+  ASSERT_EQ(sessions->array.size(), 2u);
+  const Value& s1 = sessions->array[0];
+  const Value& s2 = sessions->array[1];
+  EXPECT_DOUBLE_EQ(s1.find("id")->number, 1.0);
+  EXPECT_TRUE(s1.find("backpressured")->boolean);
+  EXPECT_TRUE(s1.find("starved")->boolean);  // 5.0 - 0.1 > 1.0
+  EXPECT_FALSE(s2.find("starved")->boolean);
+
+  const HealthReport unhealthy = server.healthz();
+  EXPECT_FALSE(unhealthy.ok);
+  EXPECT_NE(std::find(unhealthy.reasons.begin(), unhealthy.reasons.end(),
+                      "session_backpressured"),
+            unhealthy.reasons.end());
+  EXPECT_NE(std::find(unhealthy.reasons.begin(), unhealthy.reasons.end(),
+                      "session_starved"),
+            unhealthy.reasons.end());
+
+  // Draining the mailboxes clears the backpressure flag.
+  server.pump();
+  const Value drained = parse_status(server.status());
+  EXPECT_FALSE(drained.find("sessions")->array[0]
+                   .find("backpressured")->boolean);
+  server.close(1);
+  server.close(2);
+}
+
+TEST(Statusz, HealthzPassesWhenQuietAndTripsOnLatencySlo) {
+  const PolarDrawConfig cfg = small_config();
+  const auto tb = make_decode_testbed(cfg, 12, 7);
+
+  // Generous thresholds: a freshly pumped single session is healthy.
+  SessionServerConfig healthy_cfg;
+  healthy_cfg.stream.lag_windows = 2;
+  healthy_cfg.n_workers = 1;
+  {
+    SessionServer server(cfg, tb.a1, tb.a2, tb.antenna_z, healthy_cfg);
+    EXPECT_TRUE(server.healthz().ok);  // no sessions, no latency samples
+    server.open(1, &tb.start);
+    for (const auto& o : tb.obs) server.submit(1, o, /*t_s=*/0.0);
+    server.pump();
+    const HealthReport report = server.healthz();
+    EXPECT_TRUE(report.ok) << (report.reasons.empty() ? ""
+                                                      : report.reasons[0]);
+    server.close(1);
+  }
+
+  // An impossible SLO (p99 must be negative) trips as soon as the rolling
+  // window holds any sample at all.
+  SessionServerConfig strict_cfg = healthy_cfg;
+  strict_cfg.healthz_p99_s = -1.0;
+  {
+    SessionServer server(cfg, tb.a1, tb.a2, tb.antenna_z, strict_cfg);
+    server.open(1, &tb.start);
+    for (const auto& o : tb.obs) server.submit(1, o, /*t_s=*/0.0);
+    server.pump();
+    const HealthReport report = server.healthz();
+    EXPECT_FALSE(report.ok);
+    ASSERT_FALSE(report.reasons.empty());
+    EXPECT_EQ(report.reasons[0], "rolling_p99_above_threshold");
+    server.close(1);
+  }
+}
+
+TEST(Statusz, LogCountersSurfaceInTheDocument) {
+  // Wire the global logger to a buffer: session open/close events emit,
+  // and the statusz log block carries the running totals.
+  std::ostringstream sink;
+  obs::Logger& lg = obs::Logger::global();
+  const std::uint64_t before = lg.emitted_total();
+  lg.set_sink(&sink);
+
+  const PolarDrawConfig cfg = small_config();
+  const auto tb = make_decode_testbed(cfg, 8, 3);
+  SessionServer server(cfg, tb.a1, tb.a2, tb.antenna_z);
+  server.open(1, &tb.start);
+  for (const auto& o : tb.obs) server.submit(1, o, /*t_s=*/0.0);
+  server.pump();
+  const Value root = parse_status(server.status());
+  server.close(1);
+  lg.set_sink(nullptr);
+
+  EXPECT_GT(lg.emitted_total(), before);
+  ASSERT_NE(root.find("log"), nullptr);
+  EXPECT_GE(root.find("log")->find("emitted")->number, 1.0);
+  // The open event is one JSON line in the sink.
+  EXPECT_NE(sink.str().find("\"event\":\"server.session_open\""),
+            std::string::npos);
+  EXPECT_NE(sink.str().find("\"event\":\"server.session_close\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace polardraw::server

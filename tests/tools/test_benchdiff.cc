@@ -187,14 +187,18 @@ TEST(BenchDiff, MissingMetricInNewDocRegresses) {
   EXPECT_EQ(d->verdict, Verdict::kRegressed);
 }
 
-TEST(BenchDiff, NewMetricIsInformational) {
+TEST(BenchDiff, NewMetricIsReportedAsNew) {
   const Report r = diff(R"({"accuracy": 0.93})",
                         R"({"accuracy": 0.93, "extra_per_s": 5.0})");
   EXPECT_FALSE(r.has_regression());
   const MetricDelta* d = find(r, "metrics.extra_per_s");
   ASSERT_NE(d, nullptr);
   EXPECT_TRUE(d->missing_old);
-  EXPECT_EQ(d->verdict, Verdict::kInfo);
+  EXPECT_EQ(d->verdict, Verdict::kNew);
+  const std::string md = to_markdown(r, Thresholds{});
+  EXPECT_NE(md.find("| metrics.extra_per_s |"), std::string::npos);
+  EXPECT_NE(md.find("| new |"), std::string::npos);
+  EXPECT_NE(md.find("1 new"), std::string::npos);
 }
 
 TEST(BenchDiff, CountDriftWarnsButDoesNotFail) {

@@ -331,5 +331,157 @@ TEST(ValidateChromeTrace, TracerExportRoundTrips) {
   EXPECT_GT(i.find("tid")->number, 0.0);
 }
 
+TEST(ValidateChromeTrace, FlowEventsNeedCatAndId) {
+  // Flow phases bind arrows on (cat, id); both are required.
+  const std::string ok =
+      R"([{"name": "report.flow", "ph": "s", "ts": 1, "pid": 1, "tid": 1,
+           "cat": "flow", "id": 64},
+          {"name": "report.flow", "ph": "t", "ts": 2, "pid": 1, "tid": 1,
+           "cat": "flow", "id": 64},
+          {"name": "report.flow", "ph": "f", "ts": 3, "pid": 1, "tid": 1,
+           "cat": "flow", "id": 64}])";
+  EXPECT_TRUE(validate_chrome_trace(trace_doc(ok)).empty());
+  // Missing id.
+  EXPECT_FALSE(validate_chrome_trace(trace_doc(
+                   R"([{"name": "a", "ph": "s", "ts": 1, "pid": 1,
+                        "tid": 1, "cat": "flow"}])"))
+                   .empty());
+  // Missing cat.
+  EXPECT_FALSE(validate_chrome_trace(trace_doc(
+                   R"([{"name": "a", "ph": "f", "ts": 1, "pid": 1,
+                        "tid": 1, "id": 3}])"))
+                   .empty());
+  // Negative id.
+  EXPECT_FALSE(validate_chrome_trace(trace_doc(
+                   R"([{"name": "a", "ph": "t", "ts": 1, "pid": 1,
+                        "tid": 1, "cat": "flow", "id": -1}])"))
+                   .empty());
+}
+
+TEST(ValidateChromeTrace, TracerFlowExportRoundTrips) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.set_enabled(true);
+  tracer.set_ring_capacity(64);
+  tracer.reset();
+  const int name = tracer.name_id("report.flow");
+  tracer.flow('s', name, 128);
+  tracer.flow('t', name, 128);
+  tracer.flow('f', name, 128);
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  tracer.reset();
+  tracer.set_enabled(false);
+
+  const ParseResult r = parse(os.str());
+  ASSERT_TRUE(r.ok) << r.error << "\n" << os.str();
+  EXPECT_TRUE(validate_chrome_trace(r.root).empty()) << os.str();
+  const Value* events = r.root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int flows = 0;
+  for (const Value& e : events->array) {
+    const Value* ph = e.find("ph");
+    if (ph == nullptr || (ph->string != "s" && ph->string != "t" &&
+                          ph->string != "f")) {
+      continue;
+    }
+    ++flows;
+    EXPECT_EQ(e.find("cat")->string, "flow");
+    EXPECT_DOUBLE_EQ(e.find("id")->number, 128.0);
+  }
+  EXPECT_EQ(flows, 3);
+}
+
+// ---- statusz validation (STATUS_*.json) ---------------------------------
+
+std::string valid_status_doc() {
+  return R"({
+  "schema": "polardraw.statusz.v1",
+  "t_s": 4.5,
+  "session_count": 1,
+  "n_workers": 8,
+  "sessions": [
+    {"id": 3, "seeded": true, "mailbox_depth": 2, "submitted": 90,
+     "committed": 80, "commit_lag": 10, "last_t_s": 4.5,
+     "lagging": true, "starved": false, "backpressured": false}
+  ],
+  "rolling": {"metric": "server.push_to_commit_s", "window_s": 10,
+              "count": 80, "p50_s": 0.002, "p99_s": 0.01,
+              "mean_s": 0.003, "max_s": 0.02},
+  "registry": {"counters": {"server.commits": 80, "hmm.windows": 90}},
+  "trace": {"dropped_events": 0},
+  "log": {"emitted": 4, "suppressed": 1}
+})";
+}
+
+TEST(ValidateStatus, ValidDocumentPasses) {
+  EXPECT_TRUE(validate_status_json(parse_ok(valid_status_doc())).empty());
+}
+
+TEST(ValidateStatus, RejectsNonObjectAndWrongSchema) {
+  EXPECT_FALSE(validate_status_json(parse_ok("[]")).empty());
+  Value v = parse_ok(valid_status_doc());
+  for (auto& member : v.object) {
+    if (member.first == "schema") member.second = parse_ok(R"("v2")");
+  }
+  EXPECT_FALSE(validate_status_json(v).empty());
+}
+
+TEST(ValidateStatus, MissingTopLevelBlocksFail) {
+  for (const char* key :
+       {"schema", "t_s", "session_count", "sessions", "rolling", "registry",
+        "trace"}) {
+    Value v = parse_ok(valid_status_doc());
+    std::erase_if(v.object,
+                  [&](const auto& member) { return member.first == key; });
+    EXPECT_FALSE(validate_status_json(v).empty()) << "dropped " << key;
+  }
+}
+
+TEST(ValidateStatus, SessionCountMustMatchArrayLength) {
+  Value v = parse_ok(valid_status_doc());
+  for (auto& member : v.object) {
+    if (member.first == "session_count") member.second = parse_ok("7");
+  }
+  const auto problems = validate_status_json(v);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("session_count"), std::string::npos);
+}
+
+TEST(ValidateStatus, SessionFlagsMustBeBooleans) {
+  for (const char* flag : {"seeded", "lagging", "starved", "backpressured"}) {
+    Value v = parse_ok(valid_status_doc());
+    for (auto& member : v.object) {
+      if (member.first != "sessions") continue;
+      for (auto& session_member : member.second.array[0].object) {
+        if (session_member.first == flag) {
+          session_member.second = parse_ok("1");  // number, not boolean
+        }
+      }
+    }
+    EXPECT_FALSE(validate_status_json(v).empty()) << flag;
+  }
+}
+
+TEST(ValidateStatus, RollingAndCountersMustBeNumeric) {
+  {
+    Value v = parse_ok(valid_status_doc());
+    for (auto& member : v.object) {
+      if (member.first == "rolling") {
+        member.second = parse_ok(R"({"window_s": 10, "count": 1})");
+      }
+    }
+    EXPECT_FALSE(validate_status_json(v).empty());
+  }
+  {
+    Value v = parse_ok(valid_status_doc());
+    for (auto& member : v.object) {
+      if (member.first == "registry") {
+        member.second = parse_ok(R"({"counters": {"server.commits": "x"}})");
+      }
+    }
+    EXPECT_FALSE(validate_status_json(v).empty());
+  }
+}
+
 }  // namespace
 }  // namespace polardraw::benchjson

@@ -461,6 +461,20 @@ TEST(R7Clock, ExemptLayers) {
   EXPECT_EQ(count_rule(lint_source("src/observations/foo.cc", src), "R7"), 1);
 }
 
+TEST(R7Clock, SimTimeOnlyObsModulesLoseTheExemption) {
+  // The rolling SLO window and the structured logger advance on
+  // observation timestamps by contract (DESIGN.md section 17): a clock
+  // read there is a determinism bug, so they are carved out of the
+  // blanket obs/ exemption.
+  const std::string src = "const auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_EQ(count_rule(lint_source("src/obs/rolling.cc", src), "R7"), 1);
+  EXPECT_EQ(count_rule(lint_source("src/obs/rolling.h", src), "R7"), 1);
+  EXPECT_EQ(count_rule(lint_source("src/obs/log.cc", src), "R7"), 1);
+  EXPECT_EQ(count_rule(lint_source("src/obs/log.h", src), "R7"), 1);
+  // The rest of the obs layer keeps it.
+  EXPECT_EQ(count_rule(lint_source("src/obs/metrics.cc", src), "R7"), 0);
+}
+
 TEST(R7Clock, SilentOnNonClockNow) {
   // now() on something that is not a clock (e.g. a span helper) is fine.
   const auto vs = lint_source("src/core/foo.cc", "auto x = Span::now();\n");

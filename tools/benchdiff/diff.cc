@@ -133,6 +133,7 @@ const char* verdict_word(Verdict v) {
     case Verdict::kRegressed: return "**REGRESSED**";
     case Verdict::kWarning: return "warning";
     case Verdict::kInfo: return "info";
+    case Verdict::kNew: return "new";
   }
   return "info";
 }
@@ -204,7 +205,8 @@ void compare_docs(const std::string& file, const Value& old_doc,
     }
     out.deltas.push_back(std::move(d));
   }
-  // New metrics are informational.
+  // Candidate-only metrics are reported as "new" rather than silently
+  // lumped with info: a PR that adds instrumentation should show it.
   for (const auto& [key, new_v] : new_kv) {
     bool found = false;
     find_value(old_kv, key, found);
@@ -215,7 +217,7 @@ void compare_docs(const std::string& file, const Value& old_doc,
     d.cls = classify_metric(key);
     d.missing_old = true;
     d.new_value = new_v;
-    d.verdict = Verdict::kInfo;
+    d.verdict = Verdict::kNew;
     out.deltas.push_back(std::move(d));
   }
 }
@@ -308,8 +310,8 @@ std::string to_markdown(const Report& report, const Thresholds& th) {
   // Regressions first, then warnings, so a failing CI log leads with the
   // offending metric.
   const Verdict order[] = {Verdict::kRegressed, Verdict::kWarning,
-                           Verdict::kImproved, Verdict::kInfo,
-                           Verdict::kUnchanged};
+                           Verdict::kImproved, Verdict::kNew,
+                           Verdict::kInfo,     Verdict::kUnchanged};
   for (Verdict want : order) {
     for (const auto& d : report.deltas) {
       if (d.verdict != want) continue;
@@ -334,6 +336,7 @@ std::string to_markdown(const Report& report, const Thresholds& th) {
      << report.count(Verdict::kWarning) << " warnings, "
      << report.count(Verdict::kImproved) << " improved, "
      << report.count(Verdict::kUnchanged) << " unchanged, "
+     << report.count(Verdict::kNew) << " new, "
      << report.count(Verdict::kInfo) << " informational.\n";
   os << "Result: "
      << (report.has_regression() ? "**REGRESSION DETECTED**" : "clean")

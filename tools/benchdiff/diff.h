@@ -26,8 +26,10 @@ enum class MetricClass {
   kUnknown,     // informational only
 };
 
-/// Verdict for a single metric delta.
-enum class Verdict { kUnchanged, kImproved, kRegressed, kWarning, kInfo };
+/// Verdict for a single metric delta. kNew marks a metric present only in
+/// the candidate (a freshly added export) — surfaced explicitly in the
+/// markdown so new instrumentation is visible in review, never a failure.
+enum class Verdict { kUnchanged, kImproved, kRegressed, kWarning, kInfo, kNew };
 
 /// Noise thresholds. A delta within tolerance is kUnchanged; beyond it,
 /// the direction decides improved vs regressed.

@@ -352,7 +352,7 @@ std::vector<std::string> validate_chrome_trace(const Value& root) {
     return problems;
   }
 
-  const std::string kPhases = "XiIMBEC";
+  const std::string kPhases = "XiIMBECstf";
   for (std::size_t i = 0; i < events->size(); ++i) {
     // Stop after a few bad events; one structural break tends to cascade.
     if (problems.size() >= 10) {
@@ -374,7 +374,7 @@ std::vector<std::string> validate_chrome_trace(const Value& root) {
                        ph->string.size() == 1 &&
                        kPhases.find(ph->string[0]) != std::string::npos;
     if (!ph_ok) {
-      problems.push_back(at + ".ph: missing or not one of X i I M B E C");
+      problems.push_back(at + ".ph: missing or not one of X i I M B E C s t f");
     }
     const Value* ts = e.find("ts");
     if (ts == nullptr || !ts->is_number() || ts->number < 0.0) {
@@ -392,9 +392,113 @@ std::vector<std::string> validate_chrome_trace(const Value& root) {
         problems.push_back(at + ".dur: missing or negative ('X' event)");
       }
     }
+    // Flow events (causal report chains) match on (cat, name, id): a
+    // non-numeric or missing id breaks the arrows silently in Perfetto,
+    // so pin it here.
+    if (ph_ok && (ph->string[0] == 's' || ph->string[0] == 't' ||
+                  ph->string[0] == 'f')) {
+      const Value* fid = e.find("id");
+      if (fid == nullptr || !fid->is_number() || fid->number < 0.0) {
+        problems.push_back(at + ".id: missing or not a nonnegative number "
+                           "(flow event)");
+      }
+      const Value* cat = e.find("cat");
+      if (cat == nullptr || !cat->is_string() || cat->string.empty()) {
+        problems.push_back(at + ".cat: missing or empty (flow event)");
+      }
+    }
     const Value* args = e.find("args");
     if (args != nullptr && !args->is_object()) {
       problems.push_back(at + ".args: present but not an object");
+    }
+  }
+  return problems;
+}
+
+std::vector<std::string> validate_status_json(const Value& root) {
+  std::vector<std::string> problems;
+  if (!root.is_object()) {
+    problems.emplace_back("root: not an object");
+    return problems;
+  }
+
+  const Value* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != "polardraw.statusz.v1") {
+    problems.emplace_back("schema: missing or != polardraw.statusz.v1");
+  }
+  const Value* t_s = root.find("t_s");
+  if (t_s == nullptr || !t_s->is_number() || t_s->number < 0.0) {
+    problems.emplace_back("t_s: missing or negative");
+  }
+  const Value* count = root.find("session_count");
+  if (count == nullptr || !count->is_number() || count->number < 0.0) {
+    problems.emplace_back("session_count: missing or negative");
+  }
+
+  const Value* sessions = root.find("sessions");
+  if (sessions == nullptr || sessions->type != Value::Type::kArray) {
+    problems.emplace_back("sessions: missing or not an array");
+  } else {
+    if (count != nullptr && count->is_number() &&
+        count->number != static_cast<double>(sessions->array.size())) {
+      problems.emplace_back("session_count: does not match sessions length");
+    }
+    for (std::size_t i = 0; i < sessions->array.size(); ++i) {
+      if (problems.size() >= 10) {
+        problems.emplace_back("... further problems suppressed");
+        break;
+      }
+      const Value& s = sessions->array[i];
+      const std::string at = "sessions[" + std::to_string(i) + "]";
+      if (!s.is_object()) {
+        problems.push_back(at + ": not an object");
+        continue;
+      }
+      for (const char* k : {"id", "mailbox_depth", "submitted", "committed",
+                            "commit_lag", "last_t_s"}) {
+        const Value* v = s.find(k);
+        if (v == nullptr || !v->is_number()) {
+          problems.push_back(at + "." + k + ": missing or not a number");
+        }
+      }
+      for (const char* k : {"seeded", "lagging", "starved", "backpressured"}) {
+        const Value* v = s.find(k);
+        if (v == nullptr || !v->is_bool()) {
+          problems.push_back(at + "." + k + ": missing or not a boolean");
+        }
+      }
+    }
+  }
+
+  const Value* rolling = root.find("rolling");
+  if (rolling == nullptr || !rolling->is_object()) {
+    problems.emplace_back("rolling: missing or not an object");
+  } else {
+    for (const char* k : {"window_s", "count", "p50_s", "p99_s"}) {
+      const Value* v = rolling->find(k);
+      if (v == nullptr || !v->is_number()) {
+        problems.push_back(std::string("rolling.") + k +
+                           ": missing or not a number");
+      }
+    }
+  }
+
+  const Value* registry = root.find("registry");
+  if (registry == nullptr || !registry->is_object()) {
+    problems.emplace_back("registry: missing or not an object");
+  } else {
+    require_number_members(registry->find("counters"), "registry.counters",
+                           problems);
+  }
+
+  const Value* trace = root.find("trace");
+  if (trace == nullptr || !trace->is_object()) {
+    problems.emplace_back("trace: missing or not an object");
+  } else {
+    const Value* dropped = trace->find("dropped_events");
+    if (dropped == nullptr || !dropped->is_number() || dropped->number < 0.0) {
+      problems.emplace_back("trace.dropped_events: missing or negative");
     }
   }
   return problems;

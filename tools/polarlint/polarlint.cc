@@ -606,10 +606,20 @@ std::vector<Violation> lint_source(std::string_view path,
   const bool scope_r6 = path_starts_with(path, "src/core/") ||
                         path_starts_with(path, "src/server/");
   // R7: clocks may be read by the observability layer (src/obs and its
-  // tests), the pool's trace plumbing, and benchmarks.
-  const bool exempt_r7 = path_has_component(path, "obs") ||
-                         path_has_component(path, "bench") ||
-                         path_ends_with(path, "common/thread_pool.h");
+  // tests), the pool's trace plumbing, and benchmarks. EXCEPT the
+  // sim-time-driven obs modules: the rolling SLO window and the
+  // structured logger advance on observation timestamps by contract
+  // (DESIGN.md section 17) -- a wall-clock read there would silently
+  // break replay determinism, so they lose the blanket obs exemption and
+  // any clock read there must carry its own R7 suppression.
+  const bool sim_time_only_obs = path_ends_with(path, "obs/rolling.h") ||
+                                 path_ends_with(path, "obs/rolling.cc") ||
+                                 path_ends_with(path, "obs/log.h") ||
+                                 path_ends_with(path, "obs/log.cc");
+  const bool exempt_r7 = !sim_time_only_obs &&
+                         (path_has_component(path, "obs") ||
+                          path_has_component(path, "bench") ||
+                          path_ends_with(path, "common/thread_pool.h"));
   const bool scope_r8 = path_starts_with(path, "src/");
   const bool scope_r9 = path_starts_with(path, "src/") &&
                         !path_ends_with(path, "common/annotations.h");
